@@ -1,0 +1,168 @@
+// Package repro's benchmarks regenerate, in compact form, every table
+// and figure recorded in EXPERIMENTS.md. Each benchmark corresponds to
+// one experiment id from DESIGN.md section 6; cmd/ftmpbench runs the
+// full-size versions and prints the complete tables.
+//
+// The benchmarks run on the deterministic simulated network, so b.N
+// iterations measure the wall-clock cost of simulating the experiment,
+// while the protocol metrics (the paper-relevant numbers) are reported
+// as custom benchmark metrics.
+package repro_test
+
+import (
+	"testing"
+
+	"ftmp/internal/clock"
+	"ftmp/internal/harness"
+	"ftmp/internal/simnet"
+	"ftmp/internal/trace"
+)
+
+// BenchmarkFig3Conformance exercises the Figure 3 matrix (structure is
+// asserted inside Fig3Matrix; behaviour in internal/core tests).
+func BenchmarkFig3Conformance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = harness.Fig3Matrix().String()
+	}
+}
+
+// BenchmarkFig2Encapsulation builds the Figure 2 nesting.
+func BenchmarkFig2Encapsulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = harness.Fig2Encapsulation().String()
+	}
+}
+
+// benchLatency is the E1 kernel for one protocol and group size.
+func benchLatency(b *testing.B, proto harness.Protocol, n int) {
+	b.ReportAllocs()
+	var last *trace.Histogram
+	for i := 0; i < b.N; i++ {
+		last = harness.RunLatency(proto, int64(i+1), n, 10, 64, 5*simnet.Millisecond, simnet.NewConfig())
+	}
+	if last != nil {
+		b.ReportMetric(trace.Ms(last.Mean()), "latency-ms")
+		b.ReportMetric(trace.Ms(last.Percentile(99)), "p99-ms")
+	}
+}
+
+// BenchmarkE1Latency* regenerate experiment E1 (latency vs group size,
+// three protocols).
+func BenchmarkE1LatencyFTMP4(b *testing.B)      { benchLatency(b, harness.ProtoFTMP, 4) }
+func BenchmarkE1LatencyFTMP8(b *testing.B)      { benchLatency(b, harness.ProtoFTMP, 8) }
+func BenchmarkE1LatencySequencer4(b *testing.B) { benchLatency(b, harness.ProtoSequencer, 4) }
+func BenchmarkE1LatencySequencer8(b *testing.B) { benchLatency(b, harness.ProtoSequencer, 8) }
+func BenchmarkE1LatencyTokenRing4(b *testing.B) { benchLatency(b, harness.ProtoTokenRing, 4) }
+func BenchmarkE1LatencyTokenRing8(b *testing.B) { benchLatency(b, harness.ProtoTokenRing, 8) }
+
+// BenchmarkE2Throughput regenerates experiment E2 (throughput vs payload
+// size) for the 1 KiB point; the full sweep is in cmd/ftmpbench.
+func BenchmarkE2Throughput(b *testing.B) {
+	var last harness.ThroughputResult
+	for i := 0; i < b.N; i++ {
+		last = harness.RunThroughput(harness.ProtoFTMP, int64(i+1), 4, 200, 1024, simnet.NewConfig())
+	}
+	b.ReportMetric(last.MsgsPerS, "msgs/s")
+	b.ReportMetric(last.MBPerS, "MB/s")
+}
+
+// BenchmarkE3Heartbeat regenerates experiment E3 for the 5ms point.
+func BenchmarkE3Heartbeat(b *testing.B) {
+	var last harness.E3Result
+	for i := 0; i < b.N; i++ {
+		last = harness.RunE3Heartbeat(5*simnet.Millisecond, int64(i+1))
+	}
+	b.ReportMetric(last.MeanMs, "latency-ms")
+	b.ReportMetric(last.PacketsPerS, "pkts/s")
+}
+
+// BenchmarkE4Failover regenerates experiment E4 (n=4, 50ms timeout).
+func BenchmarkE4Failover(b *testing.B) {
+	var last harness.E4Result
+	for i := 0; i < b.N; i++ {
+		last = harness.RunE4Failover(4, 50*simnet.Millisecond, int64(i+1))
+	}
+	b.ReportMetric(last.DetectMs, "detect-ms")
+	b.ReportMetric(last.NewViewMs, "newview-ms")
+}
+
+// BenchmarkE5Buffer regenerates experiment E5 (5ms heartbeats).
+func BenchmarkE5Buffer(b *testing.B) {
+	var last harness.E5Result
+	for i := 0; i < b.N; i++ {
+		last = harness.RunE5Buffer(5*simnet.Millisecond, int64(i+1))
+	}
+	b.ReportMetric(float64(last.PeakBuffered), "peak-buffered")
+	b.ReportMetric(float64(last.FinalBuffered), "final-buffered")
+}
+
+// BenchmarkE6Loss regenerates experiment E6 at 10% loss.
+func BenchmarkE6Loss(b *testing.B) {
+	var last harness.E6Result
+	for i := 0; i < b.N; i++ {
+		last = harness.RunE6Loss(0.10, int64(i+1))
+	}
+	b.ReportMetric(float64(last.Retrans), "retransmissions")
+	b.ReportMetric(last.GoodputMsgS, "goodput-msg/s")
+}
+
+// BenchmarkE7GIOP regenerates experiment E7 with 3 replicas.
+func BenchmarkE7GIOP(b *testing.B) {
+	var last *trace.Histogram
+	for i := 0; i < b.N; i++ {
+		last = harness.RunE7GIOP(3, 20, int64(i+1))
+	}
+	if last != nil {
+		b.ReportMetric(trace.Ms(last.Mean()), "rtt-ms")
+	}
+}
+
+// BenchmarkE8Duplicates regenerates experiment E8 (3x3 replicas).
+func BenchmarkE8Duplicates(b *testing.B) {
+	var last harness.E8Result
+	for i := 0; i < b.N; i++ {
+		last = harness.RunE8Duplicates(3, 3, 5, int64(i+1))
+	}
+	b.ReportMetric(float64(last.DuplicateRequests), "dup-requests")
+	b.ReportMetric(float64(last.DuplicateReplies), "dup-replies")
+}
+
+// BenchmarkE9PlannedChange regenerates experiment E9.
+func BenchmarkE9PlannedChange(b *testing.B) {
+	var last harness.E9Result
+	for i := 0; i < b.N; i++ {
+		last = harness.RunE9PlannedChange(int64(i + 1))
+	}
+	b.ReportMetric(last.BeforeMeanMs, "before-ms")
+	b.ReportMetric(last.DuringMeanMs, "during-ms")
+	b.ReportMetric(last.AfterMeanMs, "after-ms")
+}
+
+// BenchmarkA1RepairPolicy regenerates ablation A1 (promiscuous side).
+func BenchmarkA1RepairPolicy(b *testing.B) {
+	var last harness.A1Result
+	for i := 0; i < b.N; i++ {
+		last = harness.RunA1RepairPolicy(true, 0.10, int64(i+1))
+	}
+	b.ReportMetric(float64(last.Retrans), "retransmissions")
+	b.ReportMetric(float64(last.DupDrops), "dup-drops")
+}
+
+// BenchmarkA2ClockMode regenerates ablation A2 (synchronized side).
+func BenchmarkA2ClockMode(b *testing.B) {
+	var last harness.A2Result
+	for i := 0; i < b.N; i++ {
+		last = harness.RunA2ClockMode(clock.Synchronized, int64(i+1))
+	}
+	b.ReportMetric(last.MeanMs, "latency-ms")
+}
+
+// BenchmarkA3FlowControl regenerates ablation A3 (window = 16).
+func BenchmarkA3FlowControl(b *testing.B) {
+	var last harness.A3Result
+	for i := 0; i < b.N; i++ {
+		last = harness.RunA3FlowControl(16, int64(i+1))
+	}
+	b.ReportMetric(float64(last.PeakBuffered), "peak-buffered")
+	b.ReportMetric(last.CatchupMs, "catchup-ms")
+}

@@ -1,0 +1,109 @@
+// Command ftmpbench regenerates every table and figure recorded in
+// EXPERIMENTS.md: the paper's structural figures (2 and 3) and the
+// performance characterization experiments E1-E9 (see DESIGN.md for the
+// experiment index).
+//
+// Usage:
+//
+//	ftmpbench                 # run everything at full size
+//	ftmpbench -exp e3,e4      # run a subset
+//	ftmpbench -quick          # reduced sizes (CI smoke)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ftmp/internal/harness"
+	"ftmp/internal/simnet"
+	"ftmp/internal/trace"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiments: fig2,fig3,e1..e9,a1,a2 or all")
+		quick   = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
+		seed    = flag.Int64("seed", 0, "offset added to every experiment seed (0 reproduces EXPERIMENTS.md)")
+	)
+	flag.Parse()
+	harness.SeedOffset = *seed
+
+	msgs := 50
+	e1Sizes := []int{2, 4, 8, 16}
+	e2Sizes := []int{64, 256, 1024, 4096, 8192}
+	e2Msgs := 400
+	hbs := []simnet.Time{1, 2, 5, 10, 20, 50}
+	e4Sizes := []int{4, 8}
+	e4Timeouts := []simnet.Time{10, 25, 50, 100}
+	e5Hbs := []simnet.Time{2, 5, 20, 100, 10_000}
+	e6Rates := []float64{0, 0.01, 0.05, 0.10, 0.20}
+	e7Reps := []int{1, 3, 5}
+	e7Calls := 60
+	e8Calls := 20
+	if *quick {
+		msgs = 10
+		e1Sizes = []int{2, 4}
+		e2Sizes = []int{64, 1024}
+		e2Msgs = 80
+		hbs = []simnet.Time{2, 20}
+		e4Sizes = []int{4}
+		e4Timeouts = []simnet.Time{25, 100}
+		e5Hbs = []simnet.Time{5, 10_000}
+		e6Rates = []float64{0, 0.10}
+		e7Reps = []int{1, 3}
+		e7Calls = 20
+		e8Calls = 5
+	}
+	for i := range hbs {
+		hbs[i] *= simnet.Millisecond
+	}
+	for i := range e4Timeouts {
+		e4Timeouts[i] *= simnet.Millisecond
+	}
+	for i := range e5Hbs {
+		e5Hbs[i] *= simnet.Millisecond
+	}
+
+	want := make(map[string]bool)
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	sel := func(name string) bool { return want["all"] || want[name] }
+
+	type exp struct {
+		name string
+		run  func() *trace.Table
+	}
+	experiments := []exp{
+		{"fig2", harness.Fig2Encapsulation},
+		{"fig3", harness.Fig3Matrix},
+		{"e1", func() *trace.Table { return harness.E1Latency(e1Sizes, msgs) }},
+		{"e2", func() *trace.Table { return harness.E2Throughput(e2Sizes, e2Msgs) }},
+		{"e3", func() *trace.Table { return harness.E3Heartbeat(hbs) }},
+		{"e4", func() *trace.Table { return harness.E4Failover(e4Sizes, e4Timeouts) }},
+		{"e5", func() *trace.Table { return harness.E5Buffer(e5Hbs) }},
+		{"e6", func() *trace.Table { return harness.E6Loss(e6Rates) }},
+		{"e7", func() *trace.Table { return harness.E7GIOP(e7Reps, e7Calls) }},
+		{"e8", func() *trace.Table { return harness.E8Duplicates(e8Calls) }},
+		{"e9", func() *trace.Table { return harness.E9PlannedChange() }},
+		{"a1", func() *trace.Table { return harness.A1RepairPolicy(0.10) }},
+		{"a2", harness.A2ClockMode},
+		{"a3", harness.A3FlowControl},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if !sel(e.name) {
+			continue
+		}
+		fmt.Printf("=== %s ===\n", strings.ToUpper(e.name))
+		fmt.Println(e.run().String())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig2 fig3 e1..e9 a1 a2 a3 all\n", *expFlag)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,164 @@
+// Command ftmpd runs one FTMP processor on a real network and bridges
+// stdin/stdout to a totally-ordered group: each line typed on stdin is
+// multicast to the group, and every delivered message (from any member)
+// is printed in the single agreed order.
+//
+// Two transports are available:
+//
+//	-transport mesh       unicast UDP mesh (works everywhere; give the
+//	                      peers' addresses with -peers)
+//	-transport multicast  genuine IP multicast (needs a multicast-capable
+//	                      network)
+//
+// Example, three processors on one machine:
+//
+//	ftmpd -id 1 -listen 127.0.0.1:9001 -peers 127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 -members 1,2,3
+//	ftmpd -id 2 -listen 127.0.0.1:9002 -peers 127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 -members 1,2,3
+//	ftmpd -id 3 -listen 127.0.0.1:9003 -peers 127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 -members 1,2,3
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ftmp/internal/core"
+	"ftmp/internal/ids"
+	"ftmp/internal/runtime"
+	"ftmp/internal/transport"
+	"ftmp/internal/wire"
+)
+
+func main() {
+	var (
+		idFlag    = flag.Uint("id", 1, "processor id (unique, nonzero)")
+		listen    = flag.String("listen", "127.0.0.1:0", "mesh transport listen address")
+		peersFlag = flag.String("peers", "", "comma-separated peer addresses (mesh transport; include own)")
+		members   = flag.String("members", "1", "comma-separated processor ids of the group")
+		groupFlag = flag.Uint("group", 100, "processor group id")
+		trFlag    = flag.String("transport", "mesh", "transport: mesh or multicast")
+		hbMs      = flag.Int("heartbeat-ms", 5, "heartbeat interval in milliseconds")
+		suspectMs = flag.Int("suspect-ms", 500, "suspect timeout in milliseconds")
+		quietFlag = flag.Bool("quiet", false, "suppress view-change and fault chatter")
+	)
+	flag.Parse()
+
+	self := ids.ProcessorID(*idFlag)
+	cfg := core.DefaultConfig(self)
+	cfg.HeartbeatInterval = int64(*hbMs) * 1_000_000
+	cfg.PGMP.SuspectTimeout = int64(*suspectMs) * 1_000_000
+
+	var membership ids.Membership
+	for _, tok := range strings.Split(*members, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 32)
+		if err != nil {
+			fatal("bad member %q: %v", tok, err)
+		}
+		membership = membership.Add(ids.ProcessorID(v))
+	}
+	group := ids.GroupID(*groupFlag)
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	cb := core.Callbacks{
+		Transmit: func(wire.MulticastAddr, []byte) {}, // installed by the runner
+		Deliver: func(d core.Delivery) {
+			fmt.Fprintf(out, "[%v] %s\n", d.Source, d.Payload)
+			out.Flush()
+		},
+		ViewChange: func(v core.ViewChange) {
+			if !*quietFlag {
+				fmt.Fprintf(out, "-- view %v: members %v (%v)\n", v.ViewTS, v.Members, v.Reason)
+				out.Flush()
+			}
+		},
+		FaultReport: func(g ids.GroupID, convicted ids.Membership) {
+			if !*quietFlag {
+				fmt.Fprintf(out, "-- fault: %v convicted in %v\n", convicted, g)
+				out.Flush()
+			}
+		},
+	}
+
+	mk := func(h transport.Handler) (transport.Transport, error) {
+		switch *trFlag {
+		case "multicast":
+			return transport.NewUDPMulticast(h), nil
+		case "mesh":
+			mesh, err := transport.NewUDPMesh(*listen, h)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "ftmpd: listening on %s\n", mesh.LocalAddr())
+			for _, p := range strings.Split(*peersFlag, ",") {
+				p = strings.TrimSpace(p)
+				if p == "" {
+					continue
+				}
+				if err := mesh.AddPeer(p); err != nil {
+					return nil, fmt.Errorf("peer %q: %w", p, err)
+				}
+			}
+			// Loopback so our own sends count as received.
+			if err := mesh.AddPeer(mesh.LocalAddr()); err != nil {
+				return nil, err
+			}
+			return mesh, nil
+		default:
+			return nil, fmt.Errorf("unknown transport %q", *trFlag)
+		}
+	}
+
+	r, err := runtime.New(cfg, cb, mk, runtime.Options{})
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer r.Close()
+
+	r.Do(func(node *core.Node, now int64) {
+		node.CreateGroup(now, group, membership)
+	})
+	fmt.Fprintf(os.Stderr, "ftmpd: processor %v in group %v %v; type lines to multicast\n",
+		self, group, membership)
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			continue
+		case line == "/stats":
+			r.Do(func(node *core.Node, now int64) {
+				st, ok := node.Status(group)
+				if !ok {
+					return
+				}
+				s := node.Stats()
+				fmt.Fprintf(os.Stderr,
+					"ftmpd: members=%v horizon=%v stable=%v buffered=%d+%d queue=%d sent=%d hb=%d nacks=%d retrans=%d\n",
+					st.Members, st.Horizon, st.Stable, st.RMPHeld, st.ROMPPending, st.SendQueue,
+					s.MessagesSent, s.HeartbeatsSent, s.RMP.NacksSent, s.RMP.Retransmissions)
+			})
+		case line == "/leave":
+			r.Do(func(node *core.Node, now int64) {
+				if err := node.Leave(now, group); err != nil {
+					fmt.Fprintf(os.Stderr, "ftmpd: leave: %v\n", err)
+				}
+			})
+		default:
+			r.Do(func(node *core.Node, now int64) {
+				if err := node.Multicast(now, group, ids.ConnectionID{}, 0, []byte(line)); err != nil {
+					fmt.Fprintf(os.Stderr, "ftmpd: multicast: %v\n", err)
+				}
+			})
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ftmpd: "+format+"\n", args...)
+	os.Exit(1)
+}

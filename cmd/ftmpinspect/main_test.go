@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInspectSample(t *testing.T) {
+	var sb strings.Builder
+	if err := inspect(&sb, sample()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"FTMP header", "message type     Regular", "connection id",
+		"GIOP message (encapsulated", "operation      \"deposit\"",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInspectGarbage(t *testing.T) {
+	var sb strings.Builder
+	if err := inspect(&sb, []byte("garbage")); err == nil {
+		t.Error("garbage inspected without error")
+	}
+}
+
+func TestInspectNonGIOPRegular(t *testing.T) {
+	// A Regular whose payload is not GIOP reports it gracefully.
+	var sb strings.Builder
+	raw := sample()
+	// Corrupt the payload's GIOP magic (it sits after the FTMP header,
+	// connection id (16), request number (8) and length field (4)).
+	off := 40 + 16 + 8 + 4
+	raw2 := append([]byte(nil), raw...)
+	raw2[off] = 'X'
+	if err := inspect(&sb, raw2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "not a GIOP message") {
+		t.Errorf("missing non-GIOP note:\n%s", sb.String())
+	}
+}

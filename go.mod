@@ -1,0 +1,3 @@
+module ftmp
+
+go 1.22

@@ -1,0 +1,401 @@
+// Package sequencer implements a fixed-sequencer totally-ordered
+// multicast, the Amoeba-style design the paper's related work contrasts
+// with FTMP's symmetric ordering (paper section 8, [10]): originators
+// multicast their messages, and a distinguished member — the sequencer —
+// multicasts ordering decisions that assign each message its place in
+// the single global sequence.
+//
+// The implementation provides reliable totally-ordered delivery under
+// message loss (NACK-based repair, as in RMP) over a static membership.
+// Fault-driven membership change is out of scope: the package exists as
+// a performance comparator for experiments E1/E2/E6, not as a
+// fault-tolerance competitor.
+package sequencer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"ftmp/internal/ids"
+)
+
+// Config holds the protocol's policy knobs, in nanoseconds.
+type Config struct {
+	// NackDelay and NackInterval control gap repair, as in rmp.Config.
+	NackDelay    int64
+	NackInterval int64
+	// AnnounceInterval is how often an idle sequencer re-multicasts its
+	// latest order record, the analogue of FTMP's heartbeat: it exposes
+	// tail losses that gap detection alone cannot see.
+	AnnounceInterval int64
+}
+
+// DefaultConfig mirrors the RMP repair policy for fair comparison; the
+// announce interval matches FTMP's default heartbeat interval.
+func DefaultConfig() Config {
+	return Config{NackDelay: 2_000_000, NackInterval: 5_000_000, AnnounceInterval: 5_000_000}
+}
+
+// Stats counts protocol events.
+type Stats struct {
+	Sent      uint64 // data messages originated here
+	Ordered   uint64 // order records issued (sequencer only)
+	Delivered uint64 // messages delivered in global order
+	NacksSent uint64
+	Retrans   uint64
+}
+
+// message kinds on the wire.
+const (
+	kindData  = 1
+	kindOrder = 2
+	kindNack  = 3
+)
+
+// dataKey identifies an originated message.
+type dataKey struct {
+	src    ids.ProcessorID
+	srcSeq uint32
+}
+
+// Node is one member of a sequencer-ordered group.
+type Node struct {
+	self      ids.ProcessorID
+	members   ids.Membership
+	sequencer ids.ProcessorID
+	cfg       Config
+
+	// transmit multicasts an encoded protocol message to the group.
+	transmit func(data []byte)
+	// deliver hands up one globally-ordered payload.
+	deliver func(src ids.ProcessorID, payload []byte, now int64)
+
+	nextSrcSeq uint32
+	// data holds received (and own) message payloads by origin.
+	data map[dataKey][]byte
+	// orders maps global sequence numbers to the message they order.
+	orders map[uint64]dataKey
+	// nextGlobal is the next global sequence to assign (sequencer) or
+	// deliver (member).
+	nextGlobal   uint64
+	maxSeenOrder uint64
+	// seen tracks ordered keys at the sequencer to avoid double-ordering
+	// retransmitted data; assigned remembers each key's global sequence
+	// so duplicates can be answered with the (possibly lost) order.
+	seen     map[dataKey]bool
+	assigned map[dataKey]uint64
+	// lastAnnounce is when the sequencer last (re)announced an order.
+	lastAnnounce int64
+
+	nackAt int64
+	// ownPending holds own messages not yet seen ordered; they are
+	// re-multicast until the sequencer's order record arrives, covering
+	// data messages lost on the way to the sequencer.
+	ownPending map[uint32][]byte
+	ownResend  int64
+	stats      Stats
+}
+
+// New creates a member. The sequencer is the lowest member identifier.
+func New(self ids.ProcessorID, members ids.Membership, cfg Config,
+	transmit func([]byte),
+	deliver func(src ids.ProcessorID, payload []byte, now int64)) *Node {
+	if len(members) == 0 {
+		panic("sequencer: empty membership")
+	}
+	return &Node{
+		self:       self,
+		members:    members.Clone(),
+		sequencer:  members[0],
+		cfg:        cfg,
+		transmit:   transmit,
+		deliver:    deliver,
+		data:       make(map[dataKey][]byte),
+		orders:     make(map[uint64]dataKey),
+		nextGlobal: 1,
+		seen:       make(map[dataKey]bool),
+		assigned:   make(map[dataKey]uint64),
+		ownPending: make(map[uint32][]byte),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// IsSequencer reports whether this member assigns the order.
+func (n *Node) IsSequencer() bool { return n.self == n.sequencer }
+
+// Multicast originates a payload.
+func (n *Node) Multicast(now int64, payload []byte) error {
+	n.nextSrcSeq++
+	key := dataKey{n.self, n.nextSrcSeq}
+	buf := encodeData(n.self, n.nextSrcSeq, payload)
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	n.data[key] = cp
+	n.stats.Sent++
+	n.transmit(buf)
+	if n.IsSequencer() {
+		n.assignOrder(key, now)
+	} else {
+		n.ownPending[n.nextSrcSeq] = cp
+		if n.ownResend == 0 {
+			n.ownResend = now + n.cfg.NackInterval
+		}
+	}
+	return nil
+}
+
+// assignOrder is the sequencer's ordering step. Duplicate data (an
+// originator retrying because it missed the order) is answered by
+// re-multicasting the existing order record.
+func (n *Node) assignOrder(key dataKey, now int64) {
+	if n.seen[key] {
+		if g, ok := n.assigned[key]; ok {
+			n.stats.Retrans++
+			n.transmit(encodeOrder(g, key))
+		}
+		return
+	}
+	n.seen[key] = true
+	g := n.nextGlobalToAssign()
+	n.orders[g] = key
+	n.assigned[key] = g
+	if g > n.maxSeenOrder {
+		n.maxSeenOrder = g
+	}
+	n.stats.Ordered++
+	n.lastAnnounce = now
+	n.transmit(encodeOrder(g, key))
+	n.tryDeliver(now)
+}
+
+func (n *Node) nextGlobalToAssign() uint64 {
+	g := n.maxSeenOrder + 1
+	if g < n.nextGlobal {
+		g = n.nextGlobal
+	}
+	return g
+}
+
+// HandlePacket processes one received protocol message.
+func (n *Node) HandlePacket(data []byte, now int64) {
+	if len(data) < 1 {
+		return
+	}
+	switch data[0] {
+	case kindData:
+		src, srcSeq, payload, ok := decodeData(data)
+		if !ok || src == n.self {
+			return
+		}
+		key := dataKey{src, srcSeq}
+		if _, dup := n.data[key]; !dup {
+			n.data[key] = payload
+		}
+		if n.IsSequencer() {
+			n.assignOrder(key, now)
+		}
+		n.tryDeliver(now)
+	case kindOrder:
+		g, key, ok := decodeOrder(data)
+		if !ok {
+			return
+		}
+		if _, dup := n.orders[g]; !dup {
+			n.orders[g] = key
+		}
+		if g > n.maxSeenOrder {
+			n.maxSeenOrder = g
+			n.scheduleNack(now)
+		}
+		if key.src == n.self {
+			delete(n.ownPending, key.srcSeq)
+			if len(n.ownPending) == 0 {
+				n.ownResend = 0
+			}
+		}
+		if n.IsSequencer() {
+			// A re-ordered message from a previous sequencer epoch; keep
+			// maxSeenOrder in sync so fresh assignments do not collide.
+			n.seen[key] = true
+		}
+		n.tryDeliver(now)
+	case kindNack:
+		g, ok := decodeNack(data)
+		if !ok {
+			return
+		}
+		// Anyone holding the order record (and the data) answers; the
+		// sequencer always holds both.
+		if key, have := n.orders[g]; have {
+			n.stats.Retrans++
+			n.transmit(encodeOrder(g, key))
+			if payload, haveData := n.data[key]; haveData {
+				n.transmit(encodeData(key.src, key.srcSeq, payload))
+			}
+		}
+	}
+}
+
+// retainWindow bounds how many delivered messages stay available for
+// retransmission. Static membership means every member progresses; a
+// window this deep covers any realistic repair lag in the experiments.
+const retainWindow = 8192
+
+// tryDeliver delivers contiguous globally-ordered messages. Delivered
+// entries are retained (bounded by retainWindow) so NACKs from slower
+// members can still be answered.
+func (n *Node) tryDeliver(now int64) {
+	for {
+		key, ok := n.orders[n.nextGlobal]
+		if !ok {
+			break
+		}
+		payload, have := n.data[key]
+		if !have {
+			break
+		}
+		n.deliver(key.src, payload, now)
+		n.stats.Delivered++
+		n.nextGlobal++
+		if n.nextGlobal > retainWindow {
+			prune := n.nextGlobal - retainWindow
+			if old, ok := n.orders[prune]; ok {
+				delete(n.data, old)
+				delete(n.seen, old)
+				delete(n.assigned, old)
+				delete(n.orders, prune)
+			}
+		}
+	}
+	if n.nextGlobal > n.maxSeenOrder {
+		n.nackAt = 0
+	}
+}
+
+func (n *Node) scheduleNack(now int64) {
+	if n.nextGlobal <= n.maxSeenOrder && n.nackAt == 0 {
+		at := now + n.cfg.NackDelay
+		if at == 0 {
+			at = 1
+		}
+		n.nackAt = at
+	}
+}
+
+// Tick drives gap repair, own-message resend, and the idle sequencer's
+// order re-announcement (the heartbeat analogue).
+func (n *Node) Tick(now int64) {
+	if n.IsSequencer() && n.maxSeenOrder > 0 && n.cfg.AnnounceInterval > 0 &&
+		now-n.lastAnnounce >= n.cfg.AnnounceInterval {
+		if key, ok := n.orders[n.maxSeenOrder]; ok {
+			n.transmit(encodeOrder(n.maxSeenOrder, key))
+		}
+		n.lastAnnounce = now
+	}
+	if n.ownResend != 0 && now >= n.ownResend && len(n.ownPending) > 0 {
+		seqs := make([]uint32, 0, len(n.ownPending))
+		for q := range n.ownPending {
+			seqs = append(seqs, q)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, q := range seqs {
+			n.stats.Retrans++
+			n.transmit(encodeData(n.self, q, n.ownPending[q]))
+		}
+		n.ownResend = now + n.cfg.NackInterval
+	}
+	if n.nextGlobal <= n.maxSeenOrder && n.nackAt == 0 {
+		n.scheduleNack(now)
+	}
+	if n.nackAt == 0 || now < n.nackAt {
+		return
+	}
+	// Request every missing global sequence (bounded batch).
+	var missing []uint64
+	for g := n.nextGlobal; g <= n.maxSeenOrder && len(missing) < 64; g++ {
+		key, haveOrder := n.orders[g]
+		if !haveOrder {
+			missing = append(missing, g)
+			continue
+		}
+		if _, haveData := n.data[key]; !haveData {
+			missing = append(missing, g)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+	for _, g := range missing {
+		n.stats.NacksSent++
+		n.transmit(encodeNack(g))
+	}
+	n.nackAt = now + n.cfg.NackInterval
+}
+
+// String summarizes the node for debugging.
+func (n *Node) String() string {
+	return fmt.Sprintf("sequencer-node(%v, seq=%v, next=%d)", n.self, n.sequencer, n.nextGlobal)
+}
+
+// Wire encoding: one-byte kind, then fixed big-endian fields.
+
+func encodeData(src ids.ProcessorID, srcSeq uint32, payload []byte) []byte {
+	buf := make([]byte, 1+4+4+4+len(payload))
+	buf[0] = kindData
+	binary.BigEndian.PutUint32(buf[1:5], uint32(src))
+	binary.BigEndian.PutUint32(buf[5:9], srcSeq)
+	binary.BigEndian.PutUint32(buf[9:13], uint32(len(payload)))
+	copy(buf[13:], payload)
+	return buf
+}
+
+func decodeData(buf []byte) (ids.ProcessorID, uint32, []byte, bool) {
+	if len(buf) < 13 {
+		return 0, 0, nil, false
+	}
+	src := ids.ProcessorID(binary.BigEndian.Uint32(buf[1:5]))
+	srcSeq := binary.BigEndian.Uint32(buf[5:9])
+	n := binary.BigEndian.Uint32(buf[9:13])
+	if int(n) != len(buf)-13 {
+		return 0, 0, nil, false
+	}
+	payload := make([]byte, n)
+	copy(payload, buf[13:])
+	return src, srcSeq, payload, true
+}
+
+func encodeOrder(g uint64, key dataKey) []byte {
+	buf := make([]byte, 1+8+4+4)
+	buf[0] = kindOrder
+	binary.BigEndian.PutUint64(buf[1:9], g)
+	binary.BigEndian.PutUint32(buf[9:13], uint32(key.src))
+	binary.BigEndian.PutUint32(buf[13:17], key.srcSeq)
+	return buf
+}
+
+func decodeOrder(buf []byte) (uint64, dataKey, bool) {
+	if len(buf) != 17 {
+		return 0, dataKey{}, false
+	}
+	g := binary.BigEndian.Uint64(buf[1:9])
+	key := dataKey{
+		src:    ids.ProcessorID(binary.BigEndian.Uint32(buf[9:13])),
+		srcSeq: binary.BigEndian.Uint32(buf[13:17]),
+	}
+	return g, key, true
+}
+
+func encodeNack(g uint64) []byte {
+	buf := make([]byte, 1+8)
+	buf[0] = kindNack
+	binary.BigEndian.PutUint64(buf[1:9], g)
+	return buf
+}
+
+func decodeNack(buf []byte) (uint64, bool) {
+	if len(buf) != 9 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(buf[1:9]), true
+}

@@ -1,0 +1,111 @@
+package sequencer
+
+import (
+	"bytes"
+	"testing"
+
+	"ftmp/internal/ids"
+)
+
+// loopPair wires two nodes through direct function calls (no network),
+// for codec- and state-level unit tests; the protocol-level behaviour is
+// covered by internal/baseline's simulated-network tests.
+func loopPair(t *testing.T) (*Node, *Node, *[][]byte) {
+	t.Helper()
+	members := ids.NewMembership(1, 2)
+	var wire [][]byte
+	mkDeliver := func() func(ids.ProcessorID, []byte, int64) {
+		return func(ids.ProcessorID, []byte, int64) {}
+	}
+	a := New(1, members, DefaultConfig(), func(b []byte) { wire = append(wire, b) }, mkDeliver())
+	b := New(2, members, DefaultConfig(), func(b []byte) { wire = append(wire, b) }, mkDeliver())
+	return a, b, &wire
+}
+
+func TestCodecRoundTrips(t *testing.T) {
+	payload := []byte("data-payload")
+	d := encodeData(ids.ProcessorID(7), 42, payload)
+	src, seq, got, ok := decodeData(d)
+	if !ok || src != 7 || seq != 42 || !bytes.Equal(got, payload) {
+		t.Errorf("data round trip: %v %v %v %v", src, seq, got, ok)
+	}
+	o := encodeOrder(9, dataKey{src: 7, srcSeq: 42})
+	g, key, ok := decodeOrder(o)
+	if !ok || g != 9 || key.src != 7 || key.srcSeq != 42 {
+		t.Errorf("order round trip: %v %v %v", g, key, ok)
+	}
+	nk := encodeNack(33)
+	gn, ok := decodeNack(nk)
+	if !ok || gn != 33 {
+		t.Errorf("nack round trip: %v %v", gn, ok)
+	}
+}
+
+func TestCodecRejectsMalformed(t *testing.T) {
+	if _, _, _, ok := decodeData([]byte{kindData, 0}); ok {
+		t.Error("short data accepted")
+	}
+	// Length field disagreeing with the buffer.
+	d := encodeData(1, 1, []byte("xy"))
+	if _, _, _, ok := decodeData(d[:len(d)-1]); ok {
+		t.Error("truncated data accepted")
+	}
+	if _, _, ok := decodeOrder([]byte{kindOrder}); ok {
+		t.Error("short order accepted")
+	}
+	if _, ok := decodeNack([]byte{kindNack, 1}); ok {
+		t.Error("short nack accepted")
+	}
+}
+
+func TestEmptyMembershipPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty membership accepted")
+		}
+	}()
+	New(1, nil, DefaultConfig(), func([]byte) {}, func(ids.ProcessorID, []byte, int64) {})
+}
+
+func TestGarbagePacketsIgnored(t *testing.T) {
+	a, _, _ := loopPair(t)
+	a.HandlePacket(nil, 0)
+	a.HandlePacket([]byte{99, 1, 2, 3}, 0)
+	if a.Stats().Delivered != 0 {
+		t.Error("garbage delivered")
+	}
+}
+
+func TestSequencerOrdersOwnAndRemote(t *testing.T) {
+	a, b, wire := loopPair(t)
+	_ = a.Multicast(0, []byte("from-seq")) // a is the sequencer
+	_ = b.Multicast(0, []byte("from-b"))
+	// Deliver the wire traffic crosswise until quiescent.
+	for pass := 0; pass < 5; pass++ {
+		msgs := *wire
+		*wire = nil
+		for _, m := range msgs {
+			a.HandlePacket(m, 0)
+			b.HandlePacket(m, 0)
+		}
+		if len(*wire) == 0 {
+			break
+		}
+	}
+	if a.Stats().Ordered != 2 {
+		t.Errorf("sequencer ordered %d, want 2", a.Stats().Ordered)
+	}
+	if a.Stats().Delivered != 2 || b.Stats().Delivered != 2 {
+		t.Errorf("delivered a=%d b=%d", a.Stats().Delivered, b.Stats().Delivered)
+	}
+}
+
+func TestStringerAndStats(t *testing.T) {
+	a, _, _ := loopPair(t)
+	if a.String() == "" {
+		t.Error("empty String")
+	}
+	if !a.IsSequencer() {
+		t.Error("lowest id not sequencer")
+	}
+}

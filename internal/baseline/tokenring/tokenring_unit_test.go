@@ -1,0 +1,113 @@
+package tokenring
+
+import (
+	"bytes"
+	"testing"
+
+	"ftmp/internal/ids"
+)
+
+func TestCodecRoundTrips(t *testing.T) {
+	d := encodeData(11, ids.ProcessorID(3), []byte("ring-data"))
+	seq, src, payload, ok := decodeData(d)
+	if !ok || seq != 11 || src != 3 || !bytes.Equal(payload, []byte("ring-data")) {
+		t.Errorf("data round trip: %v %v %q %v", seq, src, payload, ok)
+	}
+	tok := encodeToken(11, 5, ids.ProcessorID(2))
+	seq2, pass, holder, ok := decodeToken(tok)
+	if !ok || seq2 != 11 || pass != 5 || holder != 2 {
+		t.Errorf("token round trip: %v %v %v %v", seq2, pass, holder, ok)
+	}
+	nk := encodeNack(8)
+	g, ok := decodeNack(nk)
+	if !ok || g != 8 {
+		t.Errorf("nack round trip: %v %v", g, ok)
+	}
+}
+
+func TestCodecRejectsMalformed(t *testing.T) {
+	if _, _, _, ok := decodeData([]byte{kindData}); ok {
+		t.Error("short data accepted")
+	}
+	d := encodeData(1, 1, []byte("zz"))
+	if _, _, _, ok := decodeData(append(d, 0)); ok {
+		t.Error("padded data accepted")
+	}
+	if _, _, _, ok := decodeToken([]byte{kindToken, 0}); ok {
+		t.Error("short token accepted")
+	}
+	if _, ok := decodeNack([]byte{kindNack}); ok {
+		t.Error("short nack accepted")
+	}
+}
+
+func TestSuccessorWraps(t *testing.T) {
+	members := ids.NewMembership(1, 5, 9)
+	n1 := New(1, members, DefaultConfig(), func([]byte) {}, func(ids.ProcessorID, []byte, int64) {})
+	n9 := New(9, members, DefaultConfig(), func([]byte) {}, func(ids.ProcessorID, []byte, int64) {})
+	if got := n1.successor(); got != 5 {
+		t.Errorf("successor(1) = %v", got)
+	}
+	if got := n9.successor(); got != 1 {
+		t.Errorf("successor(9) = %v (wrap)", got)
+	}
+}
+
+func TestStaleTokenRejected(t *testing.T) {
+	members := ids.NewMembership(1, 2)
+	var sent [][]byte
+	n := New(2, members, DefaultConfig(), func(b []byte) { sent = append(sent, b) },
+		func(ids.ProcessorID, []byte, int64) {})
+	// First token visit at pass 1.
+	n.HandlePacket(encodeToken(0, 1, 2), 0)
+	passes := n.Stats().TokenPasses
+	if passes != 1 {
+		t.Fatalf("first token not accepted: %d passes", passes)
+	}
+	// A retransmission of the same token (same pass counter) must not
+	// create a second holder.
+	n.HandlePacket(encodeToken(0, 1, 2), 1)
+	if n.Stats().TokenPasses != passes {
+		t.Error("stale token re-accepted")
+	}
+	// The next legitimate visit (higher pass) is accepted.
+	n.HandlePacket(encodeToken(0, 3, 2), 2)
+	if n.Stats().TokenPasses != passes+1 {
+		t.Error("fresh token rejected")
+	}
+}
+
+func TestTokenForOtherHolderIgnored(t *testing.T) {
+	members := ids.NewMembership(1, 2, 3)
+	n := New(2, members, DefaultConfig(), func([]byte) {}, func(ids.ProcessorID, []byte, int64) {})
+	n.HandlePacket(encodeToken(7, 1, 3), 0) // addressed to 3
+	if n.Stats().TokenPasses != 0 {
+		t.Error("accepted a token addressed elsewhere")
+	}
+	// But its sequence number still drives gap detection.
+	if n.maxSeen != 7 {
+		t.Errorf("maxSeen = %d, want 7", n.maxSeen)
+	}
+}
+
+func TestEmptyMembershipPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty membership accepted")
+		}
+	}()
+	New(1, nil, DefaultConfig(), func([]byte) {}, func(ids.ProcessorID, []byte, int64) {})
+}
+
+func TestGarbageIgnored(t *testing.T) {
+	members := ids.NewMembership(1, 2)
+	n := New(2, members, DefaultConfig(), func([]byte) {}, func(ids.ProcessorID, []byte, int64) {})
+	n.HandlePacket(nil, 0)
+	n.HandlePacket([]byte{77}, 0)
+	if n.Stats().Delivered != 0 {
+		t.Error("garbage delivered")
+	}
+	if n.String() == "" {
+		t.Error("empty String")
+	}
+}

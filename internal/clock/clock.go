@@ -1,0 +1,99 @@
+// Package clock implements the logical Lamport clock that ROMP uses to
+// timestamp messages, plus an optional synchronized-physical-clock mode.
+//
+// Paper section 6: "ROMP employs message timestamps, derived from logical
+// Lamport clocks, to maintain causal and total order. A processor advances
+// its Lamport clock so that it is always greater than the timestamp of any
+// message that it has received or sent. Better performance can be achieved
+// through the use of clock synchronization software, or synchronized
+// physical clocks."
+package clock
+
+import (
+	"ftmp/internal/ids"
+)
+
+// Mode selects how a Lamport clock advances between events.
+type Mode int
+
+const (
+	// Logical mode: the counter advances only on send/receive events.
+	// This is the default mode described in the paper.
+	Logical Mode = iota
+	// Synchronized mode: the counter additionally tracks a (possibly
+	// skewed) physical clock supplied by the driver, modeling the
+	// paper's "synchronized clocks can be used to achieve better
+	// performance" option. Timestamps still obey the Lamport rules, so
+	// correctness never depends on the quality of synchronization.
+	Synchronized
+)
+
+// Lamport is a Lamport clock owned by a single processor. It is not safe
+// for concurrent use; the FTMP node is single-threaded by design and its
+// driver serializes access.
+type Lamport struct {
+	self    ids.ProcessorID
+	counter uint64
+	mode    Mode
+	// skew is added to the physical time supplied in Synchronized mode,
+	// modeling imperfect clock synchronization in experiments.
+	skew int64
+}
+
+// NewLamport returns a logical Lamport clock for processor self.
+func NewLamport(self ids.ProcessorID) *Lamport {
+	return &Lamport{self: self, mode: Logical}
+}
+
+// NewSynchronized returns a Lamport clock that also tracks physical time
+// (in the driver's time unit, typically nanoseconds) with the given skew.
+func NewSynchronized(self ids.ProcessorID, skew int64) *Lamport {
+	return &Lamport{self: self, mode: Synchronized, skew: skew}
+}
+
+// Self returns the owning processor.
+func (c *Lamport) Self() ids.ProcessorID { return c.self }
+
+// Mode returns the clock's mode.
+func (c *Lamport) Mode() Mode { return c.mode }
+
+// Counter returns the current counter without advancing the clock.
+func (c *Lamport) Counter() uint64 { return c.counter }
+
+// Next advances the clock for a send event at physical time now (ignored
+// in Logical mode) and returns the timestamp to place on the message.
+func (c *Lamport) Next(now int64) ids.Timestamp {
+	c.counter++
+	if c.mode == Synchronized {
+		if phys := physCounter(now, c.skew); phys > c.counter {
+			c.counter = phys
+		}
+	}
+	return ids.MakeTimestamp(c.counter, c.self)
+}
+
+// Current returns the timestamp of the most recent event without
+// advancing the clock. It is the value a Heartbeat reports for "the
+// sender's current message timestamp".
+func (c *Lamport) Current() ids.Timestamp {
+	return ids.MakeTimestamp(c.counter, c.self)
+}
+
+// Observe advances the clock past a received message's timestamp, so that
+// every later local timestamp exceeds it (the Lamport receive rule).
+func (c *Lamport) Observe(t ids.Timestamp) {
+	if tc := t.Counter(); tc > c.counter {
+		c.counter = tc
+	}
+}
+
+// physCounter maps physical nanoseconds to a clock counter. One counter
+// tick per microsecond keeps 48 bits sufficient for ~8.9 years while
+// remaining finer than any realistic message interarrival.
+func physCounter(now, skew int64) uint64 {
+	t := now + skew
+	if t < 0 {
+		return 0
+	}
+	return uint64(t) / 1000
+}

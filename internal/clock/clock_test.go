@@ -1,0 +1,130 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ftmp/internal/ids"
+)
+
+func TestLamportMonotonic(t *testing.T) {
+	c := NewLamport(ids.ProcessorID(1))
+	prev := c.Current()
+	for i := 0; i < 100; i++ {
+		next := c.Next(0)
+		if !prev.Before(next) {
+			t.Fatalf("Next not monotonic: %v then %v", prev, next)
+		}
+		prev = next
+	}
+}
+
+func TestLamportObserveAdvances(t *testing.T) {
+	c := NewLamport(ids.ProcessorID(1))
+	remote := ids.MakeTimestamp(500, ids.ProcessorID(2))
+	c.Observe(remote)
+	local := c.Next(0)
+	if !remote.Before(local) {
+		t.Fatalf("local %v should follow observed %v", local, remote)
+	}
+}
+
+func TestLamportObserveIgnoresPast(t *testing.T) {
+	c := NewLamport(ids.ProcessorID(1))
+	for i := 0; i < 10; i++ {
+		c.Next(0)
+	}
+	before := c.Counter()
+	c.Observe(ids.MakeTimestamp(3, ids.ProcessorID(2)))
+	if c.Counter() != before {
+		t.Error("Observe of stale timestamp moved the clock")
+	}
+}
+
+func TestLamportCurrentDoesNotAdvance(t *testing.T) {
+	c := NewLamport(ids.ProcessorID(4))
+	c.Next(0)
+	a := c.Current()
+	b := c.Current()
+	if a != b {
+		t.Error("Current advanced the clock")
+	}
+	if a.Tiebreak() != 4 {
+		t.Errorf("Tiebreak = %d, want 4", a.Tiebreak())
+	}
+}
+
+func TestSynchronizedTracksPhysical(t *testing.T) {
+	c := NewSynchronized(ids.ProcessorID(1), 0)
+	// 5ms of physical time = 5000 microsecond ticks.
+	ts := c.Next(5 * 1e6)
+	if ts.Counter() != 5000 {
+		t.Errorf("Counter = %d, want 5000", ts.Counter())
+	}
+	// Logical progress still guaranteed when physical time stalls.
+	ts2 := c.Next(5 * 1e6)
+	if !ts.Before(ts2) {
+		t.Error("stalled physical clock broke monotonicity")
+	}
+}
+
+func TestSynchronizedSkew(t *testing.T) {
+	a := NewSynchronized(ids.ProcessorID(1), 0)
+	b := NewSynchronized(ids.ProcessorID(2), 2000) // 2us ahead
+	ta := a.Next(1e6)
+	tb := b.Next(1e6)
+	if !ta.Before(tb) {
+		t.Errorf("skewed clock should be ahead: %v vs %v", ta, tb)
+	}
+}
+
+func TestSynchronizedNegativeTimeClamps(t *testing.T) {
+	c := NewSynchronized(ids.ProcessorID(1), -100)
+	ts := c.Next(50) // now+skew < 0
+	if ts.Counter() != 1 {
+		t.Errorf("Counter = %d, want 1 (pure logical step)", ts.Counter())
+	}
+}
+
+func TestModeAccessors(t *testing.T) {
+	if NewLamport(1).Mode() != Logical {
+		t.Error("NewLamport mode")
+	}
+	if NewSynchronized(1, 0).Mode() != Synchronized {
+		t.Error("NewSynchronized mode")
+	}
+	if NewLamport(7).Self() != ids.ProcessorID(7) {
+		t.Error("Self")
+	}
+}
+
+func TestLamportRulesProperty(t *testing.T) {
+	// Property: after any interleaving of Next and Observe, the next
+	// local timestamp exceeds everything seen so far.
+	f := func(events []uint32) bool {
+		c := NewLamport(ids.ProcessorID(1))
+		var max ids.Timestamp
+		for _, e := range events {
+			if e%2 == 0 {
+				ts := c.Next(0)
+				if !max.Before(ts) && max != ids.NilTimestamp {
+					return false
+				}
+				if ts > max {
+					max = ts
+				}
+			} else {
+				remote := ids.MakeTimestamp(uint64(e%10000), ids.ProcessorID(2))
+				c.Observe(remote)
+				if remote > max {
+					max = remote
+				}
+			}
+		}
+		final := c.Next(0)
+		return max.Before(final)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

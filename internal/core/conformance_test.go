@@ -1,0 +1,192 @@
+package core_test
+
+// Conformance tests for paper Figure 3: the delivery service provided by
+// FTMP for each message type (reliable? source ordered? totally
+// ordered?), including the two per-destination exceptions. The wire
+// package's static predicates are checked in wire/wire_test.go; the
+// tests here verify the observable behaviour.
+
+import (
+	"fmt"
+	"testing"
+
+	"ftmp/internal/core"
+	"ftmp/internal/harness"
+	"ftmp/internal/ids"
+	"ftmp/internal/simnet"
+	"ftmp/internal/wire"
+)
+
+// TestFig3RegularReliableTotallyOrdered: row "Regular: yes / yes".
+func TestFig3RegularReliableTotallyOrdered(t *testing.T) {
+	cfg := simnet.NewConfig()
+	cfg.LossRate = 0.15
+	procs := []ids.ProcessorID{1, 2, 3}
+	c := harness.NewCluster(harness.Options{Seed: 101, Net: cfg}, procs...)
+	m := ids.NewMembership(procs...)
+	c.CreateGroup(g1, m)
+	const each = 20
+	for i := 0; i < each; i++ {
+		for _, p := range procs {
+			p, i := p, i
+			c.Net.At(simnet.Time(i)*simnet.Millisecond, func() {
+				_ = c.Multicast(p, g1, fmt.Sprintf("%v:%d", p, i))
+			})
+		}
+	}
+	if !c.RunUntil(20*simnet.Second, c.AllDelivered(g1, m, each*len(procs))) {
+		t.Fatal("reliability violated under loss")
+	}
+	base := c.Host(1).DeliveredPayloads(g1)
+	for _, p := range procs[1:] {
+		got := c.Host(p).DeliveredPayloads(g1)
+		for i := range base {
+			if base[i] != got[i] {
+				t.Fatalf("total order violated at %d", i)
+			}
+		}
+	}
+}
+
+// TestFig3HeartbeatUnreliableNotRetransmitted: row "Heartbeat: no / no".
+func TestFig3HeartbeatUnreliableNotRetransmitted(t *testing.T) {
+	c, _ := lanCluster(t, 103, 2)
+	c.RunFor(500 * simnet.Millisecond)
+	// Idle group: plenty of heartbeats, zero reliable messages, so zero
+	// NACKs and zero retransmissions despite no application traffic.
+	st := c.Host(1).Node.Stats()
+	if st.HeartbeatsSent == 0 {
+		t.Fatal("no heartbeats in an idle group")
+	}
+	if st.RMP.NacksSent != 0 || st.RMP.Retransmissions != 0 {
+		t.Errorf("idle group produced repairs: %+v", st.RMP)
+	}
+}
+
+// TestFig3HeartbeatLossHarmless: heartbeats carry no payload a receiver
+// could miss; losing them only delays the horizon.
+func TestFig3HeartbeatLossHarmless(t *testing.T) {
+	cfg := simnet.NewConfig()
+	cfg.LossRate = 0.5
+	procs := []ids.ProcessorID{1, 2}
+	c := harness.NewCluster(harness.Options{Seed: 107, Net: cfg}, procs...)
+	m := ids.NewMembership(procs...)
+	c.CreateGroup(g1, m)
+	_ = c.Multicast(1, g1, "x")
+	if !c.RunUntil(10*simnet.Second, c.AllDelivered(g1, m, 1)) {
+		t.Fatal("delivery failed under heartbeat loss")
+	}
+}
+
+// TestFig3SuspectNotTotallyOrdered: rows "Suspect" and "Membership" are
+// reliable and source-ordered but bypass total ordering: a suspicion is
+// processed even while ordering is stalled by the faulty member itself.
+func TestFig3SuspectBypassesTotalOrder(t *testing.T) {
+	c, _ := lanCluster(t, 109, 3)
+	c.RunFor(20 * simnet.Millisecond)
+	c.Crash(3)
+	// Ordering is stalled (member 3 silent), yet Suspect/Membership
+	// messages must still be processed — that is the only way recovery
+	// can make progress. Recovery completing is the proof.
+	survivors := ids.NewMembership(1, 2)
+	ok := c.RunUntil(5*simnet.Second, func() bool {
+		v, found := c.Host(1).LastView(g1)
+		return found && v.Members.Equal(survivors)
+	})
+	if !ok {
+		t.Fatal("suspect/membership messages blocked by the stalled total order")
+	}
+}
+
+// TestFig3ConnectExceptionClientGroup: row "Connect: yes except to
+// client group". The client cannot NACK a Connect for a group it does
+// not know; the server covers the gap by periodic re-multicast.
+func TestFig3ConnectRetransmitToClient(t *testing.T) {
+	// Drop 60% of packets: the first Connect almost certainly dies; the
+	// client still converges thanks to the announcement retries.
+	c, conn := connCluster(t, 113, 0.6, false)
+	domainAddr := core.DefaultConfig(3).DomainAddr
+	c.Host(3).Node.OpenConnection(int64(c.Net.Now()), conn, domainAddr, ids.NewMembership(3))
+	ok := c.RunUntil(30*simnet.Second, func() bool {
+		st := c.Host(3).Node.ConnectionState(conn)
+		return st != nil && st.Established
+	})
+	if !ok {
+		t.Fatal("client never learned of the connection under heavy loss")
+	}
+}
+
+// TestFig3AddProcessorExceptionNewMember: row "AddProcessor: yes except
+// to new member". The proposer re-multicasts until the member is heard.
+func TestFig3AddProcessorRetransmitToNewMember(t *testing.T) {
+	cfg := simnet.NewConfig()
+	cfg.LossRate = 0.6
+	procs := []ids.ProcessorID{1, 2, 3}
+	c := harness.NewCluster(harness.Options{Seed: 127, Net: cfg}, procs...)
+	initial := ids.NewMembership(1, 2)
+	c.CreateGroup(g1, initial)
+	c.RunFor(20 * simnet.Millisecond)
+	c.Host(3).Node.ListenGroup(g1)
+	if err := c.Host(1).Node.RequestAddProcessor(int64(c.Net.Now()), g1, 3); err != nil {
+		t.Fatal(err)
+	}
+	full := ids.NewMembership(1, 2, 3)
+	ok := c.RunUntil(30*simnet.Second, func() bool {
+		v, found := c.Host(3).LastView(g1)
+		return found && v.Members.Equal(full)
+	})
+	if !ok {
+		t.Fatal("new member never admitted under heavy loss")
+	}
+}
+
+// TestFig3RetransmitRequestBestEffort: row "RetransmitRequest: no / no".
+// A lost NACK is re-issued by backoff, not by any reliability machinery.
+func TestFig3RetransmitRequestBestEffort(t *testing.T) {
+	cfg := simnet.NewConfig()
+	cfg.LossRate = 0.3
+	procs := []ids.ProcessorID{1, 2, 3}
+	c := harness.NewCluster(harness.Options{Seed: 131, Net: cfg}, procs...)
+	m := ids.NewMembership(procs...)
+	c.CreateGroup(g1, m)
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Net.At(simnet.Time(i)*simnet.Millisecond, func() {
+			_ = c.Multicast(1, g1, fmt.Sprintf("r%d", i))
+		})
+	}
+	if !c.RunUntil(20*simnet.Second, c.AllDelivered(g1, m, 10)) {
+		t.Fatal("repair failed under NACK loss")
+	}
+}
+
+// TestFig3Matrix prints the conformance matrix as Figure 3 lays it out,
+// asserting the wire-level predicates match the paper row by row.
+func TestFig3Matrix(t *testing.T) {
+	rows := []struct {
+		t        wire.MsgType
+		reliable string
+		total    string
+	}{
+		{wire.TypeRegular, "Yes", "Yes"},
+		{wire.TypeRetransmitRequest, "No", "No"},
+		{wire.TypeHeartbeat, "No", "No"},
+		{wire.TypeConnectRequest, "No", "No"},
+		{wire.TypeConnect, "Yes except to client group", "Yes"},
+		{wire.TypeAddProcessor, "Yes except to new member", "Yes"},
+		{wire.TypeRemoveProcessor, "Yes", "Yes"},
+		{wire.TypeSuspect, "Yes", "No"},
+		{wire.TypeMembership, "Yes", "No"},
+	}
+	for _, r := range rows {
+		wantReliable := r.reliable != "No"
+		wantTotal := r.total == "Yes"
+		if r.t.Reliable() != wantReliable {
+			t.Errorf("%v: Reliable() = %v, want %v", r.t, r.t.Reliable(), wantReliable)
+		}
+		if r.t.TotallyOrdered() != wantTotal {
+			t.Errorf("%v: TotallyOrdered() = %v, want %v", r.t, r.t.TotallyOrdered(), wantTotal)
+		}
+		t.Logf("%-18s reliable=%-28s totally-ordered=%s", r.t, r.reliable, r.total)
+	}
+}

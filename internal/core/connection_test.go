@@ -1,0 +1,270 @@
+package core_test
+
+import (
+	"testing"
+
+	"ftmp/internal/core"
+	"ftmp/internal/harness"
+	"ftmp/internal/ids"
+	"ftmp/internal/simnet"
+	"ftmp/internal/wire"
+)
+
+// connCluster builds the canonical connection scenario: a server object
+// group O20 supported by processors {1,2} and a client object group O10
+// supported by processor {3} (plus 4 when fourNodes), all in domain 1.
+func connCluster(t *testing.T, seed int64, lossRate float64, fourNodes bool) (*harness.Cluster, ids.ConnectionID) {
+	t.Helper()
+	serverProcs := ids.NewMembership(1, 2)
+	procs := []ids.ProcessorID{1, 2, 3}
+	if fourNodes {
+		procs = append(procs, 4)
+	}
+	cfg := simnet.NewConfig()
+	cfg.LossRate = lossRate
+	c := harness.NewCluster(harness.Options{
+		Seed: seed,
+		Net:  cfg,
+		Configure: func(p ids.ProcessorID, cfg *core.Config) {
+			cfg.ObjectGroups = map[ids.ObjectGroupID]ids.Membership{
+				ids.ObjectGroupID(20): serverProcs,
+			}
+		},
+	}, procs...)
+	conn := ids.ConnectionID{
+		ClientDomain: 1, ClientGroup: 10,
+		ServerDomain: 1, ServerGroup: 20,
+	}
+	return c, conn
+}
+
+func TestConnectionEstablishment(t *testing.T) {
+	c, conn := connCluster(t, 31, 0, false)
+	domainAddr := core.DefaultConfig(3).DomainAddr
+	clientProcs := ids.NewMembership(3)
+	c.Host(3).Node.OpenConnection(int64(c.Net.Now()), conn, domainAddr, clientProcs)
+
+	// All three processors must converge on an established connection
+	// carried by the same processor group.
+	ok := c.RunUntil(5*simnet.Second, func() bool {
+		for _, p := range []ids.ProcessorID{1, 2, 3} {
+			st := c.Host(p).Node.ConnectionState(conn)
+			if st == nil || !st.Established {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("connection never established at all endpoints")
+	}
+	g := c.Host(3).Node.ConnectionState(conn).Group
+	for _, p := range []ids.ProcessorID{1, 2} {
+		if got := c.Host(p).Node.ConnectionState(conn).Group; got != g {
+			t.Fatalf("group mismatch: %v vs %v", got, g)
+		}
+	}
+	// The processor group contains client and server processors: every
+	// message on the connection reaches both groups (paper section 4).
+	want := ids.NewMembership(1, 2, 3)
+	ok = c.RunUntil(5*simnet.Second, func() bool {
+		for _, p := range want {
+			if !c.Host(p).Node.Members(g).Equal(want) {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		for _, p := range want {
+			t.Logf("%v members: %v", p, c.Host(p).Node.Members(g))
+		}
+		t.Fatal("connection group membership never converged")
+	}
+
+	// A request multicast by the client is delivered, in the same total
+	// order, at the client and at both server replicas.
+	now := int64(c.Net.Now())
+	if err := c.Host(3).Node.Multicast(now, g, conn, 1, []byte("request-1")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntil(5*simnet.Second, c.AllDelivered(g, want, 1)) {
+		t.Fatal("request not delivered to both groups")
+	}
+	for _, p := range want {
+		d := c.Host(p).Deliveries[len(c.Host(p).Deliveries)-1]
+		if d.Conn != conn || d.RequestNum != 1 || string(d.Payload) != "request-1" {
+			t.Errorf("%v delivery = %+v", p, d)
+		}
+	}
+}
+
+func TestConnectionEstablishmentUnderLoss(t *testing.T) {
+	// ConnectRequest and Connect are unreliable; retries must win.
+	c, conn := connCluster(t, 37, 0.25, false)
+	domainAddr := core.DefaultConfig(3).DomainAddr
+	c.Host(3).Node.OpenConnection(int64(c.Net.Now()), conn, domainAddr, ids.NewMembership(3))
+	ok := c.RunUntil(20*simnet.Second, func() bool {
+		for _, p := range []ids.ProcessorID{1, 2, 3} {
+			st := c.Host(p).Node.ConnectionState(conn)
+			if st == nil || !st.Established {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("connection not established despite retries under 25% loss")
+	}
+}
+
+func TestDuplicateConnectRequestIgnored(t *testing.T) {
+	c, conn := connCluster(t, 41, 0, false)
+	domainAddr := core.DefaultConfig(3).DomainAddr
+	now := int64(c.Net.Now())
+	// Two opens in quick succession (e.g. replicated clients both ask).
+	c.Host(3).Node.OpenConnection(now, conn, domainAddr, ids.NewMembership(3))
+	c.Host(3).Node.OpenConnection(now, conn, domainAddr, ids.NewMembership(3))
+	ok := c.RunUntil(5*simnet.Second, func() bool {
+		st := c.Host(3).Node.ConnectionState(conn)
+		return st != nil && st.Established
+	})
+	if !ok {
+		t.Fatal("no establishment")
+	}
+	g := c.Host(3).Node.ConnectionState(conn).Group
+	// Let late duplicates arrive; the group must stay the same.
+	c.RunFor(200 * simnet.Millisecond)
+	if got := c.Host(3).Node.ConnectionState(conn).Group; got != g {
+		t.Errorf("duplicate request changed the group: %v -> %v", g, got)
+	}
+}
+
+func TestTwoConnectionsShareGroupState(t *testing.T) {
+	// A second connection between different object groups gets its own
+	// processor group (different membership), while repeated connections
+	// between the same pair reuse the established one.
+	serverProcs := ids.NewMembership(1, 2)
+	c := harness.NewCluster(harness.Options{
+		Seed: 43,
+		Net:  simnet.NewConfig(),
+		Configure: func(p ids.ProcessorID, cfg *core.Config) {
+			cfg.ObjectGroups = map[ids.ObjectGroupID]ids.Membership{
+				20: serverProcs,
+				21: serverProcs,
+			}
+		},
+	}, 1, 2, 3)
+	domainAddr := core.DefaultConfig(3).DomainAddr
+	connA := ids.ConnectionID{ClientDomain: 1, ClientGroup: 10, ServerDomain: 1, ServerGroup: 20}
+	connB := ids.ConnectionID{ClientDomain: 1, ClientGroup: 10, ServerDomain: 1, ServerGroup: 21}
+	now := int64(c.Net.Now())
+	c.Host(3).Node.OpenConnection(now, connA, domainAddr, ids.NewMembership(3))
+	c.Host(3).Node.OpenConnection(now, connB, domainAddr, ids.NewMembership(3))
+	ok := c.RunUntil(10*simnet.Second, func() bool {
+		a := c.Host(3).Node.ConnectionState(connA)
+		b := c.Host(3).Node.ConnectionState(connB)
+		return a != nil && a.Established && b != nil && b.Established
+	})
+	if !ok {
+		t.Fatal("two connections not established")
+	}
+	a := c.Host(3).Node.ConnectionState(connA)
+	b := c.Host(3).Node.ConnectionState(connB)
+	if a.Group == b.Group {
+		t.Log("connections share a processor group (allowed by the paper for efficiency)")
+	}
+	if a.Addr == (core.DefaultConfig(3).DomainAddr) {
+		t.Error("connection uses the domain address")
+	}
+}
+
+func TestConnectionResponderFailover(t *testing.T) {
+	// The designated responder (lowest-id server member) is dead before
+	// the client ever connects; the second server member must take over
+	// after the request ladder gives the designated one its chances.
+	c, conn := connCluster(t, 47, 0, false)
+	c.Crash(1)
+	domainAddr := core.DefaultConfig(3).DomainAddr
+	c.Host(3).Node.OpenConnection(int64(c.Net.Now()), conn, domainAddr, ids.NewMembership(3))
+	ok := c.RunUntil(30*simnet.Second, func() bool {
+		st := c.Host(3).Node.ConnectionState(conn)
+		return st != nil && st.Established
+	})
+	if !ok {
+		t.Fatal("connection never established with designated responder dead")
+	}
+	// Traffic flows between the client and the surviving server; the
+	// dead designated member is convicted out of the connection group.
+	g := c.Host(3).Node.ConnectionState(conn).Group
+	want := ids.NewMembership(2, 3)
+	ok = c.RunUntil(30*simnet.Second, func() bool {
+		return c.Host(3).Node.Members(g).Equal(want) && c.Host(2).Node.Members(g).Equal(want)
+	})
+	if !ok {
+		t.Fatalf("group did not converge on survivors: P3 sees %v", c.Host(3).Node.Members(g))
+	}
+	now := int64(c.Net.Now())
+	if err := c.Host(3).Node.Multicast(now, g, conn, 1, []byte("post-failover")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntil(30*simnet.Second, c.AllDelivered(g, want, 1)) {
+		t.Fatal("message not delivered after responder failover")
+	}
+}
+
+func TestCrossDomainConnection(t *testing.T) {
+	// The client object group lives in fault tolerance domain 2, the
+	// server object group in domain 1: the ConnectRequest travels to the
+	// server domain's multicast address, which the client subscribed to
+	// for the duration of establishment (paper section 7).
+	serverProcs := ids.NewMembership(1, 2)
+	domain1Addr := wire.MulticastAddr{IP: [4]byte{239, 255, 1, 1}, Port: 7401}
+	domain2Addr := wire.MulticastAddr{IP: [4]byte{239, 255, 2, 1}, Port: 7402}
+	// Processor group addresses must derive identically at every node
+	// regardless of domain (the AddProcessor body carries no address).
+	sharedGroupAddr := func(g ids.GroupID) wire.MulticastAddr {
+		return wire.MulticastAddr{
+			IP:   [4]byte{239, 250, byte(uint32(g) >> 8), byte(uint32(g))},
+			Port: 7500,
+		}
+	}
+	c := harness.NewCluster(harness.Options{
+		Seed: 53,
+		Net:  simnet.NewConfig(),
+		Configure: func(p ids.ProcessorID, cfg *core.Config) {
+			cfg.GroupAddr = sharedGroupAddr
+			if p == 3 {
+				cfg.Domain = 2
+				cfg.DomainAddr = domain2Addr
+			} else {
+				cfg.Domain = 1
+				cfg.DomainAddr = domain1Addr
+			}
+			cfg.ObjectGroups = map[ids.ObjectGroupID]ids.Membership{20: serverProcs}
+		},
+	}, 1, 2, 3)
+	conn := ids.ConnectionID{ClientDomain: 2, ClientGroup: 10, ServerDomain: 1, ServerGroup: 20}
+	c.Host(3).Node.OpenConnection(int64(c.Net.Now()), conn, domain1Addr, ids.NewMembership(3))
+	ok := c.RunUntil(10*simnet.Second, func() bool {
+		for _, p := range []ids.ProcessorID{1, 2, 3} {
+			st := c.Host(p).Node.ConnectionState(conn)
+			if st == nil || !st.Established {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("cross-domain connection never established")
+	}
+	g := c.Host(3).Node.ConnectionState(conn).Group
+	want := ids.NewMembership(1, 2, 3)
+	now := int64(c.Net.Now())
+	if err := c.Host(3).Node.Multicast(now, g, conn, 1, []byte("cross-domain")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntil(10*simnet.Second, c.AllDelivered(g, want, 1)) {
+		t.Fatal("cross-domain traffic failed")
+	}
+}

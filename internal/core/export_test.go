@@ -1,0 +1,25 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ftmp/internal/ids"
+)
+
+// DebugDump exposes per-member ordering and RMP state to tests.
+func (n *Node) DebugDump(g ids.GroupID) string {
+	gs, ok := n.groups[g]
+	if !ok {
+		return "unknown group"
+	}
+	out := fmt.Sprintf("members=%v viewTS=%v horizon=%v gate=%v\n",
+		gs.mem.Members(), gs.mem.ViewTS(), gs.order.Horizon(), gs.gateTS)
+	ms := gs.mem.Members().Clone()
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	for _, p := range ms {
+		out += fmt.Sprintf("  %v: heard=%v contig=%d gap=%v\n",
+			p, gs.order.Heard(p), gs.rmp.Contiguous(p), gs.rmp.HasGap(p))
+	}
+	return out
+}

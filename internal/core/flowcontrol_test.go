@@ -1,0 +1,85 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ftmp/internal/core"
+	"ftmp/internal/harness"
+	"ftmp/internal/ids"
+	"ftmp/internal/simnet"
+)
+
+func TestFlowControlBoundsBuffers(t *testing.T) {
+	// A sender with MaxUnstable keeps at most that many of its own
+	// messages in flight; when the network is cut (nothing stabilizes),
+	// further sends queue locally instead of inflating everyone's
+	// retransmission buffers, and drain after the network heals.
+	const window = 8
+	procs := []ids.ProcessorID{1, 2, 3}
+	c := harness.NewCluster(harness.Options{
+		Seed: 501,
+		Net:  simnet.NewConfig(),
+		Configure: func(p ids.ProcessorID, cfg *core.Config) {
+			cfg.MaxUnstable = window
+			// Keep fault detection out of the way of the outage window.
+			cfg.PGMP.SuspectTimeout = 1 << 60
+		},
+	}, procs...)
+	m := ids.NewMembership(procs...)
+	c.CreateGroup(g1, m)
+	c.RunFor(20 * simnet.Millisecond)
+
+	// Cut the network: nothing the sender transmits can stabilize.
+	c.Net.SetLoss(1.0)
+	const msgs = 50
+	for i := 0; i < msgs; i++ {
+		i := i
+		c.Net.At(c.Net.Now()+simnet.Time(i)*simnet.Millisecond, func() {
+			_ = c.Multicast(1, g1, fmt.Sprintf("fc%02d", i))
+		})
+	}
+	c.RunFor(simnet.Time(msgs+20) * simnet.Millisecond)
+	queued := c.Host(1).Node.QueuedSends(g1)
+	if queued < msgs-window-2 {
+		t.Fatalf("flow control did not queue: %d queued, want ~%d", queued, msgs-window)
+	}
+	// The receivers' buffers stayed bounded by the cap (plus protocol
+	// chatter), not the full burst.
+	held, pending := c.Host(2).Node.Buffered(g1)
+	if held+pending > window*3 {
+		t.Errorf("receiver buffered %d entries despite flow control window %d", held+pending, window)
+	}
+
+	// Heal: everything drains and delivers in order.
+	c.Net.SetLoss(0)
+	if !c.RunUntil(60*simnet.Second, c.AllDelivered(g1, m, msgs)) {
+		for _, p := range procs {
+			t.Logf("%v delivered %d, queued %d", p,
+				len(c.Host(p).DeliveredPayloads(g1)), c.Host(p).Node.QueuedSends(g1))
+		}
+		t.Fatal("queued sends never drained after heal")
+	}
+	got := c.Host(2).DeliveredPayloads(g1)
+	for i := 0; i < msgs; i++ {
+		if got[i] != fmt.Sprintf("fc%02d", i) {
+			t.Fatalf("order broken at %d: %q", i, got[i])
+		}
+	}
+	if c.Host(1).Node.QueuedSends(g1) != 0 {
+		t.Error("send queue not fully drained")
+	}
+}
+
+func TestFlowControlOffByDefault(t *testing.T) {
+	c, _ := lanCluster(t, 503, 2)
+	if c.Host(1).Node.QueuedSends(g1) != 0 {
+		t.Error("queue nonzero with flow control off")
+	}
+	for i := 0; i < 100; i++ {
+		_ = c.Multicast(1, g1, "x")
+	}
+	if c.Host(1).Node.QueuedSends(g1) != 0 {
+		t.Error("flow control engaged despite MaxUnstable=0")
+	}
+}

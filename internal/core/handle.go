@@ -1,0 +1,575 @@
+package core
+
+import (
+	"ftmp/internal/ids"
+	"ftmp/internal/rmp"
+	"ftmp/internal/romp"
+	"ftmp/internal/wire"
+)
+
+// HandlePacket processes one datagram received at time now on multicast
+// address addr. It is the node's network input.
+func (n *Node) HandlePacket(data []byte, addr wire.MulticastAddr, now int64) {
+	msg, err := wire.Decode(data)
+	if err != nil {
+		n.stats.DecodeErrors++
+		return
+	}
+	n.stats.PacketsIn++
+	h := msg.Header
+	// Lamport receive rule (paper section 6): the local clock advances
+	// past the timestamp of every message received.
+	n.clk.Observe(h.MsgTS)
+	if h.Source == n.cfg.Self {
+		// Loopback of our own multicast (or a peer retransmitting one of
+		// our messages): all local effects were applied at send time.
+		return
+	}
+
+	switch body := msg.Body.(type) {
+	case *wire.ConnectRequest:
+		n.onConnectRequest(now, body)
+		return
+	case *wire.Connect:
+		n.onConnect(now, msg, data, addr)
+		return
+	}
+
+	gs, ok := n.groups[h.DestGroup]
+	if !ok {
+		// A message for a group this processor does not track. If it
+		// names us a new member we will learn of it via AddProcessor
+		// (which carries enough context); everything else is noise.
+		if ap, isAdd := msg.Body.(*wire.AddProcessor); isAdd && ap.NewMember == n.cfg.Self {
+			n.bootstrapFromAdd(now, msg, data)
+		}
+		return
+	}
+
+	// Re-addressed connection rule (paper section 7): ignore messages
+	// for the group on a superseded address with timestamps above the
+	// re-addressing Connect.
+	if ra, stale := n.oldAddrs[addr]; stale && ra.group == h.DestGroup && h.MsgTS > ra.ts && addr != gs.addr {
+		return
+	}
+
+	gs.mem.Heard(h.Source, now)
+
+	switch body := msg.Body.(type) {
+	case *wire.Heartbeat:
+		n.onHeartbeat(now, gs, h)
+	case *wire.RetransmitRequest:
+		n.onRetransmitRequest(now, gs, body)
+	default:
+		n.onReliable(now, gs, msg, data)
+	}
+	n.pump(gs, now)
+}
+
+// onHeartbeat processes a Heartbeat header: liveness, gap detection via
+// the carried sequence number, and — when the heartbeat is trustworthy
+// (no gap below it) — horizon and ack advancement (paper section 5).
+func (n *Node) onHeartbeat(now int64, gs *groupState, h wire.Header) {
+	trusted := gs.rmp.NoteHeartbeatSeq(h.Source, h.Seq, now)
+	if trusted {
+		gs.order.ObserveTimestamp(h.Source, h.MsgTS, h.AckTS)
+	} else {
+		// The ack timestamp is monotone regardless of gaps.
+		gs.order.ObserveTimestamp(h.Source, ids.NilTimestamp, h.AckTS)
+	}
+}
+
+// onRetransmitRequest answers a negative acknowledgment if policy allows
+// (paper section 5: any processor that has the message may retransmit;
+// our policy: the source always, others when the source is suspected,
+// convicted or departed — see rmp.Answer).
+func (n *Node) onRetransmitRequest(now int64, gs *groupState, req *wire.RetransmitRequest) {
+	mayAnswer := func(source ids.ProcessorID) bool {
+		if n.cfg.PromiscuousRepair {
+			return true
+		}
+		if gs.mem.SuspectedOrConvicted(source) {
+			return true
+		}
+		return !gs.mem.Members().Contains(source)
+	}
+	for _, raw := range gs.rmp.Answer(req, mayAnswer) {
+		n.cb.Transmit(gs.addr, rmp.MarkRetransmission(raw))
+	}
+}
+
+// onReliable runs a reliable message through RMP and applies the
+// source-ordered deliveries. Messages from processors outside the
+// current membership are ignored: a just-admitted member's early
+// messages are recovered through the normal NACK path once its
+// AddProcessor is ordered, and anything else is stray traffic that must
+// not enter the total order.
+func (n *Node) onReliable(now int64, gs *groupState, msg wire.Message, raw []byte) {
+	if !gs.mem.Members().Contains(msg.Header.Source) {
+		return
+	}
+	for _, held := range gs.rmp.Receive(msg, raw, now) {
+		h := held.Msg.Header
+		if h.Type.TotallyOrdered() {
+			gs.order.Submit(romp.Entry{Source: h.Source, Seq: held.Seq, TS: held.TS, Msg: held.Msg})
+		} else {
+			// Suspect and Membership: reliable and source-ordered but
+			// not totally ordered (paper Figure 3) — applied now.
+			gs.order.ObserveTimestamp(h.Source, held.TS, h.AckTS)
+			switch b := held.Msg.Body.(type) {
+			case *wire.Suspect:
+				n.onSuspect(now, gs, h.Source, b)
+			case *wire.MembershipMsg:
+				n.onMembershipMsg(now, gs, h.Source, b)
+			}
+		}
+		// Piggybacked ack timestamps flow on every reliable message.
+		gs.order.ObserveTimestamp(h.Source, ids.NilTimestamp, h.AckTS)
+	}
+}
+
+// pump drains everything that became ready: totally-ordered deliveries,
+// recovery-round completion, gate release and buffer reclamation. It is
+// called after every input. Re-entrant calls (an application Deliver
+// callback invoking Multicast) return immediately: the outer pump's
+// loop picks up whatever they made ready, preserving delivery order.
+func (n *Node) pump(gs *groupState, now int64) {
+	if gs.pumping {
+		return
+	}
+	gs.pumping = true
+	defer func() { gs.pumping = false }()
+	for {
+		entries := gs.order.Deliverable()
+		if len(entries) == 0 {
+			break
+		}
+		for _, e := range entries {
+			n.applyOrdered(now, gs, e)
+		}
+	}
+	n.checkRecovery(gs, now)
+	n.maybeReleaseGate(gs, now)
+	n.finishLeaving(gs)
+	stable := gs.order.StableTS()
+	gs.rmp.DiscardStable(stable)
+	n.drainFlowControl(gs, now, stable)
+}
+
+// drainFlowControl releases queued application sends as this sender's
+// earlier messages become stable (Config.MaxUnstable).
+func (n *Node) drainFlowControl(gs *groupState, now int64, stable ids.Timestamp) {
+	if n.cfg.MaxUnstable == 0 {
+		return
+	}
+	i := 0
+	for i < len(gs.unstable) && gs.unstable[i] <= stable {
+		i++
+	}
+	if i > 0 {
+		gs.unstable = append(gs.unstable[:0], gs.unstable[i:]...)
+	}
+	for len(gs.sendQueue) > 0 && len(gs.unstable) < n.cfg.MaxUnstable &&
+		gs.joined && !gs.leaving && gs.gateTS == ids.NilTimestamp {
+		q := gs.sendQueue[0]
+		gs.sendQueue = gs.sendQueue[1:]
+		body := &wire.Regular{Conn: q.conn, RequestNum: q.reqNum, Payload: q.payload}
+		if _, _, err := n.sendReliable(now, gs, body); err != nil {
+			continue
+		}
+	}
+}
+
+// finishLeaving completes a graceful departure once the member's own
+// removal is stable: every remaining member has acknowledged everything
+// up to the RemoveProcessor, so nobody still needs this processor's
+// heartbeats to order it.
+func (n *Node) finishLeaving(gs *groupState) {
+	if !gs.leaving || gs.left {
+		return
+	}
+	if gs.order.StableTS() < gs.leavingTS {
+		return
+	}
+	gs.leaving = false
+	gs.joined = false
+	gs.left = true
+	n.unsubscribe(gs.addr)
+}
+
+// applyOrdered handles one totally-ordered delivery.
+func (n *Node) applyOrdered(now int64, gs *groupState, e romp.Entry) {
+	switch body := e.Msg.Body.(type) {
+	case *wire.Regular:
+		n.conns.TrafficSeen(body.Conn)
+		n.cb.Deliver(Delivery{
+			Group:      gs.id,
+			Source:     e.Source,
+			TS:         e.TS,
+			Conn:       body.Conn,
+			RequestNum: body.RequestNum,
+			Payload:    body.Payload,
+		})
+	case *wire.AddProcessor:
+		n.applyAdd(now, gs, e, body)
+	case *wire.RemoveProcessor:
+		n.applyRemove(now, gs, e, body)
+	case *wire.Connect:
+		n.applyOrderedConnect(now, gs, e, body)
+	}
+}
+
+// applyAdd installs the membership produced by an ordered AddProcessor.
+func (n *Node) applyAdd(now int64, gs *groupState, e romp.Entry, body *wire.AddProcessor) {
+	prev := gs.mem.Members().Clone()
+	if prev.Contains(body.NewMember) {
+		return // duplicate (e.g. the new member replaying its bootstrap)
+	}
+	next := prev.Add(body.NewMember)
+	gs.mem.Install(next, e.TS, now)
+	gs.order.SetMembership(next, e.TS)
+	n.emitView(gs, ViewAdd, prev, nil, e.TS)
+}
+
+// applyRemove installs the membership produced by an ordered
+// RemoveProcessor. If this processor is the one removed, it leaves the
+// group (paper section 7.1: the infrastructure removed its replicas
+// beforehand).
+func (n *Node) applyRemove(now int64, gs *groupState, e romp.Entry, body *wire.RemoveProcessor) {
+	prev := gs.mem.Members().Clone()
+	if !prev.Contains(body.Member) {
+		return
+	}
+	next := prev.Remove(body.Member)
+	gs.mem.Install(next, e.TS, now)
+	gs.order.SetMembership(next, e.TS)
+	gs.rmp.DropSource(body.Member)
+	if body.Member == n.cfg.Self {
+		// Graceful departure: linger (heartbeating, answering repairs)
+		// until every remaining member has acknowledged the removal, so
+		// laggards can still order it; then leave (see finishLeaving).
+		gs.leaving = true
+		gs.leavingTS = e.TS
+	}
+	n.emitView(gs, ViewRemove, prev, nil, e.TS)
+}
+
+// onSuspect applies a Suspect message: record the sender's suspicions
+// and, on conviction, report the fault and start or restart a recovery
+// round (paper section 7.2).
+func (n *Node) onSuspect(now int64, gs *groupState, from ids.ProcessorID, body *wire.Suspect) {
+	newly := gs.mem.RecordSuspicion(from, body.Suspects)
+	n.afterConviction(now, gs, newly)
+}
+
+// onMembershipMsg applies a Membership proposal from a peer.
+func (n *Node) onMembershipMsg(now int64, gs *groupState, from ids.ProcessorID, body *wire.MembershipMsg) {
+	newly := gs.mem.OnProposal(from, body)
+	n.afterConviction(now, gs, newly)
+}
+
+// afterConviction reports newly convicted processors and (re)starts the
+// recovery round when needed.
+func (n *Node) afterConviction(now int64, gs *groupState, newly ids.Membership) {
+	if len(newly) > 0 && n.cb.FaultReport != nil {
+		n.cb.FaultReport(gs.id, newly.Clone())
+	}
+	if gs.mem.NeedRound() && gs.joined {
+		proposal := gs.mem.StartRound(gs.rmp.SeqVector(gs.mem.Members()), now)
+		if _, _, err := n.sendReliable(now, gs, proposal); err == nil {
+			// Recovery repair requests go out immediately.
+			n.sendRecoveryNacks(gs)
+		}
+	}
+}
+
+// sendRecoveryNacks multicasts RetransmitRequests for the old-view
+// messages the recovery round still needs.
+func (n *Node) sendRecoveryNacks(gs *groupState) {
+	for _, req := range gs.mem.RecoveryNeeds(gs.rmp.Contiguous) {
+		n.sendNack(gs, req)
+	}
+}
+
+// sendNack wraps a RetransmitRequest body in a header and multicasts it.
+// Its sequence number is the sender's preceding message and its
+// timestamps are the current ROMP values (paper section 5).
+func (n *Node) sendNack(gs *groupState, req wire.RetransmitRequest) {
+	h := n.header(gs, gs.nextSeq, n.clk.Current())
+	raw, err := wire.Encode(h, &req)
+	if err != nil {
+		return
+	}
+	n.cb.Transmit(gs.addr, raw)
+}
+
+// checkRecovery completes the recovery round once every proposed member
+// has agreed and the local message set covers the round's requirements,
+// installing the new membership (paper section 7.2: virtual synchrony).
+func (n *Node) checkRecovery(gs *groupState, now int64) {
+	if !gs.mem.InRecovery() || !gs.joined {
+		return
+	}
+	if !gs.mem.ReadyToInstall(gs.rmp.Contiguous) {
+		return
+	}
+	newM, _ := gs.mem.RoundResult()
+	prev := gs.mem.Members().Clone()
+	viewTS := n.clk.Next(now)
+	gs.mem.Install(newM, viewTS, now)
+	for _, p := range prev {
+		if !newM.Contains(p) {
+			gs.rmp.DropSource(p)
+		}
+	}
+	// Survivors keep their heard state (SetMembership only initializes
+	// processors absent from the map), so messages still in flight from
+	// the old view deliver in timestamp order merged across views.
+	gs.order.SetMembership(newM, ids.NilTimestamp)
+	if !newM.Contains(n.cfg.Self) {
+		gs.joined = false
+		gs.left = true
+		n.unsubscribe(gs.addr)
+	}
+	n.emitView(gs, ViewFault, prev, nil, viewTS)
+	// Deliveries unblocked by the removals happen on the caller's next
+	// pump iteration; trigger one here for promptness.
+	for {
+		entries := gs.order.Deliverable()
+		if len(entries) == 0 {
+			break
+		}
+		for _, e := range entries {
+			n.applyOrdered(now, gs, e)
+		}
+	}
+}
+
+// bootstrapFromAdd admits this processor to a group it was added to: the
+// AddProcessor message, received unreliably as a non-member (paper
+// Figure 3), carries the membership, the view timestamp and the sequence
+// numbers at the cut (paper section 7.1).
+func (n *Node) bootstrapFromAdd(now int64, msg wire.Message, raw []byte) {
+	body := msg.Body.(*wire.AddProcessor)
+	h := msg.Header
+	if _, exists := n.groups[h.DestGroup]; exists {
+		return
+	}
+	addr := n.cfg.GroupAddr(h.DestGroup)
+	gs := n.newGroupState(h.DestGroup, addr)
+	members := body.CurrentMembership.Add(n.cfg.Self)
+	gs.mem.Install(members, h.MsgTS, now)
+	// Joiner view: heard timestamps for the old members start at nil and
+	// are earned through contiguous reception, so this processor's ack
+	// timestamp never overclaims pre-admission coverage (see
+	// romp.InitJoiner).
+	gs.order.InitJoiner(members, h.MsgTS)
+	// The cited sequence numbers are the cut: messages at or below them
+	// precede this member's admission (their effects arrive via state
+	// transfer at the replication layer).
+	for _, e := range body.CurrentSeqs {
+		gs.rmp.SetBaseline(e.Proc, e.Seq)
+	}
+	gs.joined = true
+	n.subscribe(addr)
+	n.emitView(gs, ViewAdd, nil, nil, h.MsgTS)
+	// Process the AddProcessor itself through RMP (it is the first
+	// message after the cut from its source) and announce ourselves so
+	// the others' horizons include us.
+	n.onReliable(now, gs, msg, raw)
+	n.sendHeartbeat(now, gs)
+	n.pump(gs, now)
+}
+
+// onConnectRequest handles a client's connection request at the server
+// side (paper section 7). Only the designated member — the lowest
+// identifier among the server object group's supporting processors —
+// responds, to keep the protocol deterministic; the others learn the
+// outcome from the Connect message.
+func (n *Node) onConnectRequest(now int64, req *wire.ConnectRequest) {
+	if req.Conn.ServerDomain != n.cfg.Domain {
+		return
+	}
+	serverProcs, serving := n.cfg.ObjectGroups[req.Conn.ServerGroup]
+	if !serving || !serverProcs.Contains(n.cfg.Self) {
+		return
+	}
+	// The lowest-identifier supporting processor is the designated
+	// responder; the others take over in identifier order if requests
+	// keep arriving unanswered (the designated member may have failed
+	// before any group existed to detect it in). The group identifier
+	// and membership derivations are deterministic, so concurrent
+	// responders produce consistent Connects.
+	idx := 0
+	for i, p := range serverProcs {
+		if p == n.cfg.Self {
+			idx = i
+		}
+	}
+	if idx > 0 {
+		if n.connReqSeen == nil {
+			n.connReqSeen = make(map[ids.ConnectionID]int)
+		}
+		n.connReqSeen[req.Conn]++
+		if n.connReqSeen[req.Conn] <= idx*3 {
+			return // give lower-ranked members their chance first
+		}
+	}
+	if st := n.conns.Lookup(req.Conn); st != nil && st.Established {
+		// Already established: ignore the request (paper), but make
+		// sure the announcement reaches the client by re-arming it.
+		if gs, ok := n.groups[st.Group]; ok && gs.joined {
+			n.announceConnect(now, gs, st.ID, st.Addr)
+		}
+		return
+	}
+	// Build (or reuse) the processor group carrying the connection:
+	// the union of the client's processors and the server's. If an
+	// established group already has exactly this membership, the new
+	// logical connection shares it (paper section 7: "these mechanisms
+	// allow several logical connections to share ... the same processor
+	// group and the same IP Multicast address").
+	members := serverProcs.Clone()
+	for _, p := range req.Procs {
+		members = members.Add(p)
+	}
+	for _, existing := range n.sortedGroups() {
+		if existing.joined && !existing.left && existing.mem.Members().Equal(members) {
+			n.announceConnect(now, existing, req.Conn, existing.addr)
+			return
+		}
+	}
+	gid := deriveGroupID(req.Conn)
+	gs, exists := n.groups[gid]
+	if !exists {
+		addr := n.cfg.GroupAddr(gid)
+		gs = n.newGroupState(gid, addr)
+		gs.mem.Install(members, ids.NilTimestamp, now)
+		gs.order.SetMembership(members, ids.NilTimestamp)
+		gs.joined = true
+		n.subscribe(addr)
+		n.emitView(gs, ViewConnect, nil, nil, ids.NilTimestamp)
+	}
+	n.announceConnect(now, gs, req.Conn, gs.addr)
+}
+
+// announceConnect multicasts the Connect for conn on both the domain
+// address (where connecting clients listen) and the group address, and
+// arms the periodic resend until traffic flows.
+func (n *Node) announceConnect(now int64, gs *groupState, conn ids.ConnectionID, addr wire.MulticastAddr) {
+	body := &wire.Connect{
+		Conn:              conn,
+		Group:             gs.id,
+		Addr:              addr,
+		MembershipTS:      gs.mem.ViewTS(),
+		CurrentMembership: gs.mem.Members().Clone(),
+	}
+	raw, _, err := n.sendReliable(now, gs, body)
+	if err != nil {
+		return
+	}
+	// Also on the domain address, where the client listens.
+	n.cb.Transmit(n.cfg.DomainAddr, raw)
+	n.conns.NoteAnnounce(conn, rmp.MarkRetransmission(raw), now)
+	n.pump(gs, now)
+}
+
+// onConnect handles a Connect message arriving over the network, on
+// either the domain address (new connection, client side) or a group
+// address (member side / re-addressing).
+func (n *Node) onConnect(now int64, msg wire.Message, raw []byte, arrival wire.MulticastAddr) {
+	body := msg.Body.(*wire.Connect)
+	h := msg.Header
+	gs, tracked := n.groups[h.DestGroup]
+	if !tracked {
+		// New group announced via the domain address. Join only if we
+		// are named in its membership.
+		if !body.CurrentMembership.Contains(n.cfg.Self) {
+			return
+		}
+		gs = n.newGroupState(h.DestGroup, body.Addr)
+		gs.mem.Install(body.CurrentMembership, body.MembershipTS, now)
+		gs.order.SetMembership(body.CurrentMembership, body.MembershipTS)
+		gs.joined = true
+		n.subscribe(body.Addr)
+		n.emitView(gs, ViewConnect, nil, nil, body.MembershipTS)
+	}
+	gs.mem.Heard(h.Source, now)
+	// The Connect flows through RMP/ROMP like any ordered message; its
+	// connection-table effects apply at ordered delivery.
+	n.onReliable(now, gs, msg, raw)
+	// Announce ourselves promptly so everyone's horizon can pass the
+	// Connect's timestamp (paper's post-Connect gate).
+	if gs.joined && gs.gateTS == ids.NilTimestamp {
+		n.sendHeartbeat(now, gs)
+	}
+	n.pump(gs, now)
+}
+
+// applyOrderedConnect handles a Connect in its total-order position:
+// record the connection, arm the transmission gate, and re-address the
+// group if the Connect changes its multicast address (paper section 7).
+func (n *Node) applyOrderedConnect(now int64, gs *groupState, e romp.Entry, body *wire.Connect) {
+	_, changed := n.conns.OnConnect(body, e.TS)
+	if !changed {
+		return
+	}
+	// Gate: no ordered transmission until every member has been heard
+	// past the Connect's timestamp.
+	gs.gateTS = e.TS
+	if body.Addr != gs.addr {
+		// Re-addressing: messages for this group on the old address
+		// with timestamps above the Connect are ignored from now on.
+		n.oldAddrs[gs.addr] = readdress{group: gs.id, ts: e.TS}
+		if gs.joined {
+			n.unsubscribe(gs.addr)
+			n.subscribe(body.Addr)
+		}
+		gs.addr = body.Addr
+	}
+	n.sendHeartbeat(now, gs)
+}
+
+// deriveGroupID maps a connection identifier to a deterministic non-nil
+// processor group identifier (FNV-1a over the four components), so every
+// server group member computes the same group without coordination.
+func deriveGroupID(c ids.ConnectionID) ids.GroupID {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	mix := func(v uint32) {
+		for i := 0; i < 4; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime32
+		}
+	}
+	mix(uint32(c.ClientDomain))
+	mix(uint32(c.ClientGroup))
+	mix(uint32(c.ServerDomain))
+	mix(uint32(c.ServerGroup))
+	if h == 0 {
+		h = 1
+	}
+	return ids.GroupID(h)
+}
+
+// sendHeartbeat multicasts a Heartbeat to gs: the null message carrying
+// this processor's current sequence number, message timestamp and ack
+// timestamp (paper section 5).
+func (n *Node) sendHeartbeat(now int64, gs *groupState) {
+	if !gs.joined {
+		return
+	}
+	ts := n.clk.Next(now)
+	h := n.header(gs, gs.nextSeq, ts)
+	raw, err := wire.Encode(h, &wire.Heartbeat{})
+	if err != nil {
+		return
+	}
+	gs.order.ObserveTimestamp(n.cfg.Self, ts, h.AckTS)
+	n.cb.Transmit(gs.addr, raw)
+	gs.lastSent = now
+	n.stats.HeartbeatsSent++
+}

@@ -1,0 +1,799 @@
+// Package core implements the FTMP protocol node: the paper's primary
+// contribution. It assembles the three layers of Figure 1 — RMP
+// (reliable source-ordered multicast), ROMP (reliable totally-ordered
+// multicast) and PGMP (processor group membership) — into a single
+// reactive state machine driven by two inputs, HandlePacket and Tick,
+// plus the application-facing operations (Multicast, OpenConnection,
+// RequestAddProcessor, ...).
+//
+// The node performs no I/O and never reads a clock: every entry point
+// takes the current time, and all outputs flow through the Callbacks
+// supplied at construction. A driver serializes calls — package simnet
+// for deterministic experiments, package runtime for real networks —
+// so the node itself needs no locks.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ftmp/internal/clock"
+	"ftmp/internal/ids"
+	"ftmp/internal/pgmp"
+	"ftmp/internal/rmp"
+	"ftmp/internal/romp"
+	"ftmp/internal/wire"
+)
+
+// Config configures a processor's FTMP stack. Durations are nanoseconds.
+type Config struct {
+	// Self is this processor's identifier (required, non-nil).
+	Self ids.ProcessorID
+	// Domain is the fault tolerance domain this processor belongs to.
+	Domain ids.DomainID
+	// DomainAddr is the domain's well-known multicast address, on which
+	// ConnectRequest and Connect messages travel.
+	DomainAddr wire.MulticastAddr
+	// LittleEndian selects the byte order flag for outgoing messages.
+	LittleEndian bool
+
+	// HeartbeatInterval is the idle time after which a Heartbeat is
+	// multicast to a group (paper section 5: a compromise between
+	// message latency and network traffic; experiment E3).
+	HeartbeatInterval int64
+
+	// RMP, Membership and Connection policies.
+	RMP  rmp.Config
+	PGMP pgmp.Config
+	Conn pgmp.ConnConfig
+
+	// MaxUnstable, when positive, bounds this sender's in-flight
+	// messages: Multicast queues (instead of transmitting) once more
+	// than MaxUnstable of its own messages await stability, draining as
+	// acknowledgment timestamps advance. It keeps a lagging member from
+	// inflating every peer's retransmission buffers without bound
+	// (flow control in the style of Totem; the paper leaves policy to
+	// the implementation). Zero disables the bound.
+	MaxUnstable int
+
+	// PromiscuousRepair makes every holder of a requested message answer
+	// RetransmitRequests, instead of the default policy (the source
+	// answers; others only when the source is suspected, convicted or
+	// departed). The paper allows either ("any processor that has
+	// received ... may retransmit", section 5); the ablation experiment
+	// A1 quantifies the traffic difference.
+	PromiscuousRepair bool
+
+	// ClockMode selects Lamport or synchronized timestamps; ClockSkew is
+	// the synthetic skew applied in Synchronized mode.
+	ClockMode clock.Mode
+	ClockSkew int64
+
+	// ObjectGroups maps each object group this processor's fault
+	// tolerance infrastructure knows about to the processors supporting
+	// it. The designated member uses it to build processor groups for
+	// new connections.
+	ObjectGroups map[ids.ObjectGroupID]ids.Membership
+
+	// GroupAddr derives the multicast address for a processor group.
+	// Nil selects a deterministic default derivation, so that every
+	// member computes the same address independently.
+	GroupAddr func(ids.GroupID) wire.MulticastAddr
+}
+
+// DefaultConfig returns the policy used throughout the experiments.
+func DefaultConfig(self ids.ProcessorID) Config {
+	return Config{
+		Self:              self,
+		Domain:            1,
+		DomainAddr:        wire.MulticastAddr{IP: [4]byte{239, 255, 0, 1}, Port: 7400},
+		HeartbeatInterval: 5_000_000, // 5ms
+		RMP:               rmp.DefaultConfig(),
+		PGMP:              pgmp.DefaultConfig(),
+		Conn:              pgmp.DefaultConnConfig(),
+	}
+}
+
+// Delivery is one totally-ordered application message handed up by the
+// stack: the payload of a Regular message together with the duplicate-
+// detection identifiers of paper section 4.
+type Delivery struct {
+	Group      ids.GroupID
+	Source     ids.ProcessorID
+	TS         ids.Timestamp
+	Conn       ids.ConnectionID
+	RequestNum ids.RequestNum
+	Payload    []byte
+}
+
+// ViewReason explains a membership change.
+type ViewReason uint8
+
+const (
+	// ViewBootstrap is the initial, statically configured membership.
+	ViewBootstrap ViewReason = iota
+	// ViewConnect is a membership installed by a Connect message.
+	ViewConnect
+	// ViewAdd is a planned AddProcessor change.
+	ViewAdd
+	// ViewRemove is a planned RemoveProcessor change.
+	ViewRemove
+	// ViewFault is a fault-driven change (Suspect/Membership protocol).
+	ViewFault
+)
+
+// String implements fmt.Stringer.
+func (r ViewReason) String() string {
+	switch r {
+	case ViewBootstrap:
+		return "bootstrap"
+	case ViewConnect:
+		return "connect"
+	case ViewAdd:
+		return "add"
+	case ViewRemove:
+		return "remove"
+	case ViewFault:
+		return "fault"
+	default:
+		return fmt.Sprintf("ViewReason(%d)", uint8(r))
+	}
+}
+
+// ViewChange reports an installed membership.
+type ViewChange struct {
+	Group   ids.GroupID
+	ViewTS  ids.Timestamp
+	Members ids.Membership
+	Joined  ids.Membership
+	Left    ids.Membership
+	Reason  ViewReason
+}
+
+// Callbacks are the node's outputs. Transmit and Deliver are required;
+// the others may be nil.
+type Callbacks struct {
+	// Transmit multicasts an encoded FTMP message to addr.
+	Transmit func(addr wire.MulticastAddr, data []byte)
+	// Deliver hands a totally-ordered application message up.
+	Deliver func(d Delivery)
+	// ViewChange reports an installed membership.
+	ViewChange func(v ViewChange)
+	// FaultReport conveys convictions to the fault tolerance
+	// infrastructure (paper section 7.2).
+	FaultReport func(group ids.GroupID, convicted ids.Membership)
+	// Subscribe and Unsubscribe manage multicast group membership at
+	// the transport.
+	Subscribe   func(addr wire.MulticastAddr)
+	Unsubscribe func(addr wire.MulticastAddr)
+}
+
+// queuedSend is an application message waiting for a transmission gate.
+type queuedSend struct {
+	conn    ids.ConnectionID
+	reqNum  ids.RequestNum
+	payload []byte
+}
+
+// groupState is the per-processor-group protocol state.
+type groupState struct {
+	id    ids.GroupID
+	addr  wire.MulticastAddr
+	rmp   *rmp.Layer
+	order *romp.Order
+	mem   *pgmp.Group
+
+	// joined reports whether this processor is currently a member.
+	joined bool
+	// left is set once this processor has been removed; the state is
+	// retained to answer stray packets but originates nothing.
+	left bool
+
+	// nextSeq is the last sequence number this processor used in the
+	// group (paper: incremented for each reliably-delivered message).
+	nextSeq ids.SeqNum
+
+	// lastSent is when this processor last multicast anything to the
+	// group; the heartbeat timer compares against it.
+	lastSent int64
+
+	// gateTS, when non-nil(>0), blocks ordered transmission until a
+	// message with a higher timestamp has been received from every
+	// member (paper section 7, Connect rule).
+	gateTS    ids.Timestamp
+	gateQueue []queuedSend
+
+	// pumping guards against re-entrant delivery: an application
+	// callback may call Multicast, which pumps; the nested pump must
+	// not deliver ahead of the batch the outer pump is applying.
+	pumping bool
+
+	// sendQueue holds application messages deferred by flow control
+	// (Config.MaxUnstable); drained oldest-first as stability advances.
+	sendQueue []queuedSend
+	// unstable tracks this sender's own messages not yet stable, as
+	// (seq, timestamp) pairs in send order.
+	unstable []ids.Timestamp
+
+	// leaving/leavingTS implement graceful departure: a member that
+	// delivered its own RemoveProcessor keeps heartbeating (so laggards
+	// can still order the removal) until the removal is stable — every
+	// member has acknowledged it — and only then goes silent. Without
+	// the linger, a member that missed the leaver's final traffic could
+	// stall forever waiting to hear from it.
+	leaving   bool
+	leavingTS ids.Timestamp
+}
+
+// Stats aggregates per-node counters across layers for the harness.
+type Stats struct {
+	RMP  rmp.Stats
+	ROMP romp.Stats
+	PGMP pgmp.Stats
+	// HeartbeatsSent counts Heartbeat messages originated here.
+	HeartbeatsSent uint64
+	// MessagesSent counts reliable messages originated here.
+	MessagesSent uint64
+	// PacketsIn counts decoded incoming packets.
+	PacketsIn uint64
+	// DecodeErrors counts undecodable packets.
+	DecodeErrors uint64
+}
+
+// Node is one processor's FTMP protocol stack.
+type Node struct {
+	cfg    Config
+	cb     Callbacks
+	clk    *clock.Lamport
+	groups map[ids.GroupID]*groupState
+	conns  *pgmp.Connections
+	// oldAddrs records superseded group addresses: messages for the
+	// group arriving there with timestamps above the re-addressing
+	// Connect are ignored (paper section 7).
+	oldAddrs map[wire.MulticastAddr]readdress
+	// listening tracks extra subscribed addresses (server domains being
+	// connected to).
+	listening map[wire.MulticastAddr]bool
+	// domainAddrs remembers foreign domains' addresses for
+	// ConnectRequest retries.
+	domainAddrs map[ids.DomainID]wire.MulticastAddr
+	// connReqSeen counts unanswered ConnectRequests per connection at
+	// non-designated server members (responder failover ladder).
+	connReqSeen map[ids.ConnectionID]int
+	stats       Stats
+}
+
+type readdress struct {
+	group ids.GroupID
+	ts    ids.Timestamp
+}
+
+// Errors returned by Node operations.
+var (
+	ErrNotMember    = errors.New("core: not a member of the group")
+	ErrUnknownGroup = errors.New("core: unknown group")
+	ErrLeft         = errors.New("core: processor was removed from the group")
+)
+
+// NewNode builds a node. Transmit and Deliver callbacks are required.
+func NewNode(cfg Config, cb Callbacks) *Node {
+	if !cfg.Self.Valid() {
+		panic("core: Config.Self is required")
+	}
+	if cb.Transmit == nil || cb.Deliver == nil {
+		panic("core: Transmit and Deliver callbacks are required")
+	}
+	if cfg.GroupAddr == nil {
+		base := cfg.DomainAddr
+		cfg.GroupAddr = func(g ids.GroupID) wire.MulticastAddr {
+			a := base
+			a.IP[2] = byte(uint32(g) >> 8)
+			a.IP[3] = byte(uint32(g))
+			a.Port = base.Port + 1
+			return a
+		}
+	}
+	var clk *clock.Lamport
+	if cfg.ClockMode == clock.Synchronized {
+		clk = clock.NewSynchronized(cfg.Self, cfg.ClockSkew)
+	} else {
+		clk = clock.NewLamport(cfg.Self)
+	}
+	n := &Node{
+		cfg:         cfg,
+		cb:          cb,
+		clk:         clk,
+		groups:      make(map[ids.GroupID]*groupState),
+		conns:       pgmp.NewConnections(cfg.Conn),
+		oldAddrs:    make(map[wire.MulticastAddr]readdress),
+		listening:   make(map[wire.MulticastAddr]bool),
+		domainAddrs: make(map[ids.DomainID]wire.MulticastAddr),
+	}
+	n.subscribe(cfg.DomainAddr)
+	return n
+}
+
+// Self returns this processor's identifier.
+func (n *Node) Self() ids.ProcessorID { return n.cfg.Self }
+
+// Stats returns aggregated counters (summed across groups for the
+// per-layer parts).
+func (n *Node) Stats() Stats {
+	s := n.stats
+	for _, g := range n.sortedGroups() {
+		rs := g.rmp.Stats()
+		s.RMP.Received += rs.Received
+		s.RMP.Duplicates += rs.Duplicates
+		s.RMP.OutOfOrder += rs.OutOfOrder
+		s.RMP.NacksSent += rs.NacksSent
+		s.RMP.Retransmissions += rs.Retransmissions
+		s.RMP.DiscardedStable += rs.DiscardedStable
+		os := g.order.Stats()
+		s.ROMP.Submitted += os.Submitted
+		s.ROMP.Delivered += os.Delivered
+		if os.MaxPending > s.ROMP.MaxPending {
+			s.ROMP.MaxPending = os.MaxPending
+		}
+		ps := g.mem.Stats()
+		s.PGMP.SuspectsRaised += ps.SuspectsRaised
+		s.PGMP.Convictions += ps.Convictions
+		s.PGMP.RoundsStarted += ps.RoundsStarted
+		s.PGMP.ViewsInstalled += ps.ViewsInstalled
+		s.PGMP.ProposalResends += ps.ProposalResends
+	}
+	return s
+}
+
+// Members returns the current membership of group g (nil if unknown).
+func (n *Node) Members(g ids.GroupID) ids.Membership {
+	if gs, ok := n.groups[g]; ok {
+		return gs.mem.Members().Clone()
+	}
+	return nil
+}
+
+// GroupAddr returns the multicast address group g uses here.
+func (n *Node) GroupAddr(g ids.GroupID) (wire.MulticastAddr, bool) {
+	if gs, ok := n.groups[g]; ok {
+		return gs.addr, true
+	}
+	return wire.MulticastAddr{}, false
+}
+
+// GroupStatus is a point-in-time snapshot of one group's protocol
+// state, for operator tooling and tests.
+type GroupStatus struct {
+	Group      ids.GroupID
+	Addr       wire.MulticastAddr
+	Members    ids.Membership
+	ViewTS     ids.Timestamp
+	Joined     bool
+	Leaving    bool
+	Left       bool
+	Recovering bool
+	// Horizon is the delivery horizon; Stable the stability horizon.
+	Horizon ids.Timestamp
+	Stable  ids.Timestamp
+	// RMPHeld and ROMPPending are buffer occupancies; SendQueue is the
+	// flow-control backlog.
+	RMPHeld     int
+	ROMPPending int
+	SendQueue   int
+}
+
+// Status returns a snapshot of group g's state, or false if unknown.
+func (n *Node) Status(g ids.GroupID) (GroupStatus, bool) {
+	gs, ok := n.groups[g]
+	if !ok {
+		return GroupStatus{}, false
+	}
+	return GroupStatus{
+		Group:       gs.id,
+		Addr:        gs.addr,
+		Members:     gs.mem.Members().Clone(),
+		ViewTS:      gs.mem.ViewTS(),
+		Joined:      gs.joined,
+		Leaving:     gs.leaving,
+		Left:        gs.left,
+		Recovering:  gs.mem.InRecovery(),
+		Horizon:     gs.order.Horizon(),
+		Stable:      gs.order.StableTS(),
+		RMPHeld:     gs.rmp.Buffered(),
+		ROMPPending: gs.order.PendingCount(),
+		SendQueue:   len(gs.sendQueue),
+	}, true
+}
+
+// Buffered returns RMP buffer occupancy plus ROMP pending count for g,
+// for the buffer-management experiment (E5).
+func (n *Node) Buffered(g ids.GroupID) (rmpHeld, rompPending int) {
+	if gs, ok := n.groups[g]; ok {
+		return gs.rmp.Buffered(), gs.order.PendingCount()
+	}
+	return 0, 0
+}
+
+// ConnectionState returns the state of a logical connection, or nil.
+func (n *Node) ConnectionState(c ids.ConnectionID) *pgmp.ConnState {
+	return n.conns.Lookup(c)
+}
+
+func (n *Node) subscribe(a wire.MulticastAddr) {
+	if n.cb.Subscribe != nil {
+		n.cb.Subscribe(a)
+	}
+}
+
+func (n *Node) unsubscribe(a wire.MulticastAddr) {
+	if n.cb.Unsubscribe != nil {
+		n.cb.Unsubscribe(a)
+	}
+}
+
+func (n *Node) sortedGroups() []*groupState {
+	keys := make([]ids.GroupID, 0, len(n.groups))
+	for k := range n.groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]*groupState, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, n.groups[k])
+	}
+	return out
+}
+
+// newGroupState creates protocol state for group id at address addr.
+func (n *Node) newGroupState(id ids.GroupID, addr wire.MulticastAddr) *groupState {
+	gs := &groupState{
+		id:    id,
+		addr:  addr,
+		rmp:   rmp.New(n.cfg.Self, id, n.cfg.RMP),
+		order: romp.New(n.cfg.Self),
+		mem:   pgmp.NewGroup(n.cfg.Self, id, n.cfg.PGMP),
+	}
+	n.groups[id] = gs
+	return gs
+}
+
+// CreateGroup bootstraps a processor group with a static membership, the
+// way the fault tolerance infrastructure initializes a domain (see
+// DESIGN.md: bootstrap is outside the paper's protocol). Every listed
+// member must call it with identical arguments. If this processor is in
+// members it becomes an active member immediately.
+func (n *Node) CreateGroup(now int64, id ids.GroupID, members ids.Membership) {
+	if _, exists := n.groups[id]; exists {
+		return
+	}
+	addr := n.cfg.GroupAddr(id)
+	gs := n.newGroupState(id, addr)
+	gs.mem.Install(members, ids.NilTimestamp, now)
+	gs.order.SetMembership(members, ids.NilTimestamp)
+	if members.Contains(n.cfg.Self) {
+		gs.joined = true
+		n.subscribe(addr)
+		// Stagger the first heartbeat by membership position so the
+		// group's heartbeats spread over the interval instead of
+		// phase-locking (they would otherwise all fire on the same tick
+		// forever, distorting the latency/traffic tradeoff of E3).
+		idx := int64(0)
+		for i, p := range members {
+			if p == n.cfg.Self {
+				idx = int64(i)
+			}
+		}
+		phase := n.cfg.HeartbeatInterval * idx / int64(len(members))
+		gs.lastSent = now - n.cfg.HeartbeatInterval + phase
+	}
+	n.emitView(gs, ViewBootstrap, members, nil, ids.NilTimestamp)
+}
+
+// emitView reports a view change, computing joins/leaves against prev.
+func (n *Node) emitView(gs *groupState, reason ViewReason, prev ids.Membership, _ any, viewTS ids.Timestamp) {
+	if n.cb.ViewChange == nil {
+		return
+	}
+	cur := gs.mem.Members()
+	var joined, left ids.Membership
+	for _, p := range cur {
+		if !prev.Contains(p) {
+			joined = joined.Add(p)
+		}
+	}
+	for _, p := range prev {
+		if !cur.Contains(p) {
+			left = left.Add(p)
+		}
+	}
+	if reason == ViewBootstrap {
+		joined = cur.Clone()
+		left = nil
+	}
+	n.cb.ViewChange(ViewChange{
+		Group:   gs.id,
+		ViewTS:  viewTS,
+		Members: cur.Clone(),
+		Joined:  joined,
+		Left:    left,
+		Reason:  reason,
+	})
+}
+
+// header builds a header for the next message to group gs.
+func (n *Node) header(gs *groupState, seq ids.SeqNum, ts ids.Timestamp) wire.Header {
+	return wire.Header{
+		LittleEndian: n.cfg.LittleEndian,
+		Source:       n.cfg.Self,
+		DestGroup:    gs.id,
+		Seq:          seq,
+		MsgTS:        ts,
+		AckTS:        gs.order.AckTS(),
+	}
+}
+
+// sendReliable allocates a sequence number and timestamp, encodes body,
+// records it in RMP for retransmission, submits ordered types to ROMP
+// for self-delivery, and transmits. It returns the encoded message.
+func (n *Node) sendReliable(now int64, gs *groupState, body wire.Body) ([]byte, wire.Message, error) {
+	gs.nextSeq++
+	seq := gs.nextSeq
+	ts := n.clk.Next(now)
+	h := n.header(gs, seq, ts)
+	raw, err := wire.Encode(h, body)
+	if err != nil {
+		gs.nextSeq--
+		return nil, wire.Message{}, err
+	}
+	msg, err := wire.Decode(raw)
+	if err != nil {
+		gs.nextSeq--
+		return nil, wire.Message{}, fmt.Errorf("core: self-decode: %w", err)
+	}
+	gs.rmp.NoteSent(seq, ts, raw, msg)
+	if n.cfg.MaxUnstable > 0 && msg.Header.Type == wire.TypeRegular {
+		gs.unstable = append(gs.unstable, ts)
+	}
+	if msg.Header.Type.TotallyOrdered() {
+		gs.order.Submit(romp.Entry{Source: n.cfg.Self, Seq: seq, TS: ts, Msg: msg})
+	} else {
+		gs.order.ObserveTimestamp(n.cfg.Self, ts, h.AckTS)
+	}
+	n.cb.Transmit(gs.addr, raw)
+	gs.lastSent = now
+	n.stats.MessagesSent++
+	return raw, msg, nil
+}
+
+// Multicast sends an application payload (typically an encapsulated GIOP
+// message) to processor group g as a Regular message, identified by the
+// logical connection and request number for duplicate detection. If the
+// group's transmission gate is closed (a Connect was recently processed)
+// the message is queued and sent when the gate opens.
+func (n *Node) Multicast(now int64, g ids.GroupID, conn ids.ConnectionID, reqNum ids.RequestNum, payload []byte) error {
+	gs, ok := n.groups[g]
+	if !ok {
+		return ErrUnknownGroup
+	}
+	if gs.left || gs.leaving {
+		return ErrLeft
+	}
+	if !gs.joined {
+		return ErrNotMember
+	}
+	if gs.gateTS != ids.NilTimestamp {
+		gs.gateQueue = append(gs.gateQueue, queuedSend{conn: conn, reqNum: reqNum, payload: payload})
+		return nil
+	}
+	if n.cfg.MaxUnstable > 0 && (len(gs.unstable) >= n.cfg.MaxUnstable || len(gs.sendQueue) > 0) {
+		gs.sendQueue = append(gs.sendQueue, queuedSend{conn: conn, reqNum: reqNum, payload: payload})
+		n.pump(gs, now)
+		return nil
+	}
+	body := &wire.Regular{Conn: conn, RequestNum: reqNum, Payload: payload}
+	if _, _, err := n.sendReliable(now, gs, body); err != nil {
+		return err
+	}
+	n.pump(gs, now)
+	return nil
+}
+
+// QueuedSends reports how many application messages flow control is
+// currently holding back for group g.
+func (n *Node) QueuedSends(g ids.GroupID) int {
+	if gs, ok := n.groups[g]; ok {
+		return len(gs.sendQueue)
+	}
+	return 0
+}
+
+// gateOpen checks whether the transmission gate can open: a message with
+// a timestamp above gateTS has been heard from every member.
+func (n *Node) gateOpen(gs *groupState) bool {
+	if gs.gateTS == ids.NilTimestamp {
+		return true
+	}
+	for _, p := range gs.mem.Members() {
+		if gs.order.Heard(p) <= gs.gateTS {
+			return false
+		}
+	}
+	return true
+}
+
+// maybeReleaseGate flushes queued sends once the gate opens.
+func (n *Node) maybeReleaseGate(gs *groupState, now int64) {
+	if gs.gateTS == ids.NilTimestamp || !n.gateOpen(gs) {
+		return
+	}
+	gs.gateTS = ids.NilTimestamp
+	queued := gs.gateQueue
+	gs.gateQueue = nil
+	for _, q := range queued {
+		body := &wire.Regular{Conn: q.conn, RequestNum: q.reqNum, Payload: q.payload}
+		if _, _, err := n.sendReliable(now, gs, body); err != nil {
+			// Encoding errors are deterministic; drop and continue.
+			continue
+		}
+	}
+}
+
+// ListenGroup subscribes this processor to group g's multicast address
+// without joining the group. The fault tolerance infrastructure calls it
+// on a processor about to be added, so that the (unreliably delivered)
+// AddProcessor message can reach it (paper section 7.1: membership
+// changes complete before object group changes).
+func (n *Node) ListenGroup(g ids.GroupID) {
+	if _, tracked := n.groups[g]; tracked {
+		return
+	}
+	addr := n.cfg.GroupAddr(g)
+	if !n.listening[addr] {
+		n.listening[addr] = true
+		n.subscribe(addr)
+	}
+}
+
+// RequestAddProcessor proposes adding a non-faulty processor to group g
+// (paper section 7.1). The change takes effect, at every member, when
+// the AddProcessor message is delivered in total order. The proposer
+// re-multicasts the message until the new member is heard from, because
+// delivery to the new member is unreliable (paper Figure 3).
+func (n *Node) RequestAddProcessor(now int64, g ids.GroupID, newMember ids.ProcessorID) error {
+	gs, ok := n.groups[g]
+	if !ok {
+		return ErrUnknownGroup
+	}
+	if !gs.joined {
+		return ErrNotMember
+	}
+	body := &wire.AddProcessor{
+		MembershipTS:      gs.mem.ViewTS(),
+		CurrentMembership: gs.mem.Members().Clone(),
+		CurrentSeqs:       gs.rmp.SeqVector(gs.mem.Members()),
+		NewMember:         newMember,
+	}
+	raw, _, err := n.sendReliable(now, gs, body)
+	if err != nil {
+		return err
+	}
+	gs.mem.NoteAddProposed(newMember, rmp.MarkRetransmission(raw), now)
+	n.pump(gs, now)
+	return nil
+}
+
+// RequestRemoveProcessor proposes removing a non-faulty processor from
+// group g (paper section 7.1). The removal takes effect when the
+// RemoveProcessor message is ordered.
+func (n *Node) RequestRemoveProcessor(now int64, g ids.GroupID, member ids.ProcessorID) error {
+	gs, ok := n.groups[g]
+	if !ok {
+		return ErrUnknownGroup
+	}
+	if !gs.joined {
+		return ErrNotMember
+	}
+	if _, _, err := n.sendReliable(now, gs, &wire.RemoveProcessor{Member: member}); err != nil {
+		return err
+	}
+	n.pump(gs, now)
+	return nil
+}
+
+// ReaddressConnection moves an established connection's processor group
+// to a new multicast address (paper section 7: a Connect "can also be
+// used to change the IP Multicast address or processor group used by an
+// existing connection"). The Connect is ordered on the current address;
+// each member switches when it is delivered, ignores later-stamped
+// traffic on the old address, and holds ordered transmission until every
+// member is heard past the Connect (the transmission gate).
+func (n *Node) ReaddressConnection(now int64, conn ids.ConnectionID, newAddr wire.MulticastAddr) error {
+	st := n.conns.Lookup(conn)
+	if st == nil || !st.Established {
+		return ErrUnknownGroup
+	}
+	gs, ok := n.groups[st.Group]
+	if !ok {
+		return ErrUnknownGroup
+	}
+	if !gs.joined {
+		return ErrNotMember
+	}
+	body := &wire.Connect{
+		Conn:              st.ID,
+		Group:             gs.id,
+		Addr:              newAddr,
+		MembershipTS:      gs.mem.ViewTS(),
+		CurrentMembership: gs.mem.Members().Clone(),
+	}
+	if _, _, err := n.sendReliable(now, gs, body); err != nil {
+		return err
+	}
+	n.pump(gs, now)
+	return nil
+}
+
+// AdoptConnection registers an established logical connection this
+// processor learned from its fault tolerance infrastructure rather than
+// from a Connect message — the case of a replica added to the
+// connection's processor group after the Connect was ordered (its
+// admission cut excludes the Connect). The group must already be
+// tracked here.
+func (n *Node) AdoptConnection(conn ids.ConnectionID, group ids.GroupID) error {
+	gs, ok := n.groups[group]
+	if !ok {
+		return ErrUnknownGroup
+	}
+	n.conns.Adopt(conn, group, gs.addr)
+	return nil
+}
+
+// Leave gracefully departs from group g: it multicasts a
+// RemoveProcessor naming this processor (paper section 7.1) and, once
+// the removal is ordered and stable, stops participating (see
+// finishLeaving). The fault tolerance infrastructure must have removed
+// this processor's object replicas first.
+func (n *Node) Leave(now int64, g ids.GroupID) error {
+	return n.RequestRemoveProcessor(now, g, n.cfg.Self)
+}
+
+// OpenConnection starts establishing a logical connection between a
+// client object group and a server object group (paper section 7). The
+// client infrastructure multicasts a ConnectRequest on the server
+// domain's address and retries until the server responds with a Connect.
+// clientProcs are the processors supporting the client object group.
+func (n *Node) OpenConnection(now int64, conn ids.ConnectionID, serverDomainAddr wire.MulticastAddr, clientProcs ids.Membership) {
+	if st := n.conns.Lookup(conn); st != nil && st.Established {
+		return
+	}
+	if !n.listening[serverDomainAddr] {
+		n.listening[serverDomainAddr] = true
+		n.subscribe(serverDomainAddr)
+	}
+	n.domainAddrs[conn.ServerDomain] = serverDomainAddr
+	req := n.conns.RequestOpen(conn, clientProcs, now)
+	n.sendConnectRequest(now, serverDomainAddr, req)
+}
+
+// sendConnectRequest transmits a ConnectRequest: unreliable, addressed
+// to the domain (DestGroup, Seq and MsgTS are zero per paper section 7).
+func (n *Node) sendConnectRequest(now int64, addr wire.MulticastAddr, req *wire.ConnectRequest) {
+	h := wire.Header{
+		LittleEndian: n.cfg.LittleEndian,
+		Source:       n.cfg.Self,
+		DestGroup:    ids.NilGroup,
+		Seq:          0,
+		MsgTS:        ids.NilTimestamp,
+		AckTS:        ids.NilTimestamp,
+	}
+	raw, err := wire.Encode(h, req)
+	if err != nil {
+		return
+	}
+	n.cb.Transmit(addr, raw)
+}
+
+// String summarizes the node for debugging.
+func (n *Node) String() string {
+	return fmt.Sprintf("node(%v, %d groups)", n.cfg.Self, len(n.groups))
+}

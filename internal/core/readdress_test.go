@@ -1,0 +1,198 @@
+package core_test
+
+import (
+	"testing"
+
+	"ftmp/internal/core"
+	"ftmp/internal/harness"
+	"ftmp/internal/ids"
+	"ftmp/internal/simnet"
+	"ftmp/internal/wire"
+)
+
+func establishConn(t *testing.T, c *harness.Cluster, conn ids.ConnectionID) ids.GroupID {
+	t.Helper()
+	domainAddr := core.DefaultConfig(3).DomainAddr
+	c.Host(3).Node.OpenConnection(int64(c.Net.Now()), conn, domainAddr, ids.NewMembership(3))
+	ok := c.RunUntil(10*simnet.Second, func() bool {
+		for _, p := range []ids.ProcessorID{1, 2, 3} {
+			st := c.Host(p).Node.ConnectionState(conn)
+			if st == nil || !st.Established {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("connection not established")
+	}
+	return c.Host(3).Node.ConnectionState(conn).Group
+}
+
+func TestReaddressConnection(t *testing.T) {
+	c, conn := connCluster(t, 301, 0, false)
+	g := establishConn(t, c, conn)
+	members := ids.NewMembership(1, 2, 3)
+
+	// Traffic before the change.
+	now := int64(c.Net.Now())
+	if err := c.Host(3).Node.Multicast(now, g, conn, 1, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntil(10*simnet.Second, c.AllDelivered(g, members, 1)) {
+		t.Fatal("pre-change delivery failed")
+	}
+	oldAddr, _ := c.Host(1).Node.GroupAddr(g)
+
+	// The designated server member moves the group to a new address.
+	newAddr := wire.MulticastAddr{IP: [4]byte{239, 7, 7, 7}, Port: 7777}
+	if err := c.Host(1).Node.ReaddressConnection(int64(c.Net.Now()), conn, newAddr); err != nil {
+		t.Fatal(err)
+	}
+	ok := c.RunUntil(10*simnet.Second, func() bool {
+		for _, p := range members {
+			a, found := c.Host(p).Node.GroupAddr(g)
+			if !found || a != newAddr {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		for _, p := range members {
+			a, _ := c.Host(p).Node.GroupAddr(g)
+			t.Logf("%v addr: %v", p, a)
+		}
+		t.Fatal("re-addressing never converged")
+	}
+
+	// Ordered traffic continues on the new address (the transmission
+	// gate must release once every member is heard past the Connect).
+	now = int64(c.Net.Now())
+	if err := c.Host(3).Node.Multicast(now, g, conn, 2, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntil(10*simnet.Second, c.AllDelivered(g, members, 2)) {
+		for _, p := range members {
+			t.Logf("%v delivered: %v", p, c.Host(p).DeliveredPayloads(g))
+		}
+		t.Fatal("post-change delivery failed")
+	}
+	for _, p := range members {
+		got := c.Host(p).DeliveredPayloads(g)
+		if got[0] != "before" || got[1] != "after" {
+			t.Errorf("%v order: %v", p, got)
+		}
+	}
+
+	// A straggler for the group on the OLD address with a timestamp
+	// above the re-addressing Connect must be ignored (paper section 7).
+	h := wire.Header{
+		Source:    ids.ProcessorID(2),
+		DestGroup: g,
+		Seq:       ids.SeqNum(1000),
+		MsgTS:     ids.MakeTimestamp(1<<40, 2), // far above the Connect
+	}
+	raw, err := wire.Encode(h, &wire.Regular{Conn: conn, RequestNum: 99, Payload: []byte("stale-addr")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.Host(3).Node.Stats().RMP.Received
+	c.Net.Send(2, harness.PackAddr(oldAddr), raw)
+	c.RunFor(100 * simnet.Millisecond)
+	if got := c.Host(3).Node.Stats().RMP.Received; got != before {
+		t.Errorf("message on superseded address was accepted (received %d -> %d)", before, got)
+	}
+}
+
+func TestConnectionsShareGroupWhenMembershipMatches(t *testing.T) {
+	// Paper section 7: several logical connections may share the same
+	// processor group and multicast address.
+	serverProcs := ids.NewMembership(1, 2)
+	c := harness.NewCluster(harness.Options{
+		Seed: 307,
+		Net:  simnet.NewConfig(),
+		Configure: func(p ids.ProcessorID, cfg *core.Config) {
+			cfg.ObjectGroups = map[ids.ObjectGroupID]ids.Membership{
+				20: serverProcs,
+				21: serverProcs,
+			}
+		},
+	}, 1, 2, 3)
+	domainAddr := core.DefaultConfig(3).DomainAddr
+	connA := ids.ConnectionID{ClientDomain: 1, ClientGroup: 10, ServerDomain: 1, ServerGroup: 20}
+	connB := ids.ConnectionID{ClientDomain: 1, ClientGroup: 10, ServerDomain: 1, ServerGroup: 21}
+	now := int64(c.Net.Now())
+	c.Host(3).Node.OpenConnection(now, connA, domainAddr, ids.NewMembership(3))
+	ok := c.RunUntil(10*simnet.Second, func() bool {
+		st := c.Host(3).Node.ConnectionState(connA)
+		return st != nil && st.Established
+	})
+	if !ok {
+		t.Fatal("first connection failed")
+	}
+	c.Host(3).Node.OpenConnection(int64(c.Net.Now()), connB, domainAddr, ids.NewMembership(3))
+	ok = c.RunUntil(10*simnet.Second, func() bool {
+		st := c.Host(3).Node.ConnectionState(connB)
+		return st != nil && st.Established
+	})
+	if !ok {
+		t.Fatal("second connection failed")
+	}
+	a := c.Host(3).Node.ConnectionState(connA)
+	b := c.Host(3).Node.ConnectionState(connB)
+	if a.Group != b.Group {
+		t.Errorf("same-membership connections got different groups: %v vs %v", a.Group, b.Group)
+	}
+	if a.Addr != b.Addr {
+		t.Errorf("shared group with different addresses: %v vs %v", a.Addr, b.Addr)
+	}
+	// Both connections carry traffic independently, multiplexed on the
+	// shared group, distinguished by their connection identifiers.
+	members := ids.NewMembership(1, 2, 3)
+	_ = c.Host(3).Node.Multicast(int64(c.Net.Now()), a.Group, connA, 1, []byte("on-A"))
+	_ = c.Host(3).Node.Multicast(int64(c.Net.Now()), b.Group, connB, 1, []byte("on-B"))
+	if !c.RunUntil(10*simnet.Second, c.AllDelivered(a.Group, members, 2)) {
+		t.Fatal("multiplexed traffic failed")
+	}
+	d := c.Host(1).Deliveries
+	var conns []ids.ConnectionID
+	for _, x := range d {
+		if x.Group == a.Group && len(x.Payload) > 0 {
+			conns = append(conns, x.Conn)
+		}
+	}
+	if len(conns) != 2 || conns[0] == conns[1] {
+		t.Errorf("connection ids not preserved across shared group: %v", conns)
+	}
+}
+
+func TestNonMemberMessageRejected(t *testing.T) {
+	c, m := lanCluster(t, 311, 2)
+	// A stray processor (not a member) injects a Regular message.
+	h := wire.Header{
+		Source:    ids.ProcessorID(66),
+		DestGroup: g1,
+		Seq:       1,
+		MsgTS:     ids.MakeTimestamp(5, 66),
+	}
+	raw, err := wire.Encode(h, &wire.Regular{Payload: []byte("intruder")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := c.Host(1).Node.GroupAddr(g1)
+	c.Net.AddNode(66, simnet.EndpointFunc{}, 0)
+	c.Net.Send(66, harness.PackAddr(addr), raw)
+	c.RunFor(200 * simnet.Millisecond)
+	_ = c.Multicast(1, g1, "legit")
+	if !c.RunUntil(simnet.Second, c.AllDelivered(g1, m, 1)) {
+		t.Fatal("group damaged by intruder message")
+	}
+	for _, p := range m {
+		for _, s := range c.Host(p).DeliveredPayloads(g1) {
+			if s == "intruder" {
+				t.Fatalf("%v delivered a non-member message", p)
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package core_test
+
+// Randomized safety sweep: across many seeded schedules of loss, jitter,
+// workload and crashes, every pair of live processors must satisfy the
+// group-communication safety contract:
+//
+//	agreement  — delivered sequences are prefix-compatible (and equal
+//	             once the run quiesces),
+//	integrity  — nothing is delivered twice, nothing is invented,
+//	order      — per-node delivery timestamps strictly increase, and
+//	             per-source payloads appear in send order (FIFO).
+//
+// Liveness (everything eventually delivered) is asserted only for the
+// survivors' own messages, since a crashed sender's unacked tail may
+// legitimately die with it before reaching anyone.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ftmp/internal/harness"
+	"ftmp/internal/ids"
+	"ftmp/internal/simnet"
+)
+
+// at indexes a slice defensively for failure messages.
+func at(s []string, i int) string {
+	if i < len(s) {
+		return s[i]
+	}
+	return "<past end>"
+}
+
+func TestRandomizedSafetySweep(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			n := 3 + rng.Intn(3) // 3..5 members
+			loss := rng.Float64() * 0.15
+			crash := ids.NilProcessor
+			if rng.Intn(2) == 1 {
+				crash = ids.ProcessorID(n) // highest id crashes
+			}
+
+			procs := make([]ids.ProcessorID, n)
+			for i := range procs {
+				procs[i] = ids.ProcessorID(i + 1)
+			}
+			cfg := simnet.NewConfig()
+			cfg.LossRate = loss
+			c := harness.NewCluster(harness.Options{Seed: seed * 31, Net: cfg}, procs...)
+			m := ids.NewMembership(procs...)
+			c.CreateGroup(g1, m)
+
+			const per = 12
+			sendOrder := make(map[ids.ProcessorID][]string)
+			for i := 0; i < per; i++ {
+				for _, p := range procs {
+					p, i := p, i
+					at := simnet.Time(rng.Intn(60)) * simnet.Millisecond
+					c.Net.At(at, func() {
+						msg := fmt.Sprintf("%v/%02d", p, i)
+						if err := c.Multicast(p, g1, msg); err == nil {
+							sendOrder[p] = append(sendOrder[p], msg)
+						}
+					})
+				}
+			}
+			if crash != ids.NilProcessor {
+				at := simnet.Time(10+rng.Intn(40)) * simnet.Millisecond
+				c.Net.At(at, func() { c.Crash(crash) })
+			}
+
+			// Run long enough for repair and recovery to quiesce.
+			c.Run(20 * simnet.Second)
+
+			survivors := m
+			if crash != ids.NilProcessor {
+				survivors = m.Remove(crash)
+			}
+
+			// Integrity: no duplicates at any survivor.
+			for _, p := range survivors {
+				seen := make(map[string]bool)
+				for _, s := range c.Host(p).DeliveredPayloads(g1) {
+					if seen[s] {
+						t.Fatalf("%v delivered %q twice", p, s)
+					}
+					seen[s] = true
+				}
+			}
+
+			// Order: per-node delivery timestamps strictly increase, and
+			// each source's messages appear as a prefix-respecting
+			// subsequence of that source's actual send order (FIFO).
+			for _, p := range survivors {
+				var lastTS ids.Timestamp
+				cursor := make(map[ids.ProcessorID]int)
+				for _, d := range c.Host(p).Deliveries {
+					if d.Group != g1 {
+						continue
+					}
+					if d.TS <= lastTS {
+						t.Fatalf("%v delivery timestamps not increasing", p)
+					}
+					lastTS = d.TS
+					s := string(d.Payload)
+					src := d.Source
+					sent := sendOrder[src]
+					i := cursor[src]
+					if i >= len(sent) || sent[i] != s {
+						t.Fatalf("%v source-FIFO violated for %v: got %q, expected %q at position %d",
+							p, src, s, at(sent, i), i)
+					}
+					cursor[src] = i + 1
+				}
+			}
+
+			// Agreement: identical sequences across survivors after
+			// quiescence.
+			base := c.Host(survivors[0]).DeliveredPayloads(g1)
+			for _, p := range survivors[1:] {
+				got := c.Host(p).DeliveredPayloads(g1)
+				if len(got) != len(base) {
+					t.Fatalf("agreement violated: %v delivered %d, %v delivered %d (loss=%.2f crash=%v)",
+						survivors[0], len(base), p, len(got), loss, crash)
+				}
+				for i := range base {
+					if base[i] != got[i] {
+						t.Fatalf("order differs at %d: %q vs %q", i, base[i], got[i])
+					}
+				}
+			}
+
+			// Liveness for survivors' own messages.
+			for _, p := range survivors {
+				want := fmt.Sprintf("%v/%02d", p, per-1)
+				found := false
+				for _, s := range base {
+					if s == want {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("survivor %v's last message %q never delivered (loss=%.2f crash=%v)",
+						p, want, loss, crash)
+				}
+			}
+		})
+	}
+}

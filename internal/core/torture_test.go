@@ -1,0 +1,131 @@
+package core_test
+
+// Torture: loss + crash + planned add + planned remove, interleaved
+// with traffic, across seeds. Safety bar: survivors that were members
+// throughout agree on identical delivery sequences; members that joined
+// mid-run deliver a contiguous suffix of that sequence.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ftmp/internal/harness"
+	"ftmp/internal/ids"
+	"ftmp/internal/simnet"
+)
+
+func TestTortureChurn(t *testing.T) {
+	for seed := int64(0); seed < 24; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed + 1000))
+			loss := rng.Float64() * 0.08
+
+			// Members 1..4 bootstrap; 5 joins mid-run; 4 is removed
+			// (planned); 3 crashes late in half the runs.
+			procs := []ids.ProcessorID{1, 2, 3, 4, 5}
+			cfg := simnet.NewConfig()
+			cfg.LossRate = loss
+			c := harness.NewCluster(harness.Options{Seed: seed * 131, Net: cfg}, procs...)
+			initial := ids.NewMembership(1, 2, 3, 4)
+			c.CreateGroup(g1, initial)
+
+			crash3 := rng.Intn(2) == 1
+			const msgs = 60
+			for i := 0; i < msgs; i++ {
+				i := i
+				src := ids.ProcessorID(i%2 + 1) // senders 1 and 2 live throughout
+				c.Net.At(simnet.Time(i*2)*simnet.Millisecond, func() {
+					_ = c.Multicast(src, g1, fmt.Sprintf("%v|%02d", src, i))
+				})
+			}
+			c.Net.At(simnet.Time(20+rng.Intn(20))*simnet.Millisecond, func() {
+				c.Host(5).Node.ListenGroup(g1)
+				_ = c.Host(1).Node.RequestAddProcessor(int64(c.Net.Now()), g1, 5)
+			})
+			c.Net.At(simnet.Time(50+rng.Intn(20))*simnet.Millisecond, func() {
+				_ = c.Host(2).Node.RequestRemoveProcessor(int64(c.Net.Now()), g1, 4)
+			})
+			if crash3 {
+				c.Net.At(simnet.Time(80+rng.Intn(20))*simnet.Millisecond, func() {
+					c.Crash(3)
+				})
+			}
+			c.Run(30 * simnet.Second)
+
+			throughout := ids.NewMembership(1, 2)
+			// Integrity + agreement among the always-present members.
+			base := c.Host(1).DeliveredPayloads(g1)
+			seen := make(map[string]bool)
+			for _, s := range base {
+				if seen[s] {
+					t.Fatalf("duplicate delivery %q", s)
+				}
+				seen[s] = true
+			}
+			for _, p := range throughout[1:] {
+				got := c.Host(p).DeliveredPayloads(g1)
+				if len(got) != len(base) {
+					t.Fatalf("agreement: %v=%d msgs, P1=%d (loss=%.2f crash3=%v)",
+						p, len(got), len(base), loss, crash3)
+				}
+				for i := range base {
+					if base[i] != got[i] {
+						t.Fatalf("order differs at %d", i)
+					}
+				}
+			}
+			// All 60 messages delivered (senders survived).
+			if len(base) != msgs {
+				t.Fatalf("delivered %d of %d (loss=%.2f crash3=%v)", len(base), msgs, loss, crash3)
+			}
+			// The joiner's deliveries are an order-consistent
+			// subsequence of the agreed sequence (its admission cut is
+			// per-source, so early messages below the cut are skipped,
+			// exactly as the paper's AddProcessor sequence vector
+			// defines), and it misses nothing from its first delivery
+			// of post-join traffic to the end.
+			joined := c.Host(5).DeliveredPayloads(g1)
+			if len(joined) == 0 {
+				t.Fatal("joiner delivered nothing")
+			}
+			bi := 0
+			for _, s := range joined {
+				for bi < len(base) && base[bi] != s {
+					bi++
+				}
+				if bi == len(base) {
+					t.Fatalf("joiner delivered %q out of the agreed order", s)
+				}
+				bi++
+			}
+			if joined[len(joined)-1] != base[len(base)-1] {
+				t.Fatalf("joiner missing the stream tail: ends at %q, base ends at %q",
+					joined[len(joined)-1], base[len(base)-1])
+			}
+			// Contiguity from the joiner's midpoint onward: everything
+			// in the base's second half appears in the joiner's view.
+			half := base[len(base)/2:]
+			pos := make(map[string]bool, len(joined))
+			for _, s := range joined {
+				pos[s] = true
+			}
+			for _, s := range half {
+				if !pos[s] {
+					t.Fatalf("joiner missing %q from the stream's second half", s)
+				}
+			}
+			// Final membership at the always-present members.
+			want := ids.NewMembership(1, 2, 5)
+			if !crash3 {
+				want = want.Add(3)
+			}
+			for _, p := range throughout {
+				if got := c.Host(p).Node.Members(g1); !got.Equal(want) {
+					t.Fatalf("%v final membership %v, want %v", p, got, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,114 @@
+package ftcorba
+
+import (
+	"ftmp/internal/ids"
+)
+
+// Memory management for the duplicate-detection state and message logs.
+//
+// Request numbers on a connection are monotonically increasing (paper
+// section 4), so once every request up to a watermark has been processed
+// and replied, the per-request filter entries below it can be collapsed
+// into the watermark itself: anything at or below it is a duplicate by
+// definition. Logs are the application's durability artifact, so they
+// are trimmed only on explicit request.
+
+// compactionBatch is how many completed entries accumulate before a
+// compaction pass runs.
+const compactionBatch = 256
+
+// lowWater tracks per-connection contiguous completion.
+type lowWater struct {
+	// processedUpTo: every request number <= this has been dispatched
+	// (or observed dispatched) here.
+	processedUpTo ids.RequestNum
+	// repliedUpTo: every reply number <= this was delivered here.
+	repliedUpTo ids.RequestNum
+	// compaction progress (entries at or below are already deleted).
+	processedSwept ids.RequestNum
+	repliedSwept   ids.RequestNum
+}
+
+// noteProcessed advances the processed watermark and compacts the
+// filter maps once enough contiguous entries accumulate.
+func (f *Infra) noteProcessed(conn ids.ConnectionID, req ids.RequestNum) {
+	if f.water == nil {
+		f.water = make(map[ids.ConnectionID]*lowWater)
+	}
+	w, ok := f.water[conn]
+	if !ok {
+		w = &lowWater{}
+		f.water[conn] = w
+	}
+	for f.processed[callKey{conn, w.processedUpTo + 1}] {
+		w.processedUpTo++
+	}
+	if w.processedUpTo >= w.processedSwept+compactionBatch {
+		for r := w.processedSwept + 1; r <= w.processedUpTo; r++ {
+			delete(f.processed, callKey{conn, r})
+		}
+		w.processedSwept = w.processedUpTo
+	}
+}
+
+// noteReplied advances the replied watermark and compacts.
+func (f *Infra) noteReplied(conn ids.ConnectionID, req ids.RequestNum) {
+	if f.water == nil {
+		f.water = make(map[ids.ConnectionID]*lowWater)
+	}
+	w, ok := f.water[conn]
+	if !ok {
+		w = &lowWater{}
+		f.water[conn] = w
+	}
+	for f.replied[callKey{conn, w.repliedUpTo + 1}] {
+		w.repliedUpTo++
+	}
+	if w.repliedUpTo >= w.repliedSwept+compactionBatch {
+		for r := w.repliedSwept + 1; r <= w.repliedUpTo; r++ {
+			delete(f.replied, callKey{conn, r})
+		}
+		w.repliedSwept = w.repliedUpTo
+	}
+}
+
+// isProcessed reports whether (conn, req) was already dispatched,
+// consulting the watermark for compacted history.
+func (f *Infra) isProcessed(conn ids.ConnectionID, req ids.RequestNum) bool {
+	if w, ok := f.water[conn]; ok && req <= w.processedUpTo && req > 0 {
+		return true
+	}
+	return f.processed[callKey{conn, req}]
+}
+
+// isReplied reports whether the reply for (conn, req) was already
+// delivered to a local caller.
+func (f *Infra) isReplied(conn ids.ConnectionID, req ids.RequestNum) bool {
+	if w, ok := f.water[conn]; ok && req <= w.repliedUpTo && req > 0 {
+		return true
+	}
+	return f.replied[callKey{conn, req}]
+}
+
+// FilterSize returns the number of live duplicate-filter entries, for
+// tests and capacity monitoring.
+func (f *Infra) FilterSize() int { return len(f.processed) + len(f.replied) }
+
+// TrimLog discards log entries for conn with request numbers at or
+// below upTo. The application owns log retention policy (the log is its
+// replay/recovery artifact); the infrastructure never trims on its own.
+// Entries with request number zero (infrastructure control traffic) are
+// always trimmed.
+func (f *Infra) TrimLog(conn ids.ConnectionID, upTo ids.RequestNum) {
+	in := f.logs[conn]
+	if len(in) == 0 {
+		return
+	}
+	out := in[:0]
+	for _, e := range in {
+		if e.ReqNum != 0 && e.ReqNum > upTo {
+			out = append(out, e)
+		}
+	}
+	f.logs[conn] = out
+}

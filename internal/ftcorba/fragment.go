@@ -1,0 +1,113 @@
+package ftcorba
+
+import (
+	"ftmp/internal/core"
+	"ftmp/internal/giop"
+	"ftmp/internal/ids"
+)
+
+// GIOP fragmentation (paper section 3.1 lists Fragment among the eight
+// GIOP message types). FTMP messages are bounded by the datagram budget
+// (wire.MaxMessageSize), so a GIOP message larger than fragmentChunk is
+// carried as a sequence of GIOP Fragment messages on the same
+// (connection, request number): each fragment's body is
+// CDR(index, total, chunk). RMP's source ordering and ROMP's total order
+// make reassembly trivial — fragments of one message arrive in order and
+// uninterleaved per source — and the duplicate-detection key stays the
+// request number, exactly as for unfragmented traffic.
+
+// fragmentChunk is the chunk payload size. It leaves comfortable room
+// for the FTMP header, Regular body framing and the fragment header
+// inside the 64 KiB datagram budget.
+const fragmentChunk = 32 * 1024
+
+// fragKey identifies one in-progress reassembly.
+type fragKey struct {
+	conn ids.ConnectionID
+	src  ids.ProcessorID
+	req  ids.RequestNum
+}
+
+type fragState struct {
+	chunks [][]byte
+	total  uint32
+}
+
+// maybeFragment encodes a GIOP message and splits it if needed. It
+// returns the payloads to multicast in order.
+func maybeFragment(msg giop.Message) ([][]byte, error) {
+	full, err := giop.Encode(msg, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(full) <= fragmentChunk {
+		return [][]byte{full}, nil
+	}
+	var chunks [][]byte
+	for off := 0; off < len(full); off += fragmentChunk {
+		end := off + fragmentChunk
+		if end > len(full) {
+			end = len(full)
+		}
+		chunks = append(chunks, full[off:end])
+	}
+	total := uint32(len(chunks))
+	out := make([][]byte, 0, total)
+	for i, chunk := range chunks {
+		e := giop.NewEncoder(false)
+		e.ULong(uint32(i))
+		e.ULong(total)
+		e.OctetSeq(chunk)
+		frag, err := giop.Encode(giop.Message{
+			Type:     giop.MsgFragment,
+			Fragment: &giop.Fragment{Data: e.Bytes()},
+		}, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, frag)
+	}
+	return out, nil
+}
+
+// onFragment accumulates one delivered fragment; when the message is
+// complete it returns the reassembled GIOP message.
+func (f *Infra) onFragment(d core.Delivery, frag *giop.Fragment) (giop.Message, bool) {
+	dec := giop.NewDecoder(frag.Data, false)
+	index := dec.ULong()
+	total := dec.ULong()
+	chunk := dec.OctetSeq()
+	if dec.Err() != nil || total == 0 || index >= total {
+		return giop.Message{}, false
+	}
+	key := fragKey{conn: d.Conn, src: d.Source, req: d.RequestNum}
+	if f.fragments == nil {
+		f.fragments = make(map[fragKey]*fragState)
+	}
+	st, ok := f.fragments[key]
+	if !ok {
+		st = &fragState{total: total}
+		f.fragments[key] = st
+	}
+	if st.total != total || uint32(len(st.chunks)) != index {
+		// Inconsistent or out-of-order fragment: total order makes this
+		// impossible for honest traffic; drop the partial state.
+		delete(f.fragments, key)
+		return giop.Message{}, false
+	}
+	st.chunks = append(st.chunks, chunk)
+	if uint32(len(st.chunks)) < total {
+		return giop.Message{}, false
+	}
+	delete(f.fragments, key)
+	var full []byte
+	for _, c := range st.chunks {
+		full = append(full, c...)
+	}
+	msg, err := giop.Decode(full)
+	if err != nil {
+		return giop.Message{}, false
+	}
+	f.stats.Reassembled++
+	return msg, true
+}

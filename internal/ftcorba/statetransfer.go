@@ -1,0 +1,152 @@
+package ftcorba
+
+import (
+	"ftmp/internal/core"
+	"ftmp/internal/giop"
+	"ftmp/internal/ids"
+)
+
+// State transfer to a new replica.
+//
+// Adding a replica must hand it a state snapshot positioned consistently
+// in the total order, or concurrent requests would be double- or
+// never-applied. The protocol (the Eternal system's approach, which the
+// paper's infrastructure references):
+//
+//  1. The infrastructure adds the new processor to the connection's
+//     processor group (AddProcessor); from its admission cut onward the
+//     new replica receives every ordered message, but only buffers
+//     application requests.
+//  2. A designated existing replica multicasts a _ft_get_state marker.
+//     When the marker is DELIVERED (totally ordered), every old replica
+//     holds the same state; the designated one snapshots at exactly that
+//     point and multicasts _ft_set_state with the snapshot and the
+//     marker's delivery timestamp.
+//  3. The new replica restores the snapshot, replays its buffered
+//     requests with delivery timestamps after the marker, discards the
+//     rest (their effects are inside the snapshot), and goes live.
+//
+// Old replicas ignore the snapshot. Requests ordered between marker and
+// snapshot delivery are in the new replica's buffer with timestamps
+// above the marker, so nothing is lost or double-applied.
+
+// AddReplica runs the existing-replica side of state transfer for the
+// object group og on connection conn: it multicasts the get-state
+// marker. Call it on the designated (e.g. lowest-id) existing replica
+// after the new processor has been added to the processor group.
+func (f *Infra) AddReplica(now int64, conn ids.ConnectionID, og ids.ObjectGroupID) error {
+	sg, ok := f.servedGroups[og]
+	if !ok {
+		return ErrNotServed
+	}
+	if _, ok := sg.servant.(Stateful); !ok {
+		return ErrNotStateful
+	}
+	return f.sendControl(now, conn, og, opGetState, nil)
+}
+
+// sendControl multicasts an infrastructure request (request number 0).
+func (f *Infra) sendControl(now int64, conn ids.ConnectionID, og ids.ObjectGroupID, op string, body []byte) error {
+	st := f.node.ConnectionState(conn)
+	if st == nil || !st.Established {
+		return ErrNotEstablished
+	}
+	key, _ := f.servedObjectKeyFor(og)
+	msg := giop.Message{Type: giop.MsgRequest, Request: &giop.Request{
+		RequestID:        0,
+		ResponseExpected: false,
+		ObjectKey:        []byte(key),
+		Operation:        op,
+		Body:             body,
+	}}
+	// State snapshots can exceed the datagram budget; fragment like any
+	// other large GIOP message.
+	payloads, err := maybeFragment(msg)
+	if err != nil {
+		return err
+	}
+	if len(payloads) > 1 {
+		f.stats.Fragmented++
+	}
+	for _, p := range payloads {
+		if err := f.node.Multicast(now, st.Group, conn, 0, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// onGetStateMarker handles the ordered _ft_get_state marker.
+func (f *Infra) onGetStateMarker(now int64, d core.Delivery) {
+	sg, ok := f.servedGroups[d.Conn.ServerGroup]
+	if !ok {
+		return
+	}
+	if sg.joining {
+		// The new replica notes the cut position.
+		sg.markerTS = d.TS
+		return
+	}
+	// Only the replica that originated the marker answers with the
+	// snapshot, to avoid k identical snapshot multicasts.
+	if d.Source != f.self {
+		return
+	}
+	st, ok := sg.servant.(Stateful)
+	if !ok {
+		return
+	}
+	snap, err := st.SnapshotState()
+	if err != nil {
+		return
+	}
+	// Encode snapshot with the marker's delivery timestamp, the cut the
+	// new replica replays from.
+	e := giop.NewEncoder(false)
+	e.ULongLong(uint64(d.TS))
+	e.OctetSeq(snap)
+	_ = f.sendControl(now, d.Conn, d.Conn.ServerGroup, opSetState, e.Bytes())
+}
+
+// onSetState handles the ordered _ft_set_state snapshot.
+func (f *Infra) onSetState(now int64, d core.Delivery, req *giop.Request) {
+	sg, ok := f.servedGroups[d.Conn.ServerGroup]
+	if !ok || !sg.joining {
+		return // old replicas already have the state
+	}
+	dec := giop.NewDecoder(req.Body, false)
+	markerTS := ids.Timestamp(dec.ULongLong())
+	snap := dec.OctetSeq()
+	if dec.Err() != nil {
+		return
+	}
+	st, ok := sg.servant.(Stateful)
+	if !ok {
+		return
+	}
+	if err := st.RestoreState(snap); err != nil {
+		return
+	}
+	f.stats.StateTransfers++
+	sg.joining = false
+	// Replay buffered requests ordered after the snapshot cut.
+	buffered := sg.buffered
+	sg.buffered = nil
+	for _, b := range buffered {
+		if b.d.TS <= markerTS {
+			continue // effects are inside the snapshot
+		}
+		f.stats.Replayed++
+		f.dispatch(now, b.d, sg, b.msg.Request)
+	}
+}
+
+// OnFault handles a fault report from the FTMP node: replicas hosted on
+// convicted processors are gone; the application's recovery policy (for
+// example activating a backup via ServeJoining + AddReplica) runs on the
+// hook, if set.
+func (f *Infra) OnFault(group ids.GroupID, convicted ids.Membership) {
+	if f.FaultHook != nil {
+		f.FaultHook(group, convicted)
+	}
+}

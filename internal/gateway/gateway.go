@@ -1,0 +1,233 @@
+// Package gateway bridges unreplicated IIOP clients to replicated
+// object groups: it accepts plain GIOP-over-TCP connections (what any
+// ordinary ORB speaks) and forwards each Request through the fault
+// tolerance infrastructure as a totally-ordered multicast invocation,
+// returning the group's reply on the TCP connection. This is the role
+// the Eternal system's gateway plays for clients outside the replication
+// domain, and it lets the repository's mini-ORB client (package orb)
+// call a replicated servant without knowing it is replicated.
+package gateway
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ftmp/internal/core"
+	"ftmp/internal/ftcorba"
+	"ftmp/internal/giop"
+	"ftmp/internal/ids"
+	"ftmp/internal/orb"
+	"ftmp/internal/runtime"
+)
+
+// Gateway listens for IIOP connections and forwards requests onto one
+// logical connection of the local infrastructure.
+type Gateway struct {
+	runner *runtime.Runner
+	infra  *ftcorba.Infra
+	conn   ids.ConnectionID
+
+	// Timeout bounds how long one forwarded request may wait for the
+	// group's reply before the client receives a system exception. It
+	// converts any protocol-level stall (say, this processor wrongly
+	// expelled under extreme scheduling delays) into a clean error
+	// instead of a hung connection. Set before Listen; default 30s.
+	Timeout time.Duration
+
+	lis    net.Listener
+	stop   chan struct{}
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New creates a gateway that forwards over conn via infra, serialized
+// through the runner's event loop.
+func New(runner *runtime.Runner, infra *ftcorba.Infra, conn ids.ConnectionID) *Gateway {
+	return &Gateway{
+		runner:  runner,
+		infra:   infra,
+		conn:    conn,
+		Timeout: 30 * time.Second,
+		stop:    make(chan struct{}),
+		conns:   make(map[net.Conn]bool),
+	}
+}
+
+// Listen starts accepting IIOP connections on addr and returns the
+// bound address.
+func (g *Gateway) Listen(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	g.lis = lis
+	g.wg.Add(1)
+	go g.acceptLoop()
+	return lis.Addr().String(), nil
+}
+
+func (g *Gateway) acceptLoop() {
+	defer g.wg.Done()
+	for {
+		conn, err := g.lis.Accept()
+		if err != nil {
+			return
+		}
+		g.mu.Lock()
+		if g.closed {
+			g.mu.Unlock()
+			conn.Close()
+			return
+		}
+		g.conns[conn] = true
+		g.mu.Unlock()
+		g.wg.Add(1)
+		go g.serveConn(conn)
+	}
+}
+
+func (g *Gateway) serveConn(conn net.Conn) {
+	defer g.wg.Done()
+	defer func() {
+		g.mu.Lock()
+		delete(g.conns, conn)
+		g.mu.Unlock()
+		conn.Close()
+	}()
+	// Replies may complete out of submission order (oneways interleave),
+	// so writes are serialized.
+	var wmu sync.Mutex
+	write := func(buf []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		_, err := conn.Write(buf)
+		return err
+	}
+	for {
+		raw, err := giop.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		msg, err := giop.Decode(raw)
+		if err != nil {
+			out, _ := giop.Encode(giop.Message{Type: giop.MsgMessageError, MessageError: &giop.MessageError{}}, false)
+			_ = write(out)
+			continue
+		}
+		switch msg.Type {
+		case giop.MsgRequest:
+			g.forward(msg, write)
+		case giop.MsgCloseConnection:
+			return
+		default:
+			// LocateRequest and friends are not meaningful through the
+			// gateway; answer MessageError so clients fail fast.
+			out, _ := giop.Encode(giop.Message{Type: giop.MsgMessageError, MessageError: &giop.MessageError{}}, false)
+			_ = write(out)
+		}
+	}
+}
+
+// forward multicasts one request through the infrastructure and writes
+// the group's reply back with the client's original request id.
+func (g *Gateway) forward(msg giop.Message, write func([]byte) error) {
+	req := msg.Request
+	clientID := req.RequestID
+	var once sync.Once
+	respond := func(reply *giop.Reply) {
+		once.Do(func() {
+			reply.RequestID = clientID
+			out, err := giop.Encode(giop.Message{Type: giop.MsgReply, Reply: reply}, msg.LittleEndian)
+			if err != nil {
+				return
+			}
+			_ = write(out)
+		})
+	}
+	var cb func([]byte, error)
+	done := make(chan struct{})
+	if req.ResponseExpected {
+		cb = func(body []byte, err error) {
+			defer close(done)
+			if err == nil {
+				respond(&giop.Reply{Status: giop.NoException, Body: body})
+				return
+			}
+			// Servant exceptions pass through with their original kind
+			// and repository id; infrastructure failures surface as
+			// gateway system exceptions.
+			if exc, ok := err.(*orb.Exception); ok {
+				status := giop.SystemException
+				if !exc.System {
+					status = giop.UserException
+				}
+				respond(&giop.Reply{Status: status, Body: orb.EncodeExceptionBody(exc)})
+				return
+			}
+			respond(&giop.Reply{Status: giop.SystemException, Body: encodeGatewayExc(err)})
+		}
+	}
+	var callErr error
+	g.runner.Do(func(_ *core.Node, now int64) {
+		callErr = g.infra.Call(now, g.conn, req.Operation, req.Body, cb)
+	})
+	if callErr != nil {
+		if req.ResponseExpected {
+			respond(&giop.Reply{Status: giop.SystemException, Body: encodeGatewayExc(callErr)})
+		}
+		return
+	}
+	if req.ResponseExpected {
+		// Block this TCP connection's reader until the group answers,
+		// preserving IIOP's per-connection reply ordering expectations
+		// for simple clients. (The group invocation itself proceeds on
+		// the runner loop.) Gateway shutdown or the reply deadline
+		// releases the wait.
+		timer := time.NewTimer(g.Timeout)
+		defer timer.Stop()
+		select {
+		case <-done:
+		case <-g.stop:
+		case <-timer.C:
+			respond(&giop.Reply{
+				Status: giop.SystemException,
+				Body:   encodeGatewayExc(fmt.Errorf("no reply from the object group within %v", g.Timeout)),
+			})
+		}
+	}
+}
+
+func encodeGatewayExc(err error) []byte {
+	e := giop.NewEncoder(false)
+	e.String(fmt.Sprintf("IDL:ftmp/gateway/Error:1.0#%v", err))
+	e.ULong(0)
+	e.ULong(0)
+	return e.Bytes()
+}
+
+// Close stops the listener and open connections.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	close(g.stop)
+	g.closed = true
+	conns := make([]net.Conn, 0, len(g.conns))
+	for c := range g.conns {
+		conns = append(conns, c)
+	}
+	g.mu.Unlock()
+	if g.lis != nil {
+		g.lis.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	g.wg.Wait()
+}

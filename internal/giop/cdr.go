@@ -1,0 +1,290 @@
+// Package giop implements the subset of CORBA's General Inter-ORB
+// Protocol needed by this repository: CDR (Common Data Representation)
+// marshalling and the eight GIOP message types the paper's section 3.1
+// enumerates (Request, Reply, CancelRequest, LocateRequest, LocateReply,
+// CloseConnection, MessageError and Fragment). It substitutes for the
+// commercial ORB runtimes of the paper's era (see DESIGN.md section 5):
+// the byte streams produced here are genuine GIOP 1.0.
+package giop
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// CDR alignment rules: every primitive is aligned to its own size,
+// relative to the start of the encapsulation.
+
+// Errors returned by the CDR codec.
+var (
+	ErrCDRShort    = errors.New("giop: CDR buffer exhausted")
+	ErrCDRString   = errors.New("giop: malformed CDR string")
+	ErrCDRSequence = errors.New("giop: sequence length exceeds buffer")
+)
+
+// Encoder marshals values into CDR. The zero value encodes big-endian;
+// use NewEncoder to choose the byte order.
+type Encoder struct {
+	buf    []byte
+	little bool
+}
+
+// NewEncoder returns a CDR encoder with the given byte order.
+func NewEncoder(littleEndian bool) *Encoder {
+	return &Encoder{little: littleEndian}
+}
+
+// Bytes returns the encoded stream.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the current length of the stream.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+func (e *Encoder) order() binary.AppendByteOrder {
+	if e.little {
+		return binary.LittleEndian
+	}
+	return binary.BigEndian
+}
+
+// Align pads the stream to a multiple of n (1, 2, 4 or 8).
+func (e *Encoder) Align(n int) {
+	for len(e.buf)%n != 0 {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Octet appends one unaligned byte.
+func (e *Encoder) Octet(v byte) { e.buf = append(e.buf, v) }
+
+// Boolean appends a CDR boolean (one octet, 0 or 1).
+func (e *Encoder) Boolean(v bool) {
+	if v {
+		e.Octet(1)
+	} else {
+		e.Octet(0)
+	}
+}
+
+// UShort appends an aligned unsigned short.
+func (e *Encoder) UShort(v uint16) {
+	e.Align(2)
+	e.buf = e.order().AppendUint16(e.buf, v)
+}
+
+// Short appends an aligned signed short.
+func (e *Encoder) Short(v int16) { e.UShort(uint16(v)) }
+
+// ULong appends an aligned unsigned long (32 bits).
+func (e *Encoder) ULong(v uint32) {
+	e.Align(4)
+	e.buf = e.order().AppendUint32(e.buf, v)
+}
+
+// Long appends an aligned signed long.
+func (e *Encoder) Long(v int32) { e.ULong(uint32(v)) }
+
+// ULongLong appends an aligned unsigned long long (64 bits).
+func (e *Encoder) ULongLong(v uint64) {
+	e.Align(8)
+	e.buf = e.order().AppendUint64(e.buf, v)
+}
+
+// LongLong appends an aligned signed long long.
+func (e *Encoder) LongLong(v int64) { e.ULongLong(uint64(v)) }
+
+// Float appends an aligned IEEE 754 single.
+func (e *Encoder) Float(v float32) { e.ULong(math.Float32bits(v)) }
+
+// Double appends an aligned IEEE 754 double.
+func (e *Encoder) Double(v float64) { e.ULongLong(math.Float64bits(v)) }
+
+// String appends a CDR string: ulong length including the terminating
+// NUL, the bytes, then NUL.
+func (e *Encoder) String(s string) {
+	e.ULong(uint32(len(s) + 1))
+	e.buf = append(e.buf, s...)
+	e.buf = append(e.buf, 0)
+}
+
+// OctetSeq appends sequence<octet>: ulong length then raw bytes.
+func (e *Encoder) OctetSeq(b []byte) {
+	e.ULong(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Raw appends bytes with no length prefix or alignment (pre-encoded
+// material such as a request body).
+func (e *Encoder) Raw(b []byte) { e.buf = append(e.buf, b...) }
+
+// Decoder unmarshals CDR values.
+type Decoder struct {
+	buf    []byte
+	pos    int
+	little bool
+	fail   error
+}
+
+// NewDecoder returns a CDR decoder over buf with the given byte order.
+func NewDecoder(buf []byte, littleEndian bool) *Decoder {
+	return &Decoder{buf: buf, little: littleEndian}
+}
+
+// Err returns the first decode error, if any.
+func (d *Decoder) Err() error { return d.fail }
+
+// Remaining returns the unread bytes (e.g. a request body following the
+// fixed header fields).
+func (d *Decoder) Remaining() []byte {
+	out := make([]byte, len(d.buf)-d.pos)
+	copy(out, d.buf[d.pos:])
+	d.pos = len(d.buf)
+	return out
+}
+
+// Pos returns the current read offset.
+func (d *Decoder) Pos() int { return d.pos }
+
+func (d *Decoder) setErr(err error) {
+	if d.fail == nil {
+		d.fail = err
+	}
+}
+
+func (d *Decoder) order() binary.ByteOrder {
+	if d.little {
+		return binary.LittleEndian
+	}
+	return binary.BigEndian
+}
+
+// Align advances the read position to a multiple of n.
+func (d *Decoder) Align(n int) {
+	for d.pos%n != 0 {
+		d.pos++
+	}
+	if d.pos > len(d.buf) {
+		d.setErr(ErrCDRShort)
+		d.pos = len(d.buf)
+	}
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.fail != nil {
+		return nil
+	}
+	if d.pos+n > len(d.buf) {
+		d.setErr(ErrCDRShort)
+		return nil
+	}
+	b := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return b
+}
+
+// Octet reads one unaligned byte.
+func (d *Decoder) Octet() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Boolean reads a CDR boolean.
+func (d *Decoder) Boolean() bool { return d.Octet() != 0 }
+
+// UShort reads an aligned unsigned short.
+func (d *Decoder) UShort() uint16 {
+	d.Align(2)
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return d.order().Uint16(b)
+}
+
+// Short reads an aligned signed short.
+func (d *Decoder) Short() int16 { return int16(d.UShort()) }
+
+// ULong reads an aligned unsigned long.
+func (d *Decoder) ULong() uint32 {
+	d.Align(4)
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return d.order().Uint32(b)
+}
+
+// Long reads an aligned signed long.
+func (d *Decoder) Long() int32 { return int32(d.ULong()) }
+
+// ULongLong reads an aligned unsigned long long.
+func (d *Decoder) ULongLong() uint64 {
+	d.Align(8)
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return d.order().Uint64(b)
+}
+
+// LongLong reads an aligned signed long long.
+func (d *Decoder) LongLong() int64 { return int64(d.ULongLong()) }
+
+// Float reads an aligned IEEE 754 single.
+func (d *Decoder) Float() float32 { return math.Float32frombits(d.ULong()) }
+
+// Double reads an aligned IEEE 754 double.
+func (d *Decoder) Double() float64 { return math.Float64frombits(d.ULongLong()) }
+
+// String reads a CDR string.
+func (d *Decoder) String() string {
+	n := d.ULong()
+	if d.fail != nil {
+		return ""
+	}
+	if n == 0 {
+		d.setErr(ErrCDRString)
+		return ""
+	}
+	b := d.take(int(n))
+	if b == nil {
+		return ""
+	}
+	if b[n-1] != 0 {
+		d.setErr(ErrCDRString)
+		return ""
+	}
+	return string(b[:n-1])
+}
+
+// OctetSeq reads sequence<octet>.
+func (d *Decoder) OctetSeq() []byte {
+	n := d.ULong()
+	if d.fail != nil {
+		return nil
+	}
+	if int(n) > len(d.buf)-d.pos {
+		d.setErr(ErrCDRSequence)
+		return nil
+	}
+	b := d.take(int(n))
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// Done reports an error if undecoded bytes remain.
+func (d *Decoder) Done() error {
+	if d.fail != nil {
+		return d.fail
+	}
+	if d.pos != len(d.buf) {
+		return fmt.Errorf("giop: %d trailing bytes", len(d.buf)-d.pos)
+	}
+	return nil
+}

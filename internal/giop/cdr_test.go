@@ -1,0 +1,206 @@
+package giop
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDRPrimitivesRoundTrip(t *testing.T) {
+	for _, little := range []bool{false, true} {
+		e := NewEncoder(little)
+		e.Octet(0xAB)
+		e.Boolean(true)
+		e.Boolean(false)
+		e.Short(-123)
+		e.UShort(54321)
+		e.Long(-70000)
+		e.ULong(4000000000)
+		e.LongLong(-1 << 40)
+		e.ULongLong(1 << 60)
+		e.Float(3.25)
+		e.Double(-2.5e300)
+		e.String("hello")
+		e.OctetSeq([]byte{1, 2, 3})
+
+		d := NewDecoder(e.Bytes(), little)
+		if v := d.Octet(); v != 0xAB {
+			t.Errorf("Octet = %x", v)
+		}
+		if !d.Boolean() || d.Boolean() {
+			t.Error("Boolean round-trip")
+		}
+		if v := d.Short(); v != -123 {
+			t.Errorf("Short = %d", v)
+		}
+		if v := d.UShort(); v != 54321 {
+			t.Errorf("UShort = %d", v)
+		}
+		if v := d.Long(); v != -70000 {
+			t.Errorf("Long = %d", v)
+		}
+		if v := d.ULong(); v != 4000000000 {
+			t.Errorf("ULong = %d", v)
+		}
+		if v := d.LongLong(); v != -1<<40 {
+			t.Errorf("LongLong = %d", v)
+		}
+		if v := d.ULongLong(); v != 1<<60 {
+			t.Errorf("ULongLong = %d", v)
+		}
+		if v := d.Float(); v != 3.25 {
+			t.Errorf("Float = %v", v)
+		}
+		if v := d.Double(); v != -2.5e300 {
+			t.Errorf("Double = %v", v)
+		}
+		if v := d.String(); v != "hello" {
+			t.Errorf("String = %q", v)
+		}
+		if v := d.OctetSeq(); !bytes.Equal(v, []byte{1, 2, 3}) {
+			t.Errorf("OctetSeq = %v", v)
+		}
+		if err := d.Done(); err != nil {
+			t.Errorf("Done: %v (little=%v)", err, little)
+		}
+	}
+}
+
+func TestCDRAlignment(t *testing.T) {
+	e := NewEncoder(false)
+	e.Octet(1) // pos 1
+	e.ULong(7) // aligns to 4: padding at 1..3
+	if e.Len() != 8 {
+		t.Errorf("len after octet+ulong = %d, want 8", e.Len())
+	}
+	e.Octet(2)     // pos 9
+	e.ULongLong(9) // aligns to 16
+	if e.Len() != 24 {
+		t.Errorf("len after octet+ulonglong = %d, want 24", e.Len())
+	}
+	d := NewDecoder(e.Bytes(), false)
+	if d.Octet() != 1 || d.ULong() != 7 || d.Octet() != 2 || d.ULongLong() != 9 {
+		t.Error("aligned decode mismatch")
+	}
+	if err := d.Done(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDRShortBuffer(t *testing.T) {
+	d := NewDecoder([]byte{1, 2}, false)
+	d.ULong()
+	if d.Err() == nil {
+		t.Error("short ULong decoded")
+	}
+	d2 := NewDecoder(nil, false)
+	d2.Octet()
+	if d2.Err() == nil {
+		t.Error("octet from empty buffer")
+	}
+}
+
+func TestCDRStringErrors(t *testing.T) {
+	// Zero length is invalid (must include NUL).
+	e := NewEncoder(false)
+	e.ULong(0)
+	d := NewDecoder(e.Bytes(), false)
+	_ = d.String()
+	if d.Err() == nil {
+		t.Error("zero-length string accepted")
+	}
+	// Missing NUL terminator.
+	e2 := NewEncoder(false)
+	e2.ULong(3)
+	e2.Raw([]byte("abc"))
+	d2 := NewDecoder(e2.Bytes(), false)
+	_ = d2.String()
+	if d2.Err() == nil {
+		t.Error("unterminated string accepted")
+	}
+}
+
+func TestCDRSequenceOverrun(t *testing.T) {
+	e := NewEncoder(false)
+	e.ULong(1 << 30)
+	d := NewDecoder(e.Bytes(), false)
+	d.OctetSeq()
+	if d.Err() == nil {
+		t.Error("huge sequence accepted")
+	}
+}
+
+func TestCDRErrSticky(t *testing.T) {
+	d := NewDecoder([]byte{0}, false)
+	d.ULong() // fails
+	first := d.Err()
+	d.Double() // would fail differently
+	if d.Err() != first {
+		t.Error("error not sticky")
+	}
+}
+
+func TestCDRRemaining(t *testing.T) {
+	d := NewDecoder([]byte{1, 2, 3, 4}, false)
+	d.Octet()
+	rem := d.Remaining()
+	if !bytes.Equal(rem, []byte{2, 3, 4}) {
+		t.Errorf("Remaining = %v", rem)
+	}
+	if err := d.Done(); err != nil {
+		t.Error(err)
+	}
+	// Remaining copies: mutating it must not touch the source.
+	src := []byte{9, 8}
+	d2 := NewDecoder(src, false)
+	r2 := d2.Remaining()
+	r2[0] = 0
+	if src[0] != 9 {
+		t.Error("Remaining aliases the input")
+	}
+}
+
+func TestCDRDoneTrailing(t *testing.T) {
+	d := NewDecoder([]byte{1, 2}, false)
+	d.Octet()
+	if err := d.Done(); err == nil {
+		t.Error("trailing byte unnoticed")
+	}
+}
+
+func TestCDRMixedRoundTripProperty(t *testing.T) {
+	f := func(a uint32, b uint16, c uint64, s []byte, str string, little bool) bool {
+		if len(str) > 1024 {
+			str = str[:1024]
+		}
+		// CDR strings cannot contain NUL.
+		clean := make([]byte, 0, len(str))
+		for _, ch := range []byte(str) {
+			if ch != 0 {
+				clean = append(clean, ch)
+			}
+		}
+		e := NewEncoder(little)
+		e.ULong(a)
+		e.UShort(b)
+		e.ULongLong(c)
+		e.OctetSeq(s)
+		e.String(string(clean))
+		d := NewDecoder(e.Bytes(), little)
+		if d.ULong() != a || d.UShort() != b || d.ULongLong() != c {
+			return false
+		}
+		if !bytes.Equal(d.OctetSeq(), s) {
+			return false
+		}
+		if d.String() != string(clean) {
+			return false
+		}
+		return d.Done() == nil
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,377 @@
+package giop
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// GIOP message types (GIOP 1.0/1.1; paper section 3.1 lists all eight).
+type MsgType uint8
+
+const (
+	// MsgRequest invokes an operation on an object.
+	MsgRequest MsgType = iota
+	// MsgReply answers a Request.
+	MsgReply
+	// MsgCancelRequest withdraws a pending Request.
+	MsgCancelRequest
+	// MsgLocateRequest asks where an object lives.
+	MsgLocateRequest
+	// MsgLocateReply answers a LocateRequest.
+	MsgLocateReply
+	// MsgCloseConnection announces orderly shutdown of a connection.
+	MsgCloseConnection
+	// MsgMessageError reports an unparseable message.
+	MsgMessageError
+	// MsgFragment continues a fragmented message (GIOP 1.1).
+	MsgFragment
+
+	numMsgTypes
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgRequest:
+		return "Request"
+	case MsgReply:
+		return "Reply"
+	case MsgCancelRequest:
+		return "CancelRequest"
+	case MsgLocateRequest:
+		return "LocateRequest"
+	case MsgLocateReply:
+		return "LocateReply"
+	case MsgCloseConnection:
+		return "CloseConnection"
+	case MsgMessageError:
+		return "MessageError"
+	case MsgFragment:
+		return "Fragment"
+	default:
+		return fmt.Sprintf("GIOPType(%d)", uint8(t))
+	}
+}
+
+// ReplyStatus is the status discriminator in a Reply.
+type ReplyStatus uint32
+
+const (
+	// NoException: the operation completed; the body holds results.
+	NoException ReplyStatus = iota
+	// UserException: the body holds a user exception.
+	UserException
+	// SystemException: the body holds a system exception.
+	SystemException
+	// LocationForward: the body holds a new IOR to retry against.
+	LocationForward
+)
+
+// String implements fmt.Stringer.
+func (s ReplyStatus) String() string {
+	switch s {
+	case NoException:
+		return "NO_EXCEPTION"
+	case UserException:
+		return "USER_EXCEPTION"
+	case SystemException:
+		return "SYSTEM_EXCEPTION"
+	case LocationForward:
+		return "LOCATION_FORWARD"
+	default:
+		return fmt.Sprintf("ReplyStatus(%d)", uint32(s))
+	}
+}
+
+// LocateStatus is the status in a LocateReply.
+type LocateStatus uint32
+
+const (
+	// UnknownObject: the object key is not known here.
+	UnknownObject LocateStatus = iota
+	// ObjectHere: the object is served at this endpoint.
+	ObjectHere
+	// ObjectForward: the body holds a new IOR.
+	ObjectForward
+)
+
+// HeaderSize is the fixed GIOP message header size.
+const HeaderSize = 12
+
+// GIOP protocol constants.
+var (
+	magic = [4]byte{'G', 'I', 'O', 'P'}
+)
+
+// Codec errors.
+var (
+	ErrBadMagic   = errors.New("giop: bad magic")
+	ErrBadVersion = errors.New("giop: unsupported GIOP version")
+	ErrBadType    = errors.New("giop: unknown message type")
+	ErrTooLarge   = errors.New("giop: message exceeds size limit")
+)
+
+// MaxMessageSize bounds accepted GIOP messages.
+const MaxMessageSize = 1 << 24
+
+// ServiceContext is one entry of a GIOP service context list.
+type ServiceContext struct {
+	ID   uint32
+	Data []byte
+}
+
+// Request is a GIOP Request message.
+type Request struct {
+	ServiceContext []ServiceContext
+	RequestID      uint32
+	// ResponseExpected is false for oneway operations.
+	ResponseExpected bool
+	ObjectKey        []byte
+	Operation        string
+	Principal        []byte
+	// Body is the CDR-encoded in parameters.
+	Body []byte
+}
+
+// Reply is a GIOP Reply message.
+type Reply struct {
+	ServiceContext []ServiceContext
+	RequestID      uint32
+	Status         ReplyStatus
+	// Body is the CDR-encoded results or exception.
+	Body []byte
+}
+
+// CancelRequest is a GIOP CancelRequest message.
+type CancelRequest struct {
+	RequestID uint32
+}
+
+// LocateRequest is a GIOP LocateRequest message.
+type LocateRequest struct {
+	RequestID uint32
+	ObjectKey []byte
+}
+
+// LocateReply is a GIOP LocateReply message.
+type LocateReply struct {
+	RequestID uint32
+	Status    LocateStatus
+	Body      []byte
+}
+
+// CloseConnection is a GIOP CloseConnection message (empty body).
+type CloseConnection struct{}
+
+// MessageError is a GIOP MessageError message (empty body).
+type MessageError struct{}
+
+// Fragment continues a fragmented message.
+type Fragment struct {
+	Data []byte
+}
+
+// Message is a decoded GIOP message: exactly one field set according to
+// Type.
+type Message struct {
+	Type         MsgType
+	LittleEndian bool
+
+	Request         *Request
+	Reply           *Reply
+	CancelRequest   *CancelRequest
+	LocateRequest   *LocateRequest
+	LocateReply     *LocateReply
+	CloseConnection *CloseConnection
+	MessageError    *MessageError
+	Fragment        *Fragment
+}
+
+func encodeServiceContexts(e *Encoder, scs []ServiceContext) {
+	e.ULong(uint32(len(scs)))
+	for _, sc := range scs {
+		e.ULong(sc.ID)
+		e.OctetSeq(sc.Data)
+	}
+}
+
+func decodeServiceContexts(d *Decoder) []ServiceContext {
+	n := d.ULong()
+	if d.Err() != nil || n > 1024 {
+		if n > 1024 {
+			d.setErr(ErrCDRSequence)
+		}
+		return nil
+	}
+	out := make([]ServiceContext, 0, n)
+	for i := uint32(0); i < n; i++ {
+		sc := ServiceContext{ID: d.ULong(), Data: d.OctetSeq()}
+		if d.Err() != nil {
+			return nil
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+// Encode serializes a GIOP message (header + body) in the given byte
+// order. GIOP version 1.0 is emitted.
+func Encode(m Message, littleEndian bool) ([]byte, error) {
+	body := NewEncoder(littleEndian)
+	switch m.Type {
+	case MsgRequest:
+		r := m.Request
+		if r == nil {
+			return nil, fmt.Errorf("giop: Request body missing")
+		}
+		encodeServiceContexts(body, r.ServiceContext)
+		body.ULong(r.RequestID)
+		body.Boolean(r.ResponseExpected)
+		body.OctetSeq(r.ObjectKey)
+		body.String(r.Operation)
+		body.OctetSeq(r.Principal)
+		body.Raw(r.Body)
+	case MsgReply:
+		r := m.Reply
+		if r == nil {
+			return nil, fmt.Errorf("giop: Reply body missing")
+		}
+		encodeServiceContexts(body, r.ServiceContext)
+		body.ULong(r.RequestID)
+		body.ULong(uint32(r.Status))
+		body.Raw(r.Body)
+	case MsgCancelRequest:
+		if m.CancelRequest == nil {
+			return nil, fmt.Errorf("giop: CancelRequest body missing")
+		}
+		body.ULong(m.CancelRequest.RequestID)
+	case MsgLocateRequest:
+		r := m.LocateRequest
+		if r == nil {
+			return nil, fmt.Errorf("giop: LocateRequest body missing")
+		}
+		body.ULong(r.RequestID)
+		body.OctetSeq(r.ObjectKey)
+	case MsgLocateReply:
+		r := m.LocateReply
+		if r == nil {
+			return nil, fmt.Errorf("giop: LocateReply body missing")
+		}
+		body.ULong(r.RequestID)
+		body.ULong(uint32(r.Status))
+		body.Raw(r.Body)
+	case MsgCloseConnection, MsgMessageError:
+		// Empty bodies.
+	case MsgFragment:
+		if m.Fragment == nil {
+			return nil, fmt.Errorf("giop: Fragment body missing")
+		}
+		body.Raw(m.Fragment.Data)
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrBadType, m.Type)
+	}
+
+	b := body.Bytes()
+	if len(b) > MaxMessageSize {
+		return nil, ErrTooLarge
+	}
+	hdr := NewEncoder(littleEndian)
+	hdr.Raw(magic[:])
+	hdr.Octet(1) // GIOP 1.0
+	hdr.Octet(0)
+	hdr.Boolean(littleEndian)
+	hdr.Octet(byte(m.Type))
+	hdr.ULong(uint32(len(b)))
+	return append(hdr.Bytes(), b...), nil
+}
+
+// Decode parses a complete GIOP message.
+func Decode(buf []byte) (Message, error) {
+	var m Message
+	if len(buf) < HeaderSize {
+		return m, ErrCDRShort
+	}
+	if [4]byte(buf[0:4]) != magic {
+		return m, ErrBadMagic
+	}
+	if buf[4] != 1 || buf[5] > 2 {
+		return m, fmt.Errorf("%w: %d.%d", ErrBadVersion, buf[4], buf[5])
+	}
+	m.LittleEndian = buf[6]&0x01 != 0
+	m.Type = MsgType(buf[7])
+	if m.Type >= numMsgTypes {
+		return m, fmt.Errorf("%w: %d", ErrBadType, buf[7])
+	}
+	hd := NewDecoder(buf[8:12], m.LittleEndian)
+	size := hd.ULong()
+	if size > MaxMessageSize {
+		return m, ErrTooLarge
+	}
+	if int(size) != len(buf)-HeaderSize {
+		return m, fmt.Errorf("giop: size %d, body %d", size, len(buf)-HeaderSize)
+	}
+	d := NewDecoder(buf[HeaderSize:], m.LittleEndian)
+	switch m.Type {
+	case MsgRequest:
+		r := &Request{}
+		r.ServiceContext = decodeServiceContexts(d)
+		r.RequestID = d.ULong()
+		r.ResponseExpected = d.Boolean()
+		r.ObjectKey = d.OctetSeq()
+		r.Operation = d.String()
+		r.Principal = d.OctetSeq()
+		r.Body = d.Remaining()
+		m.Request = r
+	case MsgReply:
+		r := &Reply{}
+		r.ServiceContext = decodeServiceContexts(d)
+		r.RequestID = d.ULong()
+		r.Status = ReplyStatus(d.ULong())
+		r.Body = d.Remaining()
+		m.Reply = r
+	case MsgCancelRequest:
+		m.CancelRequest = &CancelRequest{RequestID: d.ULong()}
+	case MsgLocateRequest:
+		m.LocateRequest = &LocateRequest{RequestID: d.ULong(), ObjectKey: d.OctetSeq()}
+	case MsgLocateReply:
+		r := &LocateReply{}
+		r.RequestID = d.ULong()
+		r.Status = LocateStatus(d.ULong())
+		r.Body = d.Remaining()
+		m.LocateReply = r
+	case MsgCloseConnection:
+		m.CloseConnection = &CloseConnection{}
+	case MsgMessageError:
+		m.MessageError = &MessageError{}
+	case MsgFragment:
+		m.Fragment = &Fragment{Data: d.Remaining()}
+	}
+	if err := d.Err(); err != nil {
+		return m, fmt.Errorf("giop: decoding %v: %w", m.Type, err)
+	}
+	return m, nil
+}
+
+// ReadMessage reads one complete GIOP message from a stream (IIOP
+// framing: fixed header, then message_size bytes).
+func ReadMessage(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, HeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	if [4]byte(hdr[0:4]) != magic {
+		return nil, ErrBadMagic
+	}
+	little := hdr[6]&0x01 != 0
+	size := NewDecoder(hdr[8:12], little).ULong()
+	if size > MaxMessageSize {
+		return nil, ErrTooLarge
+	}
+	buf := make([]byte, HeaderSize+int(size))
+	copy(buf, hdr)
+	if _, err := io.ReadFull(r, buf[HeaderSize:]); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

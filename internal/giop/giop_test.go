@@ -1,0 +1,259 @@
+package giop
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleMessages() []Message {
+	return []Message{
+		{Type: MsgRequest, Request: &Request{
+			ServiceContext:   []ServiceContext{{ID: 7, Data: []byte("ctx")}},
+			RequestID:        42,
+			ResponseExpected: true,
+			ObjectKey:        []byte("account/1"),
+			Operation:        "deposit",
+			Principal:        []byte("alice"),
+			Body:             []byte{0, 0, 0, 5},
+		}},
+		{Type: MsgReply, Reply: &Reply{
+			RequestID: 42,
+			Status:    NoException,
+			Body:      []byte{0, 0, 0, 9},
+		}},
+		{Type: MsgCancelRequest, CancelRequest: &CancelRequest{RequestID: 42}},
+		{Type: MsgLocateRequest, LocateRequest: &LocateRequest{RequestID: 9, ObjectKey: []byte("k")}},
+		{Type: MsgLocateReply, LocateReply: &LocateReply{RequestID: 9, Status: ObjectHere}},
+		{Type: MsgCloseConnection, CloseConnection: &CloseConnection{}},
+		{Type: MsgMessageError, MessageError: &MessageError{}},
+		{Type: MsgFragment, Fragment: &Fragment{Data: []byte("tail")}},
+	}
+}
+
+func normalizeMsg(m *Message) {
+	if m.Request != nil {
+		if len(m.Request.Body) == 0 {
+			m.Request.Body = nil
+		}
+		if len(m.Request.ServiceContext) == 0 {
+			m.Request.ServiceContext = nil
+		}
+	}
+	if m.Reply != nil {
+		if len(m.Reply.Body) == 0 {
+			m.Reply.Body = nil
+		}
+		if len(m.Reply.ServiceContext) == 0 {
+			m.Reply.ServiceContext = nil
+		}
+	}
+	if m.LocateReply != nil && len(m.LocateReply.Body) == 0 {
+		m.LocateReply.Body = nil
+	}
+	if m.Fragment != nil && len(m.Fragment.Data) == 0 {
+		m.Fragment.Data = nil
+	}
+}
+
+func TestAllEightTypesRoundTrip(t *testing.T) {
+	// Paper section 3.1: GIOP defines eight message types; all must
+	// encode and decode.
+	for _, little := range []bool{false, true} {
+		for _, m := range sampleMessages() {
+			buf, err := Encode(m, little)
+			if err != nil {
+				t.Fatalf("Encode(%v): %v", m.Type, err)
+			}
+			got, err := Decode(buf)
+			if err != nil {
+				t.Fatalf("Decode(%v, little=%v): %v", m.Type, little, err)
+			}
+			want := m
+			want.LittleEndian = little
+			normalizeMsg(&got)
+			normalizeMsg(&want)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%v round-trip:\n got %+v\nwant %+v", m.Type, got, want)
+			}
+		}
+	}
+}
+
+func TestGIOPHeaderLayout(t *testing.T) {
+	buf, err := Encode(Message{Type: MsgCloseConnection, CloseConnection: &CloseConnection{}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[0:4], []byte("GIOP")) {
+		t.Error("magic missing")
+	}
+	if buf[4] != 1 || buf[5] != 0 {
+		t.Errorf("version = %d.%d, want 1.0", buf[4], buf[5])
+	}
+	if len(buf) != HeaderSize {
+		t.Errorf("empty-body message length = %d", len(buf))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good, err := Encode(sampleMessages()[0], false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("short", func(t *testing.T) {
+		if _, err := Decode(good[:4]); err == nil {
+			t.Error("short buffer accepted")
+		}
+	})
+	t.Run("magic", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[0] = 'X'
+		if _, err := Decode(b); !errors.Is(err, ErrBadMagic) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("version", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[4] = 3
+		if _, err := Decode(b); !errors.Is(err, ErrBadVersion) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("type", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[7] = 99
+		if _, err := Decode(b); !errors.Is(err, ErrBadType) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("size mismatch", func(t *testing.T) {
+		b := append(append([]byte(nil), good...), 0xEE)
+		if _, err := Decode(b); err == nil {
+			t.Error("trailing byte accepted")
+		}
+	})
+	t.Run("truncated body", func(t *testing.T) {
+		b := append([]byte(nil), good[:len(good)-3]...)
+		if _, err := Decode(b); err == nil {
+			t.Error("truncated body accepted")
+		}
+	})
+}
+
+func TestEncodeMissingBody(t *testing.T) {
+	for _, typ := range []MsgType{MsgRequest, MsgReply, MsgCancelRequest, MsgLocateRequest, MsgLocateReply, MsgFragment} {
+		if _, err := Encode(Message{Type: typ}, false); err == nil {
+			t.Errorf("Encode(%v) with nil body succeeded", typ)
+		}
+	}
+	if _, err := Encode(Message{Type: MsgType(77)}, false); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestReadMessageFraming(t *testing.T) {
+	var stream bytes.Buffer
+	msgs := sampleMessages()
+	for _, m := range msgs {
+		buf, err := Encode(m, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Write(buf)
+	}
+	for i := range msgs {
+		raw, err := ReadMessage(&stream)
+		if err != nil {
+			t.Fatalf("ReadMessage %d: %v", i, err)
+		}
+		m, err := Decode(raw)
+		if err != nil {
+			t.Fatalf("Decode %d: %v", i, err)
+		}
+		if m.Type != msgs[i].Type {
+			t.Errorf("message %d type = %v, want %v", i, m.Type, msgs[i].Type)
+		}
+	}
+	if _, err := ReadMessage(&stream); err == nil {
+		t.Error("read past end succeeded")
+	}
+}
+
+func TestReadMessageBadMagic(t *testing.T) {
+	r := bytes.NewReader([]byte("XXXXXXXXXXXXXXXX"))
+	if _, err := ReadMessage(r); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if MsgRequest.String() != "Request" || MsgFragment.String() != "Fragment" {
+		t.Error("MsgType strings")
+	}
+	if MsgType(99).String() == "" {
+		t.Error("unknown MsgType string")
+	}
+	if NoException.String() != "NO_EXCEPTION" || SystemException.String() != "SYSTEM_EXCEPTION" {
+		t.Error("ReplyStatus strings")
+	}
+	if ReplyStatus(9).String() == "" {
+		t.Error("unknown ReplyStatus string")
+	}
+}
+
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(id uint32, expectResp bool, key, principal, body []byte, op string, little bool) bool {
+		if len(op) > 256 {
+			op = op[:256]
+		}
+		clean := make([]byte, 0, len(op))
+		for _, ch := range []byte(op) {
+			if ch != 0 {
+				clean = append(clean, ch)
+			}
+		}
+		m := Message{Type: MsgRequest, Request: &Request{
+			RequestID:        id,
+			ResponseExpected: expectResp,
+			ObjectKey:        key,
+			Operation:        string(clean),
+			Principal:        principal,
+			Body:             body,
+		}}
+		buf, err := Encode(m, little)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		r := got.Request
+		return r.RequestID == id && r.ResponseExpected == expectResp &&
+			bytes.Equal(r.ObjectKey, key) && r.Operation == string(clean) &&
+			bytes.Equal(r.Principal, principal) && bytes.Equal(r.Body, body)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeFuzzNeverPanics(t *testing.T) {
+	f := func(raw []byte, fixHeader bool) bool {
+		if fixHeader && len(raw) >= 12 {
+			copy(raw[0:4], "GIOP")
+			raw[4], raw[5] = 1, 0
+		}
+		_, _ = Decode(raw)
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(6))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

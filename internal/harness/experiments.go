@@ -1,0 +1,497 @@
+package harness
+
+import (
+	"encoding/binary"
+
+	"ftmp/internal/baseline/sequencer"
+	"ftmp/internal/baseline/tokenring"
+	"ftmp/internal/core"
+	"ftmp/internal/ids"
+	"ftmp/internal/simnet"
+	"ftmp/internal/trace"
+)
+
+// The experiment group identifier used by all core experiments.
+const expGroup = ids.GroupID(1000)
+
+// SeedOffset is added to every experiment's base seed; zero (the
+// default) reproduces the runs recorded in EXPERIMENTS.md, any other
+// value re-runs the suite on fresh randomness (ftmpbench -seed).
+var SeedOffset int64
+
+// Protocol names the total-order protocols the comparisons cover.
+type Protocol string
+
+// Comparison protocols.
+const (
+	ProtoFTMP      Protocol = "ftmp"
+	ProtoSequencer Protocol = "sequencer"
+	ProtoTokenRing Protocol = "tokenring"
+)
+
+// payload builds an experiment payload of the given size whose first
+// eight bytes carry the message index.
+func payload(index int, size int) []byte {
+	if size < 8 {
+		size = 8
+	}
+	b := make([]byte, size)
+	binary.BigEndian.PutUint64(b, uint64(index))
+	return b
+}
+
+func payloadIndex(b []byte) int {
+	if len(b) < 8 {
+		return -1
+	}
+	return int(binary.BigEndian.Uint64(b))
+}
+
+// latencyCollector tracks until-delivered-everywhere latency per message.
+type latencyCollector struct {
+	n         int
+	expect    int
+	sendTimes map[int]int64
+	seen      map[int]int
+	hist      *trace.Histogram
+	total     int
+	complete  int
+}
+
+func newLatencyCollector(groupSize, expect int) *latencyCollector {
+	return &latencyCollector{
+		n:         groupSize,
+		expect:    expect,
+		sendTimes: make(map[int]int64),
+		seen:      make(map[int]int),
+		hist:      &trace.Histogram{},
+	}
+}
+
+func (lc *latencyCollector) sent(i int, now int64) {
+	lc.sendTimes[i] = now
+	lc.total++
+}
+
+func (lc *latencyCollector) delivered(i int, now int64) {
+	lc.seen[i]++
+	if lc.seen[i] == lc.n {
+		lc.hist.AddNs(now - lc.sendTimes[i])
+		lc.complete++
+	}
+}
+
+func (lc *latencyCollector) done() bool { return lc.complete >= lc.expect }
+
+// RunLatency measures totally-ordered delivery latency (send until
+// delivered at every member) for one protocol: msgs messages of size
+// bytes from a single sender, paced interval apart (one in flight for
+// the E1 configuration).
+func RunLatency(proto Protocol, seed int64, n, msgs, size int, interval simnet.Time, net simnet.Config) *trace.Histogram {
+	switch proto {
+	case ProtoFTMP:
+		return runFTMPLatency(seed, n, msgs, size, interval, net, nil)
+	case ProtoSequencer:
+		return runBaselineLatency(true, seed, n, msgs, size, interval, net)
+	case ProtoTokenRing:
+		return runBaselineLatency(false, seed, n, msgs, size, interval, net)
+	default:
+		panic("unknown protocol " + string(proto))
+	}
+}
+
+func runFTMPLatency(seed int64, n, msgs, size int, interval simnet.Time, netCfg simnet.Config, configure func(ids.ProcessorID, *core.Config)) *trace.Histogram {
+	procs := make([]ids.ProcessorID, n)
+	for i := range procs {
+		procs[i] = ids.ProcessorID(i + 1)
+	}
+	c := NewCluster(Options{Seed: seed, Net: netCfg, Configure: configure}, procs...)
+	m := ids.NewMembership(procs...)
+	c.CreateGroup(expGroup, m)
+	lc := newLatencyCollector(n, msgs)
+	for _, p := range procs {
+		h := c.Host(p)
+		h.OnDeliver = func(d core.Delivery, now int64) {
+			if i := payloadIndex(d.Payload); i >= 0 {
+				lc.delivered(i, now)
+			}
+		}
+	}
+	c.RunFor(100 * simnet.Millisecond) // settle
+	sender := c.Host(procs[0])
+	var sendNext func(i int)
+	sendNext = func(i int) {
+		if i >= msgs {
+			return
+		}
+		now := int64(c.Net.Now())
+		lc.sent(i, now)
+		_ = sender.Node.Multicast(now, expGroup, ids.ConnectionID{}, 0, payload(i, size))
+		c.Net.At(c.Net.Now()+interval, func() { sendNext(i + 1) })
+	}
+	c.Net.At(c.Net.Now(), func() { sendNext(0) })
+	c.RunUntil(c.Net.Now()+simnet.Time(msgs+200)*interval+60*simnet.Second, lc.done)
+	return lc.hist
+}
+
+func runBaselineLatency(useSequencer bool, seed int64, n, msgs, size int, interval simnet.Time, netCfg simnet.Config) *trace.Histogram {
+	net := simnet.New(seed, netCfg)
+	lc := newLatencyCollector(n, msgs)
+	type protoNode interface {
+		Multicast(now int64, payload []byte) error
+		HandlePacket(data []byte, now int64)
+		Tick(now int64)
+	}
+	var members ids.Membership
+	for i := 1; i <= n; i++ {
+		members = members.Add(ids.ProcessorID(i))
+	}
+	const addr = simnet.Addr(900)
+	nodes := make(map[ids.ProcessorID]protoNode)
+	for _, p := range members {
+		p := p
+		transmit := func(data []byte) { net.Send(simnet.NodeID(p), addr, data) }
+		deliver := func(src ids.ProcessorID, b []byte, now int64) {
+			if i := payloadIndex(b); i >= 0 {
+				lc.delivered(i, now)
+			}
+		}
+		var node protoNode
+		if useSequencer {
+			node = sequencer.New(p, members, sequencer.DefaultConfig(), transmit, deliver)
+		} else {
+			node = tokenring.New(p, members, tokenring.DefaultConfig(), transmit, deliver)
+		}
+		nodes[p] = node
+		net.AddNode(simnet.NodeID(p), simnet.EndpointFunc{
+			OnPacket: func(data []byte, _ simnet.Addr, now int64) { node.HandlePacket(data, now) },
+			OnTick:   func(now int64) { node.Tick(now) },
+		}, simnet.Millisecond)
+		net.Subscribe(simnet.NodeID(p), addr)
+	}
+	net.Run(100 * simnet.Millisecond)
+	sender := nodes[members[0]]
+	if !useSequencer {
+		// Fairness: in a ring, the lowest id starts with the token; let
+		// a non-privileged member send instead.
+		sender = nodes[members[len(members)-1]]
+	}
+	var sendNext func(i int)
+	sendNext = func(i int) {
+		if i >= msgs {
+			return
+		}
+		now := int64(net.Now())
+		lc.sent(i, now)
+		_ = sender.Multicast(now, payload(i, size))
+		net.At(net.Now()+interval, func() { sendNext(i + 1) })
+	}
+	net.At(net.Now(), func() { sendNext(0) })
+	net.RunUntil(net.Now()+simnet.Time(msgs+200)*interval+60*simnet.Second, lc.done)
+	return lc.hist
+}
+
+// E1Latency regenerates experiment E1: delivery latency versus group
+// size for FTMP, the fixed sequencer and the token ring.
+func E1Latency(sizes []int, msgs int) *trace.Table {
+	tb := trace.NewTable(
+		"E1: totally-ordered delivery latency vs group size (ms; send -> delivered at all members)",
+		"n", "ftmp mean", "ftmp p99", "seq mean", "seq p99", "ring mean", "ring p99")
+	for _, n := range sizes {
+		net := simnet.NewConfig()
+		f := RunLatency(ProtoFTMP, SeedOffset+100+int64(n), n, msgs, 64, 5*simnet.Millisecond, net)
+		s := RunLatency(ProtoSequencer, SeedOffset+100+int64(n), n, msgs, 64, 5*simnet.Millisecond, net)
+		r := RunLatency(ProtoTokenRing, SeedOffset+100+int64(n), n, msgs, 64, 5*simnet.Millisecond, net)
+		tb.AddRow(n,
+			trace.Ms(f.Mean()), trace.Ms(f.Percentile(99)),
+			trace.Ms(s.Mean()), trace.Ms(s.Percentile(99)),
+			trace.Ms(r.Mean()), trace.Ms(r.Percentile(99)))
+	}
+	return tb
+}
+
+// ThroughputResult is one protocol's measured throughput.
+type ThroughputResult struct {
+	Msgs     int
+	Duration simnet.Time
+	MsgsPerS float64
+	MBPerS   float64
+}
+
+// RunThroughput measures aggregate ordered throughput: every member
+// streams msgs/n messages of the given size, paced tightly; the run
+// ends when every member has delivered all of them.
+func RunThroughput(proto Protocol, seed int64, n, msgs, size int, net simnet.Config) ThroughputResult {
+	interval := 200 * simnet.Microsecond
+	var start, end simnet.Time
+	switch proto {
+	case ProtoFTMP:
+		procs := make([]ids.ProcessorID, n)
+		for i := range procs {
+			procs[i] = ids.ProcessorID(i + 1)
+		}
+		c := NewCluster(Options{Seed: seed, Net: net}, procs...)
+		m := ids.NewMembership(procs...)
+		c.CreateGroup(expGroup, m)
+		delivered := make(map[ids.ProcessorID]int)
+		for _, p := range procs {
+			p := p
+			c.Host(p).OnDeliver = func(d core.Delivery, now int64) { delivered[p]++ }
+		}
+		c.RunFor(100 * simnet.Millisecond)
+		start = c.Net.Now()
+		per := msgs / n
+		for pi, p := range procs {
+			p, pi := p, pi
+			var send func(i int)
+			send = func(i int) {
+				if i >= per {
+					return
+				}
+				_ = c.Host(p).Node.Multicast(int64(c.Net.Now()), expGroup, ids.ConnectionID{}, 0, payload(pi*per+i, size))
+				c.Net.At(c.Net.Now()+interval, func() { send(i + 1) })
+			}
+			c.Net.At(start, func() { send(0) })
+		}
+		total := per * n
+		c.RunUntil(start+10*simnet.Second*simnet.Time(1+msgs/1000), func() bool {
+			for _, p := range procs {
+				if delivered[p] < total {
+					return false
+				}
+			}
+			return true
+		})
+		end = c.Net.Now()
+	default:
+		useSeq := proto == ProtoSequencer
+		netw := simnet.New(seed, net)
+		var members ids.Membership
+		for i := 1; i <= n; i++ {
+			members = members.Add(ids.ProcessorID(i))
+		}
+		type protoNode interface {
+			Multicast(now int64, payload []byte) error
+			HandlePacket(data []byte, now int64)
+			Tick(now int64)
+		}
+		const addr = simnet.Addr(901)
+		nodes := make(map[ids.ProcessorID]protoNode)
+		delivered := make(map[ids.ProcessorID]int)
+		for _, p := range members {
+			p := p
+			transmit := func(data []byte) { netw.Send(simnet.NodeID(p), addr, data) }
+			deliver := func(src ids.ProcessorID, b []byte, now int64) { delivered[p]++ }
+			var node protoNode
+			if useSeq {
+				node = sequencer.New(p, members, sequencer.DefaultConfig(), transmit, deliver)
+			} else {
+				node = tokenring.New(p, members, tokenring.DefaultConfig(), transmit, deliver)
+			}
+			nodes[p] = node
+			netw.AddNode(simnet.NodeID(p), simnet.EndpointFunc{
+				OnPacket: func(data []byte, _ simnet.Addr, now int64) { node.HandlePacket(data, now) },
+				OnTick:   func(now int64) { node.Tick(now) },
+			}, simnet.Millisecond)
+			netw.Subscribe(simnet.NodeID(p), addr)
+		}
+		netw.Run(100 * simnet.Millisecond)
+		start = netw.Now()
+		per := msgs / n
+		for pi, p := range members {
+			p, pi := p, pi
+			var send func(i int)
+			send = func(i int) {
+				if i >= per {
+					return
+				}
+				_ = nodes[p].Multicast(int64(netw.Now()), payload(pi*per+i, size))
+				netw.At(netw.Now()+interval, func() { send(i + 1) })
+			}
+			netw.At(start, func() { send(0) })
+		}
+		total := per * n
+		netw.RunUntil(start+10*simnet.Second*simnet.Time(1+msgs/1000), func() bool {
+			for _, p := range members {
+				if delivered[p] < total {
+					return false
+				}
+			}
+			return true
+		})
+		end = netw.Now()
+	}
+	dur := end - start
+	if dur <= 0 {
+		dur = 1
+	}
+	secs := float64(dur) / float64(simnet.Second)
+	return ThroughputResult{
+		Msgs:     msgs,
+		Duration: dur,
+		MsgsPerS: float64(msgs) / secs,
+		MBPerS:   float64(msgs) * float64(size) / secs / 1e6,
+	}
+}
+
+// E2Throughput regenerates experiment E2: ordered throughput versus
+// payload size (n = 4 members, all sending).
+func E2Throughput(sizes []int, msgs int) *trace.Table {
+	tb := trace.NewTable(
+		"E2: ordered throughput vs payload size (n=4, all members sending)",
+		"payload B", "ftmp msg/s", "ftmp MB/s", "seq msg/s", "ring msg/s")
+	for _, size := range sizes {
+		f := RunThroughput(ProtoFTMP, SeedOffset+200, 4, msgs, size, simnet.NewConfig())
+		s := RunThroughput(ProtoSequencer, SeedOffset+200, 4, msgs, size, simnet.NewConfig())
+		r := RunThroughput(ProtoTokenRing, SeedOffset+200, 4, msgs, size, simnet.NewConfig())
+		tb.AddRow(size, f.MsgsPerS, f.MBPerS, s.MsgsPerS, r.MsgsPerS)
+	}
+	return tb
+}
+
+// E3Result is one heartbeat-interval sample: the paper's latency versus
+// network-traffic compromise (section 5).
+type E3Result struct {
+	HeartbeatMs float64
+	MeanMs      float64
+	P99Ms       float64
+	PacketsPerS float64
+}
+
+// RunE3Heartbeat measures delivery latency and network packet rate for
+// one heartbeat interval, under a sparse workload where ordering must
+// wait on heartbeats from idle members.
+func RunE3Heartbeat(hb simnet.Time, seed int64) E3Result {
+	n, msgs := 4, 30
+	netCfg := simnet.NewConfig()
+	procs := []ids.ProcessorID{1, 2, 3, 4}
+	c := NewCluster(Options{
+		Seed: seed, Net: netCfg,
+		Configure: func(p ids.ProcessorID, cfg *core.Config) {
+			cfg.HeartbeatInterval = int64(hb)
+		},
+	}, procs...)
+	m := ids.NewMembership(procs...)
+	c.CreateGroup(expGroup, m)
+	lc := newLatencyCollector(n, msgs)
+	for _, p := range procs {
+		c.Host(p).OnDeliver = func(d core.Delivery, now int64) {
+			if i := payloadIndex(d.Payload); i >= 0 {
+				lc.delivered(i, now)
+			}
+		}
+	}
+	c.RunFor(200 * simnet.Millisecond)
+	startPkts := c.Net.Stats().PacketsSent
+	start := c.Net.Now()
+	// Sparse single sender: one message every 53ms (co-prime with every
+	// heartbeat interval in the sweep, so the send phase drifts across
+	// the heartbeat cycle), making delivery latency depend on waiting
+	// for the idle members' heartbeats.
+	const gap = 53 * simnet.Millisecond
+	var send func(i int)
+	send = func(i int) {
+		if i >= msgs {
+			return
+		}
+		now := int64(c.Net.Now())
+		lc.sent(i, now)
+		_ = c.Host(1).Node.Multicast(now, expGroup, ids.ConnectionID{}, 0, payload(i, 64))
+		c.Net.At(c.Net.Now()+gap, func() { send(i + 1) })
+	}
+	c.Net.At(start, func() { send(0) })
+	c.RunUntil(start+simnet.Time(msgs)*gap+30*simnet.Second, lc.done)
+	dur := float64(c.Net.Now()-start) / float64(simnet.Second)
+	pkts := float64(c.Net.Stats().PacketsSent - startPkts)
+	return E3Result{
+		HeartbeatMs: float64(hb) / 1e6,
+		MeanMs:      trace.Ms(lc.hist.Mean()),
+		P99Ms:       trace.Ms(lc.hist.Percentile(99)),
+		PacketsPerS: pkts / dur,
+	}
+}
+
+// E3Heartbeat regenerates experiment E3: the heartbeat interval
+// compromise between message latency and network traffic.
+func E3Heartbeat(intervals []simnet.Time) *trace.Table {
+	tb := trace.NewTable(
+		"E3: heartbeat interval vs latency and network traffic (paper section 5)",
+		"hb ms", "mean ms", "p99 ms", "pkts/s")
+	for i, hb := range intervals {
+		r := RunE3Heartbeat(hb, SeedOffset+300+int64(i))
+		tb.AddRow(r.HeartbeatMs, r.MeanMs, r.P99Ms, r.PacketsPerS)
+	}
+	return tb
+}
+
+// E4Result is one failover measurement.
+type E4Result struct {
+	SuspectTimeoutMs float64
+	GroupSize        int
+	DetectMs         float64 // crash -> first conviction at a survivor
+	NewViewMs        float64 // crash -> new membership at all survivors
+}
+
+// RunE4Failover crashes one member and measures detection and recovery.
+func RunE4Failover(n int, suspectTimeout simnet.Time, seed int64) E4Result {
+	procs := make([]ids.ProcessorID, n)
+	for i := range procs {
+		procs[i] = ids.ProcessorID(i + 1)
+	}
+	c := NewCluster(Options{
+		Seed: seed, Net: simnet.NewConfig(),
+		Configure: func(p ids.ProcessorID, cfg *core.Config) {
+			cfg.PGMP.SuspectTimeout = int64(suspectTimeout)
+		},
+	}, procs...)
+	m := ids.NewMembership(procs...)
+	c.CreateGroup(expGroup, m)
+	c.RunFor(200 * simnet.Millisecond)
+
+	victim := procs[n-1]
+	survivors := m.Remove(victim)
+	crashAt := c.Net.Now()
+	c.Crash(victim)
+
+	detectAt := simnet.Time(-1)
+	c.RunUntil(crashAt+60*simnet.Second, func() bool {
+		if detectAt < 0 {
+			for _, p := range survivors {
+				for _, f := range c.Host(p).Faults {
+					if f.Convicted.Contains(victim) {
+						detectAt = c.Net.Now()
+					}
+				}
+			}
+		}
+		for _, p := range survivors {
+			v, ok := c.Host(p).LastView(expGroup)
+			if !ok || !v.Members.Equal(survivors) {
+				return false
+			}
+		}
+		return true
+	})
+	viewAt := c.Net.Now()
+	return E4Result{
+		SuspectTimeoutMs: float64(suspectTimeout) / 1e6,
+		GroupSize:        n,
+		DetectMs:         float64(detectAt-crashAt) / 1e6,
+		NewViewMs:        float64(viewAt-crashAt) / 1e6,
+	}
+}
+
+// E4Failover regenerates experiment E4: fault detection and membership
+// change latency versus the suspect timeout and group size.
+func E4Failover(sizes []int, timeouts []simnet.Time) *trace.Table {
+	tb := trace.NewTable(
+		"E4: crash -> conviction and new membership (paper section 7.2)",
+		"n", "timeout ms", "detect ms", "new view ms")
+	for _, n := range sizes {
+		for i, to := range timeouts {
+			r := RunE4Failover(n, to, SeedOffset+400+int64(i)+int64(n)*10)
+			tb.AddRow(r.GroupSize, r.SuspectTimeoutMs, r.DetectMs, r.NewViewMs)
+		}
+	}
+	return tb
+}

@@ -1,0 +1,194 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"ftmp/internal/clock"
+	"ftmp/internal/simnet"
+	"ftmp/internal/wire"
+)
+
+func TestRunLatencyAllProtocols(t *testing.T) {
+	for _, proto := range []Protocol{ProtoFTMP, ProtoSequencer, ProtoTokenRing} {
+		h := RunLatency(proto, 1, 3, 5, 64, 5*simnet.Millisecond, simnet.NewConfig())
+		if h.Count() != 5 {
+			t.Errorf("%s: %d samples, want 5", proto, h.Count())
+		}
+		if h.Mean() <= 0 {
+			t.Errorf("%s: nonpositive mean latency %v", proto, h.Mean())
+		}
+		// Sanity ceiling: nothing should take over a second on a clean
+		// 200us LAN.
+		if h.Max() > 1e9 {
+			t.Errorf("%s: max latency %vms", proto, h.Max()/1e6)
+		}
+	}
+}
+
+func TestRunThroughputAllProtocols(t *testing.T) {
+	for _, proto := range []Protocol{ProtoFTMP, ProtoSequencer, ProtoTokenRing} {
+		r := RunThroughput(proto, 2, 4, 80, 128, simnet.NewConfig())
+		if r.MsgsPerS <= 0 {
+			t.Errorf("%s: throughput %v", proto, r.MsgsPerS)
+		}
+		if r.Duration <= 0 {
+			t.Errorf("%s: duration %v", proto, r.Duration)
+		}
+	}
+}
+
+func TestE3HeartbeatShape(t *testing.T) {
+	// Paper section 5: "A shorter heartbeat interval results in lower
+	// message latency but higher network traffic."
+	fast := RunE3Heartbeat(2*simnet.Millisecond, 10)
+	slow := RunE3Heartbeat(20*simnet.Millisecond, 10)
+	if !(fast.MeanMs < slow.MeanMs) {
+		t.Errorf("latency shape violated: hb=2ms mean %.3f, hb=20ms mean %.3f", fast.MeanMs, slow.MeanMs)
+	}
+	if !(fast.PacketsPerS > slow.PacketsPerS) {
+		t.Errorf("traffic shape violated: hb=2ms %.0f pkt/s, hb=20ms %.0f pkt/s", fast.PacketsPerS, slow.PacketsPerS)
+	}
+}
+
+func TestE4FailoverShape(t *testing.T) {
+	// Detection time tracks the suspect timeout.
+	quickTO := RunE4Failover(4, 20*simnet.Millisecond, 11)
+	slowTO := RunE4Failover(4, 100*simnet.Millisecond, 11)
+	if quickTO.DetectMs <= 0 || slowTO.DetectMs <= 0 {
+		t.Fatalf("no detection: %+v %+v", quickTO, slowTO)
+	}
+	if !(quickTO.DetectMs < slowTO.DetectMs) {
+		t.Errorf("detection shape violated: to=20ms %.1fms, to=100ms %.1fms", quickTO.DetectMs, slowTO.DetectMs)
+	}
+	if quickTO.NewViewMs < quickTO.DetectMs {
+		t.Errorf("view installed before detection: %+v", quickTO)
+	}
+}
+
+func TestE5BufferShape(t *testing.T) {
+	// With prompt heartbeats, buffers drain after the stream; with
+	// heartbeats effectively off (10s interval), acknowledgments stop
+	// with the traffic and buffers stay occupied.
+	fast := RunE5Buffer(5*simnet.Millisecond, 12)
+	off := RunE5Buffer(10*simnet.Second, 12)
+	if fast.FinalBuffered >= off.FinalBuffered {
+		t.Errorf("buffer shape violated: hb=5ms final %d, hb=off final %d", fast.FinalBuffered, off.FinalBuffered)
+	}
+	if off.PeakBuffered == 0 {
+		t.Error("no buffering observed at all")
+	}
+}
+
+func TestE6LossShape(t *testing.T) {
+	clean := RunE6Loss(0, 13)
+	lossy := RunE6Loss(0.10, 13)
+	if clean.Nacks != 0 {
+		t.Errorf("clean network produced %d NACKs", clean.Nacks)
+	}
+	if lossy.Nacks == 0 || lossy.Retrans == 0 {
+		t.Errorf("lossy network produced no repairs: %+v", lossy)
+	}
+	if lossy.CompleteMs < clean.CompleteMs {
+		t.Errorf("loss sped up completion: %+v vs %+v", clean, lossy)
+	}
+}
+
+func TestE7GIOPShape(t *testing.T) {
+	direct := RunE7Direct(20, 14)
+	k1 := RunE7GIOP(1, 20, 14)
+	k3 := RunE7GIOP(3, 20, 15)
+	if direct.Count() != 20 || k1.Count() != 20 || k3.Count() != 20 {
+		t.Fatalf("incomplete runs: %d %d %d", direct.Count(), k1.Count(), k3.Count())
+	}
+	// Replication over a group protocol cannot beat the raw network
+	// round trip.
+	if k1.Mean() <= direct.Mean() {
+		t.Errorf("replicated faster than direct: %.3f vs %.3f ms", k1.Mean()/1e6, direct.Mean()/1e6)
+	}
+}
+
+func TestE8DuplicatesInvariants(t *testing.T) {
+	r := RunE8Duplicates(3, 3, 5, 16)
+	// The 3 deterministic client replicas issue the same 5 logical
+	// calls, so the network carries 3 copies of each: 15 sends.
+	if r.RequestsSent != 15 {
+		t.Errorf("RequestsSent = %d, want 15", r.RequestsSent)
+	}
+	// Exactly-once processing per server replica: 5 logical requests x
+	// 3 server replicas.
+	if r.RequestsDispatched != 15 {
+		t.Errorf("RequestsDispatched = %d, want 15", r.RequestsDispatched)
+	}
+	// Per server replica, 2 of the 3 copies of each request are
+	// duplicates: 5*2*3 = 30 suppressions.
+	if r.DuplicateRequests != 30 {
+		t.Errorf("DuplicateRequests = %d, want 30", r.DuplicateRequests)
+	}
+	// Every caller saw exactly one reply per call: 5 x 3 clients.
+	if r.RepliesDelivered != 15 {
+		t.Errorf("RepliesDelivered = %d, want 15", r.RepliesDelivered)
+	}
+	if r.DuplicateReplies == 0 {
+		t.Error("no duplicate replies suppressed")
+	}
+}
+
+func TestE9PlannedChangeCompletes(t *testing.T) {
+	r := RunE9PlannedChange(17)
+	if r.BeforeMeanMs <= 0 || r.DuringMeanMs <= 0 || r.AfterMeanMs <= 0 {
+		t.Errorf("missing phases: %+v", r)
+	}
+	// Planned changes may add a brief blip but not a failover-scale
+	// outage (suspect timeout is 50ms; E4 shows fault recovery >50ms).
+	if r.DuringMaxMs > 50 {
+		t.Errorf("planned change stalled ordering for %.1fms", r.DuringMaxMs)
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	// Smoke: the compact variants of every table render non-empty.
+	tables := []interface{ String() string }{
+		Fig2Encapsulation(),
+		Fig3Matrix(),
+		E1Latency([]int{2, 3}, 5),
+		E3Heartbeat([]simnet.Time{5 * simnet.Millisecond}),
+		E5Buffer([]simnet.Time{5 * simnet.Millisecond}),
+		E9PlannedChange(),
+	}
+	for i, tb := range tables {
+		out := tb.String()
+		if !strings.Contains(out, "\n") || len(out) < 40 {
+			t.Errorf("table %d too small:\n%s", i, out)
+		}
+	}
+}
+
+func TestPackUnpackAddr(t *testing.T) {
+	orig := wire.MulticastAddr{IP: [4]byte{239, 1, 2, 3}, Port: 5004}
+	if got := UnpackAddr(PackAddr(orig)); got != orig {
+		t.Errorf("round trip = %v, want %v", got, orig)
+	}
+}
+
+func TestA1RepairPolicyShape(t *testing.T) {
+	// Promiscuous repair answers from every holder: at least as many
+	// retransmissions (usually ~3x in a 4-member group) as the default
+	// source-answers policy, for the same recovery outcome.
+	def := RunA1RepairPolicy(false, 0.10, 21)
+	prom := RunA1RepairPolicy(true, 0.10, 21)
+	if def.Retrans == 0 || prom.Retrans == 0 {
+		t.Fatalf("no repairs observed: %+v %+v", def, prom)
+	}
+	if prom.Retrans < def.Retrans {
+		t.Errorf("promiscuous produced fewer retransmissions: %d vs %d", prom.Retrans, def.Retrans)
+	}
+}
+
+func TestA2ClockModesBothComplete(t *testing.T) {
+	a := RunA2ClockMode(clock.Logical, 22)
+	b := RunA2ClockMode(clock.Synchronized, 22)
+	if a.MeanMs <= 0 || b.MeanMs <= 0 {
+		t.Errorf("clock mode runs incomplete: %+v %+v", a, b)
+	}
+}

@@ -1,0 +1,249 @@
+// Package ids defines the identifier and timestamp types shared by every
+// layer of the FTMP protocol stack: processor, group, fault-tolerance
+// domain and logical-connection identifiers, per-source sequence numbers,
+// and the Lamport timestamps that ROMP uses to order messages.
+//
+// The encodings here match the FTMP header layout described in section 3.2
+// of the paper; see package wire for the byte-level codec.
+package ids
+
+import (
+	"fmt"
+	"math"
+)
+
+// ProcessorID identifies a processor (a node running the FTMP stack).
+// Processor identifiers are assigned by the fault tolerance infrastructure
+// and are unique within a fault tolerance domain. The zero value is
+// reserved and never names a real processor.
+type ProcessorID uint32
+
+// NilProcessor is the reserved "no processor" identifier.
+const NilProcessor ProcessorID = 0
+
+// String implements fmt.Stringer.
+func (p ProcessorID) String() string { return fmt.Sprintf("P%d", uint32(p)) }
+
+// Valid reports whether p names a real processor.
+func (p ProcessorID) Valid() bool { return p != NilProcessor }
+
+// GroupID identifies a processor group: the set of processors that
+// jointly support one or more object groups and share one IP multicast
+// address. The zero value is reserved; PGMP uses it as the destination of
+// ConnectRequest messages, which are addressed to a fault tolerance
+// domain rather than to an established group.
+type GroupID uint32
+
+// NilGroup is the reserved "no group" identifier used as the destination
+// of ConnectRequest messages (paper section 7: "the destination processor
+// group id ... all have the value 0").
+const NilGroup GroupID = 0
+
+// String implements fmt.Stringer.
+func (g GroupID) String() string { return fmt.Sprintf("G%d", uint32(g)) }
+
+// Valid reports whether g names an established processor group.
+func (g GroupID) Valid() bool { return g != NilGroup }
+
+// DomainID identifies a fault tolerance domain. Object group identifiers
+// are unique within a domain, and each domain has its own IP multicast
+// address on which ConnectRequest messages are received.
+type DomainID uint32
+
+// String implements fmt.Stringer.
+func (d DomainID) String() string { return fmt.Sprintf("D%d", uint32(d)) }
+
+// ObjectGroupID identifies an object group (the replicas of one CORBA
+// object) within a fault tolerance domain.
+type ObjectGroupID uint32
+
+// String implements fmt.Stringer.
+func (o ObjectGroupID) String() string { return fmt.Sprintf("O%d", uint32(o)) }
+
+// ConnectionID identifies a logical connection between a client object
+// group and a server object group (paper section 4). It consists of the
+// fault tolerance domain identifier and object group identifier of each
+// endpoint. At most one connection is open between a given pair of object
+// groups at any time, so the quadruple is a unique key.
+type ConnectionID struct {
+	ClientDomain DomainID
+	ClientGroup  ObjectGroupID
+	ServerDomain DomainID
+	ServerGroup  ObjectGroupID
+}
+
+// String implements fmt.Stringer.
+func (c ConnectionID) String() string {
+	return fmt.Sprintf("conn(%v/%v->%v/%v)", c.ClientDomain, c.ClientGroup, c.ServerDomain, c.ServerGroup)
+}
+
+// IsZero reports whether c is the zero connection identifier.
+func (c ConnectionID) IsZero() bool { return c == ConnectionID{} }
+
+// Reverse returns the connection identifier with client and server
+// endpoints swapped. Replies travel on the same logical connection as the
+// requests they answer, so both directions map to the same canonical id;
+// Reverse supports normalizing lookups.
+func (c ConnectionID) Reverse() ConnectionID {
+	return ConnectionID{
+		ClientDomain: c.ServerDomain,
+		ClientGroup:  c.ServerGroup,
+		ServerDomain: c.ClientDomain,
+		ServerGroup:  c.ClientGroup,
+	}
+}
+
+// SeqNum is a per-(source processor, destination group) message sequence
+// number. It is incremented each time a message that must be reliably
+// delivered is transmitted (paper section 3.2); RMP uses gaps in the
+// sequence to detect missing messages.
+type SeqNum uint32
+
+// Timestamp is a Lamport timestamp used by ROMP for causal and total
+// ordering. The high 48 bits hold the logical clock counter and the low
+// 16 bits hold (the low bits of) the originating processor identifier, so
+// that timestamps from different processors never compare equal and the
+// uint64 ordering is a total order consistent with the causal order.
+type Timestamp uint64
+
+// NilTimestamp is the zero timestamp; it precedes every real timestamp.
+const NilTimestamp Timestamp = 0
+
+// MaxCounter is the largest logical clock counter a Timestamp can hold.
+const MaxCounter uint64 = (1 << 48) - 1
+
+// MakeTimestamp builds a timestamp from a logical clock counter and the
+// originating processor. Counters beyond 48 bits saturate; at one tick
+// per nanosecond that allows over three days of continuous operation, and
+// logical clocks tick far more slowly.
+func MakeTimestamp(counter uint64, p ProcessorID) Timestamp {
+	if counter > MaxCounter {
+		counter = MaxCounter
+	}
+	return Timestamp(counter<<16 | uint64(uint16(p)))
+}
+
+// Counter returns the logical clock counter component of t.
+func (t Timestamp) Counter() uint64 { return uint64(t) >> 16 }
+
+// Tiebreak returns the processor tie-break component of t.
+func (t Timestamp) Tiebreak() uint16 { return uint16(t) }
+
+// Before reports whether t is ordered strictly before u.
+func (t Timestamp) Before(u Timestamp) bool { return t < u }
+
+// String implements fmt.Stringer.
+func (t Timestamp) String() string {
+	return fmt.Sprintf("ts(%d.%d)", t.Counter(), t.Tiebreak())
+}
+
+// InfTimestamp is a timestamp greater than any timestamp a processor can
+// generate; it is used as the identity for min-reductions over members.
+const InfTimestamp Timestamp = Timestamp(math.MaxUint64)
+
+// RequestNum numbers the requests on one logical connection. All client
+// replicas use the same request number for a given request, and all
+// server replicas use it for the corresponding reply; request numbers are
+// monotonically increasing over the connection, so each
+// (ConnectionID, RequestNum) pair is unique (paper section 4).
+type RequestNum uint64
+
+// Membership is an immutable, sorted set of processor identifiers: the
+// membership of a processor group at some timestamp.
+type Membership []ProcessorID
+
+// NewMembership returns a normalized (sorted, deduplicated) membership
+// containing the given processors. The nil processor is dropped.
+func NewMembership(ps ...ProcessorID) Membership {
+	m := make(Membership, 0, len(ps))
+	for _, p := range ps {
+		if p.Valid() {
+			m = m.Add(p)
+		}
+	}
+	return m
+}
+
+// Contains reports whether p is a member.
+func (m Membership) Contains(p ProcessorID) bool {
+	for _, q := range m {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Add returns a membership with p included, preserving sorted order.
+// The receiver is not modified.
+func (m Membership) Add(p ProcessorID) Membership {
+	if !p.Valid() || m.Contains(p) {
+		return m
+	}
+	out := make(Membership, 0, len(m)+1)
+	inserted := false
+	for _, q := range m {
+		if !inserted && p < q {
+			out = append(out, p)
+			inserted = true
+		}
+		out = append(out, q)
+	}
+	if !inserted {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Remove returns a membership with p excluded. The receiver is not
+// modified.
+func (m Membership) Remove(p ProcessorID) Membership {
+	out := make(Membership, 0, len(m))
+	for _, q := range m {
+		if q != p {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// RemoveAll returns a membership with every processor in ps excluded.
+func (m Membership) RemoveAll(ps []ProcessorID) Membership {
+	out := m
+	for _, p := range ps {
+		out = out.Remove(p)
+	}
+	return out
+}
+
+// Equal reports whether m and other contain exactly the same processors.
+func (m Membership) Equal(other Membership) bool {
+	if len(m) != len(other) {
+		return false
+	}
+	for i := range m {
+		if m[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of m.
+func (m Membership) Clone() Membership {
+	out := make(Membership, len(m))
+	copy(out, m)
+	return out
+}
+
+// String implements fmt.Stringer.
+func (m Membership) String() string {
+	s := "{"
+	for i, p := range m {
+		if i > 0 {
+			s += ","
+		}
+		s += p.String()
+	}
+	return s + "}"
+}

@@ -1,0 +1,218 @@
+package ids
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestProcessorIDValid(t *testing.T) {
+	if NilProcessor.Valid() {
+		t.Error("NilProcessor should not be valid")
+	}
+	if !ProcessorID(1).Valid() {
+		t.Error("P1 should be valid")
+	}
+	if got := ProcessorID(7).String(); got != "P7" {
+		t.Errorf("String() = %q, want P7", got)
+	}
+}
+
+func TestGroupIDValid(t *testing.T) {
+	if NilGroup.Valid() {
+		t.Error("NilGroup should not be valid")
+	}
+	if !GroupID(3).Valid() {
+		t.Error("G3 should be valid")
+	}
+}
+
+func TestConnectionIDReverse(t *testing.T) {
+	c := ConnectionID{ClientDomain: 1, ClientGroup: 2, ServerDomain: 3, ServerGroup: 4}
+	r := c.Reverse()
+	if r.ClientDomain != 3 || r.ClientGroup != 4 || r.ServerDomain != 1 || r.ServerGroup != 2 {
+		t.Errorf("Reverse() = %+v", r)
+	}
+	if r.Reverse() != c {
+		t.Error("Reverse is not an involution")
+	}
+	if c.IsZero() {
+		t.Error("non-zero connection reported zero")
+	}
+	if !(ConnectionID{}).IsZero() {
+		t.Error("zero connection not reported zero")
+	}
+}
+
+func TestMakeTimestampRoundTrip(t *testing.T) {
+	ts := MakeTimestamp(12345, ProcessorID(9))
+	if ts.Counter() != 12345 {
+		t.Errorf("Counter() = %d, want 12345", ts.Counter())
+	}
+	if ts.Tiebreak() != 9 {
+		t.Errorf("Tiebreak() = %d, want 9", ts.Tiebreak())
+	}
+}
+
+func TestMakeTimestampSaturates(t *testing.T) {
+	ts := MakeTimestamp(MaxCounter+100, ProcessorID(1))
+	if ts.Counter() != MaxCounter {
+		t.Errorf("Counter() = %d, want saturation at %d", ts.Counter(), MaxCounter)
+	}
+}
+
+func TestTimestampOrdering(t *testing.T) {
+	// Higher counter always wins regardless of processor.
+	a := MakeTimestamp(10, ProcessorID(65535))
+	b := MakeTimestamp(11, ProcessorID(1))
+	if !a.Before(b) {
+		t.Error("counter should dominate processor tie-break")
+	}
+	// Equal counters are broken by processor id, so no two processors
+	// ever produce equal timestamps.
+	c := MakeTimestamp(10, ProcessorID(1))
+	d := MakeTimestamp(10, ProcessorID(2))
+	if !c.Before(d) || c == d {
+		t.Error("processor tie-break failed")
+	}
+	if NilTimestamp != 0 {
+		t.Error("NilTimestamp should be zero")
+	}
+	if !a.Before(InfTimestamp) {
+		t.Error("InfTimestamp should dominate")
+	}
+}
+
+func TestTimestampOrderTotalProperty(t *testing.T) {
+	// Property: for distinct (counter, proc) pairs with proc fitting in
+	// 16 bits, timestamps are distinct and ordered first by counter.
+	f := func(c1, c2 uint32, p1, p2 uint16) bool {
+		if p1 == 0 {
+			p1 = 1
+		}
+		if p2 == 0 {
+			p2 = 2
+		}
+		t1 := MakeTimestamp(uint64(c1), ProcessorID(p1))
+		t2 := MakeTimestamp(uint64(c2), ProcessorID(p2))
+		if c1 < c2 && !t1.Before(t2) {
+			return false
+		}
+		if c1 == c2 && p1 != p2 && t1 == t2 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMembershipAddRemove(t *testing.T) {
+	m := NewMembership(3, 1, 2, 2, 0) // dedup, drop nil, sort
+	want := Membership{1, 2, 3}
+	if !m.Equal(want) {
+		t.Fatalf("NewMembership = %v, want %v", m, want)
+	}
+	m2 := m.Add(ProcessorID(2)) // already present
+	if !m2.Equal(want) {
+		t.Errorf("Add existing changed membership: %v", m2)
+	}
+	m3 := m.Add(ProcessorID(5)).Add(ProcessorID(4))
+	if !m3.Equal(Membership{1, 2, 3, 4, 5}) {
+		t.Errorf("Add = %v", m3)
+	}
+	// Original untouched (immutability).
+	if !m.Equal(want) {
+		t.Errorf("receiver mutated: %v", m)
+	}
+	m4 := m3.Remove(ProcessorID(3))
+	if !m4.Equal(Membership{1, 2, 4, 5}) {
+		t.Errorf("Remove = %v", m4)
+	}
+	m5 := m3.RemoveAll([]ProcessorID{1, 5})
+	if !m5.Equal(Membership{2, 3, 4}) {
+		t.Errorf("RemoveAll = %v", m5)
+	}
+	if m.Contains(ProcessorID(9)) {
+		t.Error("Contains(9) = true")
+	}
+	if !m.Contains(ProcessorID(2)) {
+		t.Error("Contains(2) = false")
+	}
+}
+
+func TestMembershipAddNil(t *testing.T) {
+	m := NewMembership(1)
+	if got := m.Add(NilProcessor); !got.Equal(m) {
+		t.Errorf("Add(nil) = %v", got)
+	}
+}
+
+func TestMembershipClone(t *testing.T) {
+	m := NewMembership(1, 2, 3)
+	c := m.Clone()
+	if !c.Equal(m) {
+		t.Fatal("clone differs")
+	}
+	c[0] = ProcessorID(99)
+	if m[0] == ProcessorID(99) {
+		t.Error("clone shares storage")
+	}
+}
+
+func TestMembershipEqual(t *testing.T) {
+	if !NewMembership().Equal(NewMembership()) {
+		t.Error("empty memberships should be equal")
+	}
+	if NewMembership(1).Equal(NewMembership(1, 2)) {
+		t.Error("different lengths should differ")
+	}
+	if NewMembership(1, 3).Equal(NewMembership(1, 2)) {
+		t.Error("different members should differ")
+	}
+}
+
+func TestMembershipSortedInvariantProperty(t *testing.T) {
+	// Property: any sequence of Add/Remove operations keeps the
+	// membership sorted and duplicate-free.
+	f := func(ops []uint16) bool {
+		var m Membership
+		for i, op := range ops {
+			p := ProcessorID(op%64 + 1)
+			if i%3 == 2 {
+				m = m.Remove(p)
+			} else {
+				m = m.Add(p)
+			}
+		}
+		for i := 1; i < len(m); i++ {
+			if m[i-1] >= m[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{GroupID(4).String(), "G4"},
+		{DomainID(2).String(), "D2"},
+		{ObjectGroupID(8).String(), "O8"},
+		{MakeTimestamp(5, 3).String(), "ts(5.3)"},
+		{NewMembership(2, 1).String(), "{P1,P2}"},
+		{ConnectionID{1, 2, 3, 4}.String(), "conn(D1/O2->D3/O4)"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package orb
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"ftmp/internal/giop"
+)
+
+// Server is an IIOP endpoint: GIOP messages over TCP, dispatched to an
+// object adapter. It is the unreplicated point-to-point baseline the
+// paper contrasts with FTMP's logical connections (section 4).
+type Server struct {
+	Adapter *Adapter
+
+	lis    net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a server over the given adapter.
+func NewServer(adapter *Adapter) *Server {
+	return &Server{Adapter: adapter, conns: make(map[net.Conn]bool)}
+}
+
+// Listen starts accepting IIOP connections on addr (e.g. "127.0.0.1:0")
+// and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.lis = lis
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return lis.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		raw, err := giop.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		msg, err := giop.Decode(raw)
+		if err != nil {
+			out, _ := giop.Encode(giop.Message{Type: giop.MsgMessageError, MessageError: &giop.MessageError{}}, false)
+			conn.Write(out)
+			continue
+		}
+		switch msg.Type {
+		case giop.MsgRequest:
+			reply := s.Adapter.Dispatch(msg.Request)
+			if reply == nil {
+				continue // oneway
+			}
+			out, err := giop.Encode(giop.Message{Type: giop.MsgReply, Reply: reply}, msg.LittleEndian)
+			if err != nil {
+				return
+			}
+			if _, err := conn.Write(out); err != nil {
+				return
+			}
+		case giop.MsgLocateRequest:
+			lr := s.Adapter.Locate(msg.LocateRequest)
+			out, err := giop.Encode(giop.Message{Type: giop.MsgLocateReply, LocateReply: lr}, msg.LittleEndian)
+			if err != nil {
+				return
+			}
+			if _, err := conn.Write(out); err != nil {
+				return
+			}
+		case giop.MsgCloseConnection:
+			return
+		default:
+			// CancelRequest and friends: nothing to do in this ORB.
+		}
+	}
+}
+
+// Close stops the server and its connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if s.lis != nil {
+		s.lis.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+// Client is an IIOP client stub factory bound to one TCP connection.
+// Safe for concurrent use; requests are serialized on the wire and
+// matched to replies by request id.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	nextID uint32
+	closed bool
+}
+
+// Dial connects to an IIOP server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close sends CloseConnection and shuts the transport.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	out, _ := giop.Encode(giop.Message{Type: giop.MsgCloseConnection, CloseConnection: &giop.CloseConnection{}}, false)
+	c.conn.Write(out)
+	c.conn.Close()
+}
+
+// Invoke performs a synchronous request: marshal, send, await the reply.
+func (c *Client) Invoke(objectKey, op string, args []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	req := giop.Message{Type: giop.MsgRequest, Request: &giop.Request{
+		RequestID:        id,
+		ResponseExpected: true,
+		ObjectKey:        []byte(objectKey),
+		Operation:        op,
+		Body:             args,
+	}}
+	out, err := giop.Encode(req, false)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.conn.Write(out); err != nil {
+		return nil, err
+	}
+	for {
+		raw, err := giop.ReadMessage(c.conn)
+		if err != nil {
+			return nil, err
+		}
+		msg, err := giop.Decode(raw)
+		if err != nil {
+			return nil, err
+		}
+		reply := msg.Reply
+		if msg.Type != giop.MsgReply || reply == nil {
+			continue
+		}
+		if reply.RequestID != id {
+			continue // stale reply from a cancelled request
+		}
+		switch reply.Status {
+		case giop.NoException:
+			return reply.Body, nil
+		case giop.UserException:
+			return nil, DecodeException(reply.Body, false)
+		case giop.SystemException:
+			return nil, DecodeException(reply.Body, true)
+		default:
+			return nil, fmt.Errorf("orb: unsupported reply status %v", reply.Status)
+		}
+	}
+}
+
+// Oneway sends a request without expecting a reply.
+func (c *Client) Oneway(objectKey, op string, args []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.nextID++
+	req := giop.Message{Type: giop.MsgRequest, Request: &giop.Request{
+		RequestID:        c.nextID,
+		ResponseExpected: false,
+		ObjectKey:        []byte(objectKey),
+		Operation:        op,
+		Body:             args,
+	}}
+	out, err := giop.Encode(req, false)
+	if err != nil {
+		return err
+	}
+	_, err = c.conn.Write(out)
+	return err
+}
+
+// Locate asks whether the server hosts objectKey.
+func (c *Client) Locate(objectKey string) (giop.LocateStatus, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, ErrClosed
+	}
+	c.nextID++
+	id := c.nextID
+	req := giop.Message{Type: giop.MsgLocateRequest, LocateRequest: &giop.LocateRequest{
+		RequestID: id,
+		ObjectKey: []byte(objectKey),
+	}}
+	out, err := giop.Encode(req, false)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := c.conn.Write(out); err != nil {
+		return 0, err
+	}
+	for {
+		raw, err := giop.ReadMessage(c.conn)
+		if err != nil {
+			return 0, err
+		}
+		msg, err := giop.Decode(raw)
+		if err != nil {
+			return 0, err
+		}
+		if msg.Type == giop.MsgLocateReply && msg.LocateReply.RequestID == id {
+			return msg.LocateReply.Status, nil
+		}
+	}
+}

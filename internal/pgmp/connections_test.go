@@ -1,0 +1,119 @@
+package pgmp
+
+import (
+	"testing"
+
+	"ftmp/internal/ids"
+	"ftmp/internal/wire"
+)
+
+var testConn = ids.ConnectionID{ClientDomain: 1, ClientGroup: 10, ServerDomain: 2, ServerGroup: 20}
+
+func newConns() *Connections {
+	return NewConnections(ConnConfig{RequestRetry: 100, ConnectResend: 100})
+}
+
+func TestRequestOpenAndRetry(t *testing.T) {
+	c := newConns()
+	req := c.RequestOpen(testConn, ids.NewMembership(1, 2), 0)
+	if req.Conn != testConn || !req.Procs.Equal(ids.NewMembership(1, 2)) {
+		t.Fatalf("RequestOpen = %+v", req)
+	}
+	if !c.Waiting(testConn) {
+		t.Error("not waiting after RequestOpen")
+	}
+	if got := c.RequestRetriesDue(50); got != nil {
+		t.Error("retry before period")
+	}
+	got := c.RequestRetriesDue(100)
+	if len(got) != 1 || got[0].Conn != testConn {
+		t.Fatalf("RequestRetriesDue = %v", got)
+	}
+	if got := c.RequestRetriesDue(150); got != nil {
+		t.Error("retry re-fired early")
+	}
+}
+
+func TestOnConnectEstablishes(t *testing.T) {
+	c := newConns()
+	c.RequestOpen(testConn, ids.NewMembership(1), 0)
+	m := &wire.Connect{
+		Conn:  testConn,
+		Group: ids.GroupID(7),
+		Addr:  wire.MulticastAddr{IP: [4]byte{239, 0, 0, 1}, Port: 9000},
+	}
+	st, changed := c.OnConnect(m, ids.MakeTimestamp(10, 2))
+	if !changed || !st.Established || st.Group != 7 {
+		t.Fatalf("OnConnect = %+v changed=%v", st, changed)
+	}
+	if c.Waiting(testConn) {
+		t.Error("still waiting after Connect")
+	}
+	if c.RequestRetriesDue(1<<40) != nil {
+		t.Error("retries after establishment")
+	}
+	// Duplicate Connect with an older timestamp: ignored.
+	m2 := &wire.Connect{Conn: testConn, Group: ids.GroupID(8)}
+	if _, changed := c.OnConnect(m2, ids.MakeTimestamp(5, 2)); changed {
+		t.Error("stale Connect applied")
+	}
+	if c.Lookup(testConn).Group != 7 {
+		t.Error("stale Connect overwrote group")
+	}
+	// A newer Connect re-addresses the connection.
+	m3 := &wire.Connect{Conn: testConn, Group: ids.GroupID(9)}
+	if _, changed := c.OnConnect(m3, ids.MakeTimestamp(20, 2)); !changed {
+		t.Error("re-addressing Connect ignored")
+	}
+	if c.Lookup(testConn).Group != 9 {
+		t.Error("re-addressing did not apply")
+	}
+}
+
+func TestLookupReverse(t *testing.T) {
+	c := newConns()
+	c.OnConnect(&wire.Connect{Conn: testConn, Group: 7}, ids.MakeTimestamp(1, 1))
+	if c.Lookup(testConn.Reverse()) == nil {
+		t.Error("reverse lookup failed")
+	}
+}
+
+func TestAnnounceResend(t *testing.T) {
+	c := newConns()
+	c.NoteAnnounce(testConn, []byte("connectmsg"), 0)
+	if got := c.AnnounceResendsDue(50); got != nil {
+		t.Error("announce resent early")
+	}
+	got := c.AnnounceResendsDue(100)
+	if len(got) != 1 || string(got[0]) != "connectmsg" {
+		t.Fatalf("AnnounceResendsDue = %v", got)
+	}
+	// Traffic on the connection stops the announcements.
+	c.TrafficSeen(testConn.Reverse()) // either direction works
+	if got := c.AnnounceResendsDue(1 << 40); got != nil {
+		t.Error("announce after traffic")
+	}
+}
+
+func TestAllDeterministic(t *testing.T) {
+	c := newConns()
+	conn2 := ids.ConnectionID{ClientDomain: 1, ClientGroup: 11, ServerDomain: 2, ServerGroup: 20}
+	c.OnConnect(&wire.Connect{Conn: conn2, Group: 2}, ids.MakeTimestamp(1, 1))
+	c.OnConnect(&wire.Connect{Conn: testConn, Group: 1}, ids.MakeTimestamp(1, 1))
+	all := c.All()
+	if len(all) != 2 {
+		t.Fatalf("All = %d", len(all))
+	}
+	if all[0].ID != testConn || all[1].ID != conn2 {
+		t.Errorf("All order = %v, %v", all[0].ID, all[1].ID)
+	}
+}
+
+func TestDefaultConfigsSane(t *testing.T) {
+	if c := DefaultConfig(); c.SuspectTimeout <= 0 || c.ProposalResend <= 0 || c.AddResend <= 0 {
+		t.Errorf("DefaultConfig = %+v", c)
+	}
+	if c := DefaultConnConfig(); c.RequestRetry <= 0 || c.ConnectResend <= 0 {
+		t.Errorf("DefaultConnConfig = %+v", c)
+	}
+}

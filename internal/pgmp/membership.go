@@ -1,0 +1,473 @@
+// Package pgmp implements the Processor Group Membership Protocol layer
+// of FTMP (paper section 7): logical connection establishment between
+// object groups, planned addition and removal of non-faulty processors,
+// and fault-driven membership change via Suspect and Membership messages
+// while preserving virtual synchrony.
+//
+// Like the other layers, pgmp is a pure state machine: the FTMP node
+// (package core) feeds it events and transmits the messages it asks for.
+//
+// Fault-driven changes follow the paper's outline with these concrete
+// rules (see DESIGN.md section 3):
+//
+//   - A member silent for Config.SuspectTimeout is suspected; the
+//     suspicion is multicast in a Suspect message (reliable, source
+//     ordered), so every member eventually sees the same suspicion
+//     matrix.
+//   - A processor is convicted when more than half of the unsuspected
+//     membership suspects it.
+//   - Conviction starts a recovery round: every survivor multicasts a
+//     Membership message carrying its contiguously-received sequence
+//     numbers and the proposed membership. Survivors repair their
+//     message sets up to the elementwise maximum of all cited vectors
+//     (requesting retransmissions from any holder), and install the new
+//     membership once agreeing proposals from every proposed member have
+//     arrived and the repair is complete — at which point every survivor
+//     has received exactly the same messages from the old membership,
+//     the paper's virtual synchrony condition.
+package pgmp
+
+import (
+	"fmt"
+	"sort"
+
+	"ftmp/internal/ids"
+	"ftmp/internal/wire"
+)
+
+// Config holds the PGMP policy knobs, in nanoseconds.
+type Config struct {
+	// SuspectTimeout is how long a member may be silent (no Regular or
+	// Heartbeat traffic) before this processor suspects it.
+	SuspectTimeout int64
+	// ProposalResend is the period at which an unfinished recovery
+	// round re-multicasts its Membership proposal, covering proposals
+	// lost before a new member of the round could NACK them.
+	ProposalResend int64
+	// AddResend is the period at which the proposer of an AddProcessor
+	// re-multicasts it until the new member is heard from, covering the
+	// unreliable delivery to the new member (paper Figure 3).
+	AddResend int64
+	// ConvictionFraction tunes the paper's "enough processors suspect"
+	// heuristic: a processor is convicted once strictly more than this
+	// fraction of the unsuspected membership suspects it. Zero selects
+	// the default of 0.5 (majority). Lower values detect faster but
+	// convict more aggressively under transient silence.
+	ConvictionFraction float64
+}
+
+// DefaultConfig matches the experiment defaults: suspicion after 50ms of
+// silence, proposal and AddProcessor resends every 20ms.
+func DefaultConfig() Config {
+	return Config{
+		SuspectTimeout: 50_000_000,
+		ProposalResend: 20_000_000,
+		AddResend:      20_000_000,
+	}
+}
+
+// Stats counts membership-layer events for the experiment harness.
+type Stats struct {
+	SuspectsRaised  uint64 // suspicions this processor originated
+	Convictions     uint64 // processors this processor convicted
+	RoundsStarted   uint64 // recovery rounds begun (including restarts)
+	ViewsInstalled  uint64 // memberships installed (all causes)
+	ProposalResends uint64
+}
+
+// Round is an in-progress fault-recovery round.
+type Round struct {
+	// Proposed is the membership this round tries to install.
+	Proposed ids.Membership
+	// maxSeqs is the elementwise maximum of the sequence vectors cited
+	// by all received proposals: the set of old-view messages every
+	// survivor must hold before installing.
+	maxSeqs map[ids.ProcessorID]ids.SeqNum
+	// proposals records which proposed members have sent an agreeing
+	// proposal.
+	proposals map[ids.ProcessorID]bool
+	// nextResend is when the local proposal is re-multicast.
+	nextResend int64
+}
+
+// Group is the PGMP membership state for one processor group at one
+// processor.
+type Group struct {
+	self    ids.ProcessorID
+	id      ids.GroupID
+	cfg     Config
+	members ids.Membership
+	viewTS  ids.Timestamp
+	// lastHeard maps members to the last wall-clock time any traffic
+	// arrived from them; the basis of fault detection.
+	lastHeard map[ids.ProcessorID]int64
+	// suspicions[q][p] records that p suspects q.
+	suspicions map[ids.ProcessorID]map[ids.ProcessorID]bool
+	// convicted accumulates convicted processors until a view installs.
+	convicted ids.Membership
+	round     *Round
+	// lastProposal stashes the most recent Membership proposal received
+	// from each member. A proposal can arrive before this processor has
+	// accumulated enough suspicions to convict and start its own round
+	// (the sender may have already installed the new view and will never
+	// resend); StartRound replays the stash so the agreement is not lost.
+	lastProposal map[ids.ProcessorID]*wire.MembershipMsg
+	// pendingAdds maps a new member this processor proposed to the raw
+	// AddProcessor message re-multicast until the member is heard.
+	pendingAdds map[ids.ProcessorID]*pendingAdd
+	stats       Stats
+}
+
+type pendingAdd struct {
+	raw        []byte
+	nextResend int64
+}
+
+// NewGroup creates membership state for group id at processor self.
+func NewGroup(self ids.ProcessorID, id ids.GroupID, cfg Config) *Group {
+	return &Group{
+		self:         self,
+		id:           id,
+		cfg:          cfg,
+		lastHeard:    make(map[ids.ProcessorID]int64),
+		suspicions:   make(map[ids.ProcessorID]map[ids.ProcessorID]bool),
+		lastProposal: make(map[ids.ProcessorID]*wire.MembershipMsg),
+		pendingAdds:  make(map[ids.ProcessorID]*pendingAdd),
+	}
+}
+
+// Stats returns a snapshot of the layer's counters.
+func (g *Group) Stats() Stats { return g.stats }
+
+// Members returns the current membership (shared; do not modify).
+func (g *Group) Members() ids.Membership { return g.members }
+
+// ViewTS returns the timestamp at which the current view took effect.
+func (g *Group) ViewTS() ids.Timestamp { return g.viewTS }
+
+// InRecovery reports whether a fault-recovery round is in progress.
+func (g *Group) InRecovery() bool { return g.round != nil }
+
+// Install installs a membership (bootstrap, planned change, or the
+// outcome of a recovery round) effective at viewTS. All suspicion and
+// round state involving departed processors is discarded.
+func (g *Group) Install(m ids.Membership, viewTS ids.Timestamp, now int64) {
+	g.members = m.Clone()
+	if viewTS > g.viewTS {
+		g.viewTS = viewTS
+	}
+	for _, p := range m {
+		if _, ok := g.lastHeard[p]; !ok {
+			g.lastHeard[p] = now
+		}
+	}
+	for p := range g.lastHeard {
+		if !m.Contains(p) {
+			delete(g.lastHeard, p)
+		}
+	}
+	for q := range g.suspicions {
+		if !m.Contains(q) {
+			delete(g.suspicions, q)
+			continue
+		}
+		for p := range g.suspicions[q] {
+			if !m.Contains(p) {
+				delete(g.suspicions[q], p)
+			}
+		}
+	}
+	g.convicted = nil
+	g.round = nil
+	g.lastProposal = make(map[ids.ProcessorID]*wire.MembershipMsg)
+	g.stats.ViewsInstalled++
+}
+
+// Heard records traffic from member p at time now, refuting any local
+// silence-based suspicion-in-the-making (but not a multicast suspicion:
+// those stand until a view installs, as retracting them is not in the
+// paper's protocol).
+func (g *Group) Heard(p ids.ProcessorID, now int64) {
+	if g.members.Contains(p) {
+		g.lastHeard[p] = now
+	}
+	if pa, ok := g.pendingAdds[p]; ok && pa != nil {
+		delete(g.pendingAdds, p)
+	}
+}
+
+// DueSuspicions returns the members that have been silent past the
+// suspect timeout and are not yet suspected by this processor, marking
+// them self-suspected. The caller multicasts a Suspect message naming
+// them (and feeds it back through RecordSuspicion upon delivery, like
+// any other member's Suspect).
+func (g *Group) DueSuspicions(now int64) ids.Membership {
+	var due ids.Membership
+	for _, p := range g.members {
+		if p == g.self {
+			continue
+		}
+		if now-g.lastHeard[p] < g.cfg.SuspectTimeout {
+			continue
+		}
+		if g.suspicions[p][g.self] {
+			continue
+		}
+		due = due.Add(p)
+	}
+	g.stats.SuspectsRaised += uint64(len(due))
+	return due
+}
+
+// RecordSuspicion records that `from` suspects each processor in
+// suspects, and returns any processors newly convicted as a result.
+// Convictions are monotone until the next view installs.
+func (g *Group) RecordSuspicion(from ids.ProcessorID, suspects ids.Membership) ids.Membership {
+	if !g.members.Contains(from) {
+		return nil
+	}
+	for _, q := range suspects {
+		if !g.members.Contains(q) {
+			continue
+		}
+		if g.suspicions[q] == nil {
+			g.suspicions[q] = make(map[ids.ProcessorID]bool)
+		}
+		g.suspicions[q][from] = true
+	}
+	return g.reconvict()
+}
+
+// suspectedBySelf returns the set of members this processor suspects.
+func (g *Group) suspectedBySelf() ids.Membership {
+	var out ids.Membership
+	for q, by := range g.suspicions {
+		if by[g.self] {
+			out = out.Add(q)
+		}
+	}
+	return out
+}
+
+// reconvict recomputes the convicted set: q is convicted when more than
+// half of the unsuspected membership suspects it. Returns newly
+// convicted processors.
+func (g *Group) reconvict() ids.Membership {
+	voters := g.members.RemoveAll(g.suspectedBySelf())
+	if len(voters) == 0 {
+		return nil
+	}
+	frac := g.cfg.ConvictionFraction
+	if frac <= 0 {
+		frac = 0.5
+	}
+	threshold := int(frac*float64(len(voters))) + 1
+	var newly ids.Membership
+	for q, by := range g.suspicions {
+		if g.convicted.Contains(q) {
+			continue
+		}
+		if len(by) >= threshold {
+			g.convicted = g.convicted.Add(q)
+			newly = newly.Add(q)
+			g.stats.Convictions++
+		}
+	}
+	return newly
+}
+
+// Convicted returns the processors convicted since the last view.
+func (g *Group) Convicted() ids.Membership { return g.convicted }
+
+// NeedRound reports whether a (re)start of the recovery round is
+// required: there are convictions not reflected in the current round.
+func (g *Group) NeedRound() bool {
+	if len(g.convicted) == 0 {
+		return false
+	}
+	target := g.members.RemoveAll(g.convicted)
+	return g.round == nil || !g.round.Proposed.Equal(target)
+}
+
+// StartRound begins (or restarts) the recovery round. mySeqs is this
+// processor's contiguously-received sequence vector over the current
+// membership. It returns the Membership message body to multicast.
+func (g *Group) StartRound(mySeqs wire.SeqVector, now int64) *wire.MembershipMsg {
+	proposed := g.members.RemoveAll(g.convicted)
+	r := &Round{
+		Proposed:   proposed,
+		maxSeqs:    make(map[ids.ProcessorID]ids.SeqNum),
+		proposals:  make(map[ids.ProcessorID]bool),
+		nextResend: now + g.cfg.ProposalResend,
+	}
+	for _, e := range mySeqs {
+		r.maxSeqs[e.Proc] = e.Seq
+	}
+	r.proposals[g.self] = true
+	g.round = r
+	g.stats.RoundsStarted++
+	// Replay stashed proposals that match this round's target: their
+	// senders may have installed the view already and gone quiet.
+	for from, msg := range g.lastProposal {
+		g.applyToRound(from, msg)
+	}
+	return g.proposalBody(mySeqs)
+}
+
+// applyToRound records a matching proposal's agreement and sequence
+// vector in the current round.
+func (g *Group) applyToRound(from ids.ProcessorID, msg *wire.MembershipMsg) {
+	if g.round == nil || !msg.NewMembership.Equal(g.round.Proposed) {
+		return
+	}
+	g.round.proposals[from] = true
+	for _, e := range msg.CurrentSeqs {
+		if e.Seq > g.round.maxSeqs[e.Proc] {
+			g.round.maxSeqs[e.Proc] = e.Seq
+		}
+	}
+}
+
+func (g *Group) proposalBody(mySeqs wire.SeqVector) *wire.MembershipMsg {
+	return &wire.MembershipMsg{
+		MembershipTS:      g.viewTS,
+		CurrentMembership: g.members.Clone(),
+		CurrentSeqs:       mySeqs.Clone(),
+		NewMembership:     g.round.Proposed.Clone(),
+	}
+}
+
+// OnProposal processes a Membership message from another member. A
+// proposal excluding processors this processor has not yet convicted is
+// treated as a suspicion vote by its sender for each excluded processor
+// (convictions are driven by the shared, reliably-delivered suspicion
+// traffic, so honest members converge). It returns newly convicted
+// processors, if any; the caller should then check NeedRound.
+func (g *Group) OnProposal(from ids.ProcessorID, msg *wire.MembershipMsg) ids.Membership {
+	if !g.members.Contains(from) {
+		return nil
+	}
+	g.lastProposal[from] = msg
+	implied := g.members.RemoveAll(msg.NewMembership)
+	newly := g.RecordSuspicion(from, implied)
+	g.applyToRound(from, msg)
+	return newly
+}
+
+// ResendDue reports whether the round's proposal should be re-multicast
+// at now, and advances the resend clock if so.
+func (g *Group) ResendDue(now int64) bool {
+	if g.round == nil || now < g.round.nextResend {
+		return false
+	}
+	g.round.nextResend = now + g.cfg.ProposalResend
+	g.stats.ProposalResends++
+	return true
+}
+
+// RecoveryNeeds returns RetransmitRequest bodies for the old-view
+// messages this processor is still missing relative to the round's
+// maximum cited sequence vector. contiguous reports the highest
+// contiguously received sequence number per processor (rmp.Contiguous).
+func (g *Group) RecoveryNeeds(contiguous func(ids.ProcessorID) ids.SeqNum) []wire.RetransmitRequest {
+	if g.round == nil {
+		return nil
+	}
+	procs := make([]ids.ProcessorID, 0, len(g.round.maxSeqs))
+	for p := range g.round.maxSeqs {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	var out []wire.RetransmitRequest
+	for _, p := range procs {
+		have := contiguous(p)
+		want := g.round.maxSeqs[p]
+		if want > have {
+			out = append(out, wire.RetransmitRequest{Proc: p, StartSeq: have + 1, StopSeq: want})
+		}
+	}
+	return out
+}
+
+// ReadyToInstall reports whether the recovery round can complete: an
+// agreeing proposal has arrived from every proposed member and the local
+// message set covers the round's maximum sequence vector.
+func (g *Group) ReadyToInstall(contiguous func(ids.ProcessorID) ids.SeqNum) bool {
+	if g.round == nil {
+		return false
+	}
+	for _, p := range g.round.Proposed {
+		if !g.round.proposals[p] {
+			return false
+		}
+	}
+	for p, want := range g.round.maxSeqs {
+		if contiguous(p) < want {
+			return false
+		}
+	}
+	return true
+}
+
+// RoundResult returns the proposed membership and the sequence vector
+// through which old-view messages must be delivered before the new view
+// begins. Valid only when a round is in progress.
+func (g *Group) RoundResult() (ids.Membership, map[ids.ProcessorID]ids.SeqNum) {
+	if g.round == nil {
+		return nil, nil
+	}
+	return g.round.Proposed.Clone(), g.round.maxSeqs
+}
+
+// NoteAddProposed records that this processor originated an AddProcessor
+// for p and must re-multicast raw until p is heard from.
+func (g *Group) NoteAddProposed(p ids.ProcessorID, raw []byte, now int64) {
+	g.pendingAdds[p] = &pendingAdd{raw: raw, nextResend: now + g.cfg.AddResend}
+}
+
+// AddResendsDue returns the raw AddProcessor messages due for
+// re-multicast at now.
+func (g *Group) AddResendsDue(now int64) [][]byte {
+	var out [][]byte
+	procs := make([]ids.ProcessorID, 0, len(g.pendingAdds))
+	for p := range g.pendingAdds {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	for _, p := range procs {
+		pa := g.pendingAdds[p]
+		if now >= pa.nextResend {
+			pa.nextResend = now + g.cfg.AddResend
+			out = append(out, pa.raw)
+		}
+	}
+	return out
+}
+
+// SuspectedOrConvicted reports whether p is suspected by anyone or
+// convicted; RMP's retransmission policy uses it to decide when peers
+// may answer for a source (paper: "any processor that has received ...
+// may retransmit").
+func (g *Group) SuspectedOrConvicted(p ids.ProcessorID) bool {
+	if g.convicted.Contains(p) {
+		return true
+	}
+	return len(g.suspicions[p]) > 0
+}
+
+// String summarizes the group state for debugging.
+func (g *Group) String() string {
+	return fmt.Sprintf("pgmp(%v@%v, members %v, convicted %v, recovering %v)",
+		g.self, g.id, g.members, g.convicted, g.round != nil)
+}
+
+// ProposalForResend returns a fresh copy of the round's proposal body
+// with this processor's current sequence vector, or nil when no round is
+// in progress. Unlike StartRound it does not reset the round's collected
+// proposals.
+func (g *Group) ProposalForResend(mySeqs wire.SeqVector) *wire.MembershipMsg {
+	if g.round == nil {
+		return nil
+	}
+	return g.proposalBody(mySeqs)
+}

@@ -1,0 +1,62 @@
+package romp
+
+import (
+	"testing"
+
+	"ftmp/internal/ids"
+)
+
+// BenchmarkSubmitDeliver measures the ordering hot path: submit from one
+// source, advance the horizon, deliver.
+func BenchmarkSubmitDeliver(b *testing.B) {
+	o := newOrder(1, 2, 3, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := uint64(i + 1)
+		o.Submit(Entry{Source: 1, Seq: ids.SeqNum(i + 1), TS: ts(c, 1)})
+		o.ObserveTimestamp(2, ts(c+1, 2), ts(c, 2))
+		o.ObserveTimestamp(3, ts(c+1, 3), ts(c, 3))
+		o.ObserveTimestamp(4, ts(c+1, 4), ts(c, 4))
+		if got := o.Deliverable(); len(got) != 1 {
+			b.Fatalf("iteration %d delivered %d", i, len(got))
+		}
+	}
+}
+
+// BenchmarkSubmitBurstDeliver measures the heap under a burst: 64
+// pending entries released at once.
+func BenchmarkSubmitBurstDeliver(b *testing.B) {
+	o := newOrder(1, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := uint64(i)*64 + 1
+		for j := uint64(0); j < 64; j++ {
+			o.Submit(Entry{Source: 1, Seq: ids.SeqNum(base + j), TS: ts(base+j, 1)})
+		}
+		o.ObserveTimestamp(2, ts(base+64, 2), 0)
+		if got := o.Deliverable(); len(got) != 64 {
+			b.Fatalf("delivered %d", len(got))
+		}
+	}
+}
+
+// BenchmarkHorizon measures the min-reduction over a 16-member group.
+func BenchmarkHorizon(b *testing.B) {
+	members := make([]ids.ProcessorID, 16)
+	for i := range members {
+		members[i] = ids.ProcessorID(i + 1)
+	}
+	o := newOrder(members...)
+	for i, p := range members {
+		o.ObserveTimestamp(p, ts(uint64(100+i), p), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if o.Horizon() == ids.NilTimestamp {
+			b.Fatal("nil horizon")
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package runtime drives an FTMP node over a real network in real time.
+// The node itself is a single-threaded state machine (package core); the
+// Runner serializes everything onto one event-loop goroutine: received
+// datagrams, timer ticks, and application operations submitted through
+// Do. Upcalls (deliveries, view changes, fault reports) run on the loop
+// goroutine, so application callbacks see the same single-threaded world
+// the simulator provides.
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"ftmp/internal/core"
+	"ftmp/internal/transport"
+	"ftmp/internal/wire"
+)
+
+// packet is one received datagram queued for the loop.
+type packet struct {
+	data []byte
+	addr wire.MulticastAddr
+}
+
+// Runner hosts one FTMP node on a transport.
+type Runner struct {
+	Node *core.Node
+
+	tr       transport.Transport
+	packets  chan packet
+	ops      chan func(now int64)
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+	tick     time.Duration
+	start    time.Time
+}
+
+// Options configures a Runner.
+type Options struct {
+	// Tick is the timer cadence (default 1ms).
+	Tick time.Duration
+	// QueueDepth bounds the receive queue (default 4096). Overflow
+	// drops datagrams, which the protocol treats as network loss.
+	QueueDepth int
+}
+
+// New creates a runner. The caller supplies the node configuration and
+// callbacks; the runner overrides the transport-facing callbacks
+// (Transmit, Subscribe, Unsubscribe) to use mkTransport's transport and
+// leaves the application-facing ones (Deliver, ViewChange, FaultReport)
+// untouched. mkTransport receives the handler the transport must invoke.
+func New(cfg core.Config, cb core.Callbacks, mkTransport func(transport.Handler) (transport.Transport, error), opt Options) (*Runner, error) {
+	if opt.Tick == 0 {
+		opt.Tick = time.Millisecond
+	}
+	if opt.QueueDepth == 0 {
+		opt.QueueDepth = 4096
+	}
+	r := &Runner{
+		packets: make(chan packet, opt.QueueDepth),
+		ops:     make(chan func(now int64), 256),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		tick:    opt.Tick,
+		start:   time.Now(),
+	}
+	tr, err := mkTransport(func(data []byte, addr wire.MulticastAddr) {
+		select {
+		case r.packets <- packet{data: data, addr: addr}:
+		default:
+			// Queue overflow: drop, as a congested NIC would.
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.tr = tr
+	cb.Transmit = func(addr wire.MulticastAddr, data []byte) {
+		// Best-effort: transmission errors look like loss to the peer
+		// and are repaired by the protocol.
+		_ = tr.Send(addr, data)
+	}
+	cb.Subscribe = func(addr wire.MulticastAddr) { _ = tr.Join(addr) }
+	cb.Unsubscribe = func(addr wire.MulticastAddr) { _ = tr.Leave(addr) }
+	r.Node = core.NewNode(cfg, cb)
+	go r.loop()
+	return r, nil
+}
+
+// now returns monotonic nanoseconds since the runner started.
+func (r *Runner) now() int64 { return int64(time.Since(r.start)) }
+
+// Now returns the runner's monotonic clock. Callbacks that run on the
+// loop goroutine (Deliver, ViewChange, FaultReport) may use it to
+// timestamp follow-up operations.
+func (r *Runner) Now() int64 { return r.now() }
+
+func (r *Runner) loop() {
+	defer close(r.done)
+	ticker := time.NewTicker(r.tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case p := <-r.packets:
+			r.Node.HandlePacket(p.data, p.addr, r.now())
+		case op := <-r.ops:
+			op(r.now())
+		case <-ticker.C:
+			r.Node.Tick(r.now())
+		}
+	}
+}
+
+// Do runs fn on the loop goroutine with the current time and waits for
+// it to finish. All Node method calls must go through Do.
+func (r *Runner) Do(fn func(node *core.Node, now int64)) {
+	ack := make(chan struct{})
+	select {
+	case r.ops <- func(now int64) {
+		fn(r.Node, now)
+		close(ack)
+	}:
+	case <-r.stop:
+		return
+	}
+	select {
+	case <-ack:
+	case <-r.done:
+	}
+}
+
+// Close stops the loop and the transport.
+func (r *Runner) Close() {
+	r.stopOnce.Do(func() {
+		close(r.stop)
+		<-r.done
+		_ = r.tr.Close()
+	})
+}

@@ -1,0 +1,370 @@
+package simnet
+
+import (
+	"testing"
+)
+
+type recorder struct {
+	pkts  [][]byte
+	addrs []Addr
+	times []int64
+	ticks []int64
+}
+
+func (r *recorder) HandlePacket(data []byte, addr Addr, now int64) {
+	r.pkts = append(r.pkts, data)
+	r.addrs = append(r.addrs, addr)
+	r.times = append(r.times, now)
+}
+
+func (r *recorder) Tick(now int64) { r.ticks = append(r.ticks, now) }
+
+func TestBasicMulticastDelivery(t *testing.T) {
+	n := New(1, Config{LatencyBase: Millisecond})
+	a, b, c := &recorder{}, &recorder{}, &recorder{}
+	n.AddNode(1, a, 0)
+	n.AddNode(2, b, 0)
+	n.AddNode(3, c, 0)
+	n.Subscribe(1, 100)
+	n.Subscribe(2, 100)
+	// node 3 not subscribed
+	n.Send(1, 100, []byte("hello"))
+	n.Run(10 * Millisecond)
+	if len(a.pkts) != 1 || len(b.pkts) != 1 {
+		t.Fatalf("subscribers got %d,%d packets, want 1,1 (loopback included)", len(a.pkts), len(b.pkts))
+	}
+	if a.addrs[0] != 100 {
+		t.Errorf("arrival addr = %d, want 100", a.addrs[0])
+	}
+	if len(c.pkts) != 0 {
+		t.Error("non-subscriber received a packet")
+	}
+	if a.times[0] != int64(Millisecond) {
+		t.Errorf("delivery at %d, want %d", a.times[0], Millisecond)
+	}
+	if string(b.pkts[0]) != "hello" {
+		t.Errorf("payload = %q", b.pkts[0])
+	}
+}
+
+func TestSenderBufferIsolation(t *testing.T) {
+	n := New(1, Config{})
+	r := &recorder{}
+	n.AddNode(1, r, 0)
+	n.Subscribe(1, 5)
+	buf := []byte("abc")
+	n.Send(1, 5, buf)
+	buf[0] = 'X' // mutate after send; delivery must see the original
+	n.Run(Second)
+	if string(r.pkts[0]) != "abc" {
+		t.Errorf("delivery saw mutated buffer: %q", r.pkts[0])
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	n := New(42, Config{LossRate: 0.5})
+	r := &recorder{}
+	n.AddNode(1, &recorder{}, 0)
+	n.AddNode(2, r, 0)
+	n.Subscribe(2, 1)
+	const sends = 2000
+	for i := 0; i < sends; i++ {
+		n.Send(1, 1, []byte{byte(i)})
+	}
+	n.Run(Second)
+	got := len(r.pkts)
+	if got < sends*4/10 || got > sends*6/10 {
+		t.Errorf("with 50%% loss, delivered %d of %d", got, sends)
+	}
+	st := n.Stats()
+	if st.PacketsDropped+st.PacketsDelivered != sends {
+		t.Errorf("dropped %d + delivered %d != %d", st.PacketsDropped, st.PacketsDelivered, sends)
+	}
+}
+
+func TestDuplication(t *testing.T) {
+	n := New(7, Config{DupRate: 1.0})
+	r := &recorder{}
+	n.AddNode(1, &recorder{}, 0)
+	n.AddNode(2, r, 0)
+	n.Subscribe(2, 1)
+	n.Send(1, 1, []byte("x"))
+	n.Run(Second)
+	if len(r.pkts) != 2 {
+		t.Errorf("DupRate=1 delivered %d copies, want 2", len(r.pkts))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		n := New(99, Config{LatencyBase: 100 * Microsecond, LatencyJitter: 400 * Microsecond, LossRate: 0.2})
+		r := &recorder{}
+		n.AddNode(1, &recorder{}, 0)
+		n.AddNode(2, r, 0)
+		n.Subscribe(2, 9)
+		for i := 0; i < 100; i++ {
+			i := i
+			n.At(Time(i)*Millisecond, func() { n.Send(1, 9, []byte{byte(i)}) })
+		}
+		n.Run(Second)
+		return r.times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs delivered %d vs %d packets", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d at %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTicks(t *testing.T) {
+	n := New(1, Config{})
+	r := &recorder{}
+	n.AddNode(1, r, 10*Millisecond)
+	n.Run(55 * Millisecond)
+	if len(r.ticks) != 5 {
+		t.Fatalf("got %d ticks, want 5: %v", len(r.ticks), r.ticks)
+	}
+	for i, at := range r.ticks {
+		want := int64(10*Millisecond) * int64(i+1)
+		if at != want {
+			t.Errorf("tick %d at %d, want %d", i, at, want)
+		}
+	}
+}
+
+func TestCrashStopsDeliveryAndTicks(t *testing.T) {
+	n := New(1, Config{LatencyBase: Millisecond})
+	r := &recorder{}
+	n.AddNode(1, &recorder{}, 0)
+	n.AddNode(2, r, 10*Millisecond)
+	n.Subscribe(2, 1)
+	n.At(15*Millisecond, func() { n.Crash(2) })
+	n.At(20*Millisecond, func() { n.Send(1, 1, []byte("late")) })
+	n.Send(1, 1, []byte("early"))
+	n.Run(100 * Millisecond)
+	if len(r.pkts) != 1 || string(r.pkts[0]) != "early" {
+		t.Errorf("crashed node packets: %v", r.pkts)
+	}
+	if len(r.ticks) != 1 {
+		t.Errorf("crashed node ticked %d times, want 1", len(r.ticks))
+	}
+}
+
+func TestCrashedNodeCannotSend(t *testing.T) {
+	n := New(1, Config{})
+	r := &recorder{}
+	n.AddNode(1, &recorder{}, 0)
+	n.AddNode(2, r, 0)
+	n.Subscribe(2, 1)
+	n.Crash(1)
+	n.Send(1, 1, []byte("ghost"))
+	n.Run(Second)
+	if len(r.pkts) != 0 {
+		t.Error("crashed sender's packet was delivered")
+	}
+}
+
+func TestRestartResumesTicks(t *testing.T) {
+	n := New(1, Config{})
+	r := &recorder{}
+	n.AddNode(1, r, 10*Millisecond)
+	n.At(5*Millisecond, func() { n.Crash(1) })
+	n.At(50*Millisecond, func() { n.Restart(1) })
+	n.Run(85 * Millisecond)
+	// Ticks resume at 60,70,80.
+	if len(r.ticks) != 3 {
+		t.Errorf("ticks after restart: %v", r.ticks)
+	}
+}
+
+func TestPartitionBlocksAndHeals(t *testing.T) {
+	n := New(1, Config{})
+	r1, r2 := &recorder{}, &recorder{}
+	n.AddNode(1, r1, 0)
+	n.AddNode(2, r2, 0)
+	n.Subscribe(1, 1)
+	n.Subscribe(2, 1)
+	n.Partition([]NodeID{1}, []NodeID{2})
+	n.Send(1, 1, []byte("blocked"))
+	n.Run(10 * Millisecond)
+	if len(r2.pkts) != 0 {
+		t.Error("packet crossed partition")
+	}
+	// Sender still reaches its own side (loopback).
+	if len(r1.pkts) != 1 {
+		t.Error("loopback within partition failed")
+	}
+	n.Heal()
+	n.Send(1, 1, []byte("open"))
+	n.Run(20 * Millisecond)
+	if len(r2.pkts) != 1 {
+		t.Error("packet not delivered after heal")
+	}
+}
+
+func TestJitterReorders(t *testing.T) {
+	n := New(3, Config{LatencyJitter: 10 * Millisecond})
+	r := &recorder{}
+	n.AddNode(1, &recorder{}, 0)
+	n.AddNode(2, r, 0)
+	n.Subscribe(2, 1)
+	for i := 0; i < 50; i++ {
+		n.Send(1, 1, []byte{byte(i)})
+	}
+	n.Run(Second)
+	if len(r.pkts) != 50 {
+		t.Fatalf("delivered %d", len(r.pkts))
+	}
+	reordered := false
+	for i := 1; i < len(r.pkts); i++ {
+		if r.pkts[i][0] < r.pkts[i-1][0] {
+			reordered = true
+			break
+		}
+	}
+	if !reordered {
+		t.Error("high jitter produced no reordering (suspicious)")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	n := New(1, Config{LatencyBase: Millisecond})
+	r := &recorder{}
+	n.AddNode(1, &recorder{}, 0)
+	n.AddNode(2, r, 0)
+	n.Subscribe(2, 1)
+	n.At(5*Millisecond, func() { n.Send(1, 1, []byte("x")) })
+	ok := n.RunUntil(Second, func() bool { return len(r.pkts) > 0 })
+	if !ok {
+		t.Fatal("RunUntil never satisfied")
+	}
+	if n.Now() != 6*Millisecond {
+		t.Errorf("stopped at %v, want 6ms", n.Now())
+	}
+	if n.RunUntil(7*Millisecond, func() bool { return false }) {
+		t.Error("RunUntil(false) returned true")
+	}
+}
+
+func TestAtInPastRunsImmediately(t *testing.T) {
+	n := New(1, Config{})
+	n.Run(10 * Millisecond)
+	ran := false
+	n.At(Millisecond, func() { ran = true }) // in the past
+	n.Step()
+	if !ran {
+		t.Error("past callback never ran")
+	}
+	if n.Now() != 10*Millisecond {
+		t.Errorf("time went backwards: %v", n.Now())
+	}
+}
+
+func TestEndpointFunc(t *testing.T) {
+	var pkt, tick bool
+	ep := EndpointFunc{
+		OnPacket: func([]byte, Addr, int64) { pkt = true },
+		OnTick:   func(int64) { tick = true },
+	}
+	ep.HandlePacket(nil, 0, 0)
+	ep.Tick(0)
+	if !pkt || !tick {
+		t.Error("EndpointFunc dispatch failed")
+	}
+	// Nil handlers must not panic.
+	EndpointFunc{}.HandlePacket(nil, 0, 0)
+	EndpointFunc{}.Tick(0)
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate AddNode did not panic")
+		}
+	}()
+	n := New(1, Config{})
+	n.AddNode(1, &recorder{}, 0)
+	n.AddNode(1, &recorder{}, 0)
+}
+
+func TestUnsubscribe(t *testing.T) {
+	n := New(1, Config{})
+	r := &recorder{}
+	n.AddNode(1, &recorder{}, 0)
+	n.AddNode(2, r, 0)
+	n.Subscribe(2, 1)
+	n.Unsubscribe(2, 1)
+	n.Send(1, 1, []byte("x"))
+	n.Run(Second)
+	if len(r.pkts) != 0 {
+		t.Error("unsubscribed node received packet")
+	}
+}
+
+func TestStatsBytes(t *testing.T) {
+	n := New(1, Config{})
+	r := &recorder{}
+	n.AddNode(1, &recorder{}, 0)
+	n.AddNode(2, r, 0)
+	n.Subscribe(2, 1)
+	n.Send(1, 1, make([]byte, 100))
+	n.Run(Second)
+	st := n.Stats()
+	if st.BytesSent != 100 || st.BytesDelivered != 100 {
+		t.Errorf("bytes sent/delivered = %d/%d", st.BytesSent, st.BytesDelivered)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	// 1 MB/s link: a 1000-byte packet occupies the sender's link for
+	// 1ms; two back-to-back packets arrive 1ms apart.
+	n := New(1, Config{Bandwidth: 1_000_000})
+	r := &recorder{}
+	n.AddNode(1, &recorder{}, 0)
+	n.AddNode(2, r, 0)
+	n.Subscribe(2, 1)
+	n.Send(1, 1, make([]byte, 1000))
+	n.Send(1, 1, make([]byte, 1000))
+	n.Run(Second)
+	if len(r.times) != 2 {
+		t.Fatalf("delivered %d", len(r.times))
+	}
+	if r.times[0] != int64(Millisecond) {
+		t.Errorf("first at %d, want 1ms", r.times[0])
+	}
+	if r.times[1] != int64(2*Millisecond) {
+		t.Errorf("second at %d, want 2ms (queued behind first)", r.times[1])
+	}
+}
+
+func TestBandwidthIndependentSenders(t *testing.T) {
+	// Two different senders do not queue behind each other.
+	n := New(1, Config{Bandwidth: 1_000_000})
+	r := &recorder{}
+	n.AddNode(1, &recorder{}, 0)
+	n.AddNode(2, &recorder{}, 0)
+	n.AddNode(3, r, 0)
+	n.Subscribe(3, 1)
+	n.Send(1, 1, make([]byte, 1000))
+	n.Send(2, 1, make([]byte, 1000))
+	n.Run(Second)
+	if len(r.times) != 2 || r.times[0] != int64(Millisecond) || r.times[1] != int64(Millisecond) {
+		t.Errorf("independent senders interfered: %v", r.times)
+	}
+}
+
+func TestZeroBandwidthDisablesModel(t *testing.T) {
+	n := New(1, Config{})
+	r := &recorder{}
+	n.AddNode(1, r, 0)
+	n.Subscribe(1, 1)
+	n.Send(1, 1, make([]byte, 1<<16))
+	n.Run(Second)
+	if len(r.times) != 1 || r.times[0] != 0 {
+		t.Errorf("zero-bandwidth delivery at %v", r.times)
+	}
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 50.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := h.Min(); got != 1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := h.Max(); got != 100 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := h.Percentile(50); math.Abs(got-50.5) > 0.01 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := h.Percentile(99); got < 99 || got > 100 {
+		t.Errorf("p99 = %v", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if !math.IsNaN(h.Mean()) || !math.IsNaN(h.Percentile(50)) || !math.IsNaN(h.Stddev()) {
+		t.Error("empty histogram should yield NaN")
+	}
+	if h.Summary() != "n/a" {
+		t.Errorf("Summary = %q", h.Summary())
+	}
+}
+
+func TestHistogramSingle(t *testing.T) {
+	var h Histogram
+	h.AddNs(5_000_000)
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := h.Percentile(p); got != 5e6 {
+			t.Errorf("p%v = %v", p, got)
+		}
+	}
+	if !strings.Contains(h.Summary(), "mean=5.000ms") {
+		t.Errorf("Summary = %q", h.Summary())
+	}
+}
+
+func TestHistogramStddev(t *testing.T) {
+	var h Histogram
+	h.Add(2)
+	h.Add(4)
+	if got := h.Stddev(); got != 1 {
+		t.Errorf("Stddev = %v", got)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(vals []float64, a, b uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			h.Add(v)
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return h.Percentile(pa) <= h.Percentile(pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleavedAddAndRead(t *testing.T) {
+	var h Histogram
+	h.Add(10)
+	_ = h.Percentile(50)
+	h.Add(1) // re-sorts lazily
+	if got := h.Min(); got != 1 {
+		t.Errorf("Min after interleaved add = %v", got)
+	}
+}
+
+func TestMs(t *testing.T) {
+	if Ms(2_500_000) != 2.5 {
+		t.Error("Ms conversion")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("E1: latency", "n", "ftmp", "sequencer")
+	tb.AddRow(2, 1.234567, "x")
+	tb.AddRow(16, 9.0, "longer-cell")
+	out := tb.String()
+	if !strings.Contains(out, "E1: latency") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "1.235") {
+		t.Errorf("float formatting: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	// Columns align: header and separator have same width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("separator misaligned:\n%s", out)
+	}
+}

@@ -1,0 +1,291 @@
+// Package transport provides real-network datagram transports for the
+// FTMP stack: genuine UDP/IP multicast (the substrate the paper assumes)
+// and a unicast mesh that emulates multicast where IGMP is unavailable
+// (containers, CI). Both present the same interface; the FTMP node never
+// knows which is underneath.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"ftmp/internal/wire"
+)
+
+// Handler receives one datagram and the logical multicast address it
+// arrived on.
+type Handler func(data []byte, addr wire.MulticastAddr)
+
+// Transport is a multicast datagram service.
+type Transport interface {
+	// Join subscribes to a multicast address.
+	Join(addr wire.MulticastAddr) error
+	// Leave unsubscribes.
+	Leave(addr wire.MulticastAddr) error
+	// Send multicasts data to addr.
+	Send(addr wire.MulticastAddr, data []byte) error
+	// Close stops the transport and its reader goroutines.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// maxDatagram bounds receive buffers.
+const maxDatagram = 65536
+
+// UDPMulticast is a real IP-multicast transport: one UDP socket per
+// joined group, reader goroutines feeding the handler.
+type UDPMulticast struct {
+	handler Handler
+
+	mu     sync.Mutex
+	conns  map[wire.MulticastAddr]*net.UDPConn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewUDPMulticast creates a multicast transport delivering to handler.
+func NewUDPMulticast(handler Handler) *UDPMulticast {
+	return &UDPMulticast{
+		handler: handler,
+		conns:   make(map[wire.MulticastAddr]*net.UDPConn),
+	}
+}
+
+func toUDPAddr(a wire.MulticastAddr) *net.UDPAddr {
+	return &net.UDPAddr{IP: net.IPv4(a.IP[0], a.IP[1], a.IP[2], a.IP[3]), Port: int(a.Port)}
+}
+
+// Join implements Transport.
+func (t *UDPMulticast) Join(addr wire.MulticastAddr) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if _, ok := t.conns[addr]; ok {
+		return nil
+	}
+	conn, err := net.ListenMulticastUDP("udp4", nil, toUDPAddr(addr))
+	if err != nil {
+		return fmt.Errorf("transport: join %v: %w", addr, err)
+	}
+	t.conns[addr] = conn
+	t.wg.Add(1)
+	go t.readLoop(conn, addr)
+	return nil
+}
+
+func (t *UDPMulticast) readLoop(conn *net.UDPConn, addr wire.MulticastAddr) {
+	defer t.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		data := make([]byte, n)
+		copy(data, buf[:n])
+		t.handler(data, addr)
+	}
+}
+
+// Leave implements Transport.
+func (t *UDPMulticast) Leave(addr wire.MulticastAddr) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if conn, ok := t.conns[addr]; ok {
+		delete(t.conns, addr)
+		conn.Close()
+	}
+	return nil
+}
+
+// Send implements Transport.
+func (t *UDPMulticast) Send(addr wire.MulticastAddr, data []byte) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	t.mu.Unlock()
+	conn, err := net.DialUDP("udp4", nil, toUDPAddr(addr))
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_, err = conn.Write(data)
+	return err
+}
+
+// Close implements Transport.
+func (t *UDPMulticast) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	conns := make([]*net.UDPConn, 0, len(t.conns))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.conns = make(map[wire.MulticastAddr]*net.UDPConn)
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+// meshFrame prefixes each datagram with the 6-byte logical multicast
+// address so receivers can demultiplex subscriptions.
+const meshFrameHeader = 6
+
+// UDPMesh emulates IP multicast over unicast UDP: every node binds one
+// socket and sends each "multicast" to every peer; receivers filter by
+// joined logical address. It behaves like multicast with loopback
+// enabled (the sender receives its own traffic when subscribed), which
+// is what the FTMP node expects.
+type UDPMesh struct {
+	handler Handler
+
+	conn  *net.UDPConn
+	local *net.UDPAddr
+
+	mu     sync.Mutex
+	peers  []*net.UDPAddr
+	joined map[wire.MulticastAddr]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewUDPMesh binds a unicast socket on listenAddr (e.g. "127.0.0.1:0")
+// and delivers subscribed datagrams to handler. Peers (including this
+// node's own address, for loopback) are added with AddPeer.
+func NewUDPMesh(listenAddr string, handler Handler) (*UDPMesh, error) {
+	ua, err := net.ResolveUDPAddr("udp4", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp4", ua)
+	if err != nil {
+		return nil, err
+	}
+	m := &UDPMesh{
+		handler: handler,
+		conn:    conn,
+		local:   conn.LocalAddr().(*net.UDPAddr),
+		joined:  make(map[wire.MulticastAddr]bool),
+	}
+	m.wg.Add(1)
+	go m.readLoop()
+	return m, nil
+}
+
+// LocalAddr returns the bound unicast address ("host:port").
+func (m *UDPMesh) LocalAddr() string { return m.local.String() }
+
+// AddPeer registers a peer's unicast address. Include the local address
+// to receive loopback copies of own sends (FTMP relies on multicast
+// loopback for subscription bookkeeping; own packets are filtered by
+// source processor id at the protocol layer).
+func (m *UDPMesh) AddPeer(addr string) error {
+	ua, err := net.ResolveUDPAddr("udp4", addr)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range m.peers {
+		if p.String() == ua.String() {
+			return nil
+		}
+	}
+	m.peers = append(m.peers, ua)
+	return nil
+}
+
+func (m *UDPMesh) readLoop() {
+	defer m.wg.Done()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := m.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		if n < meshFrameHeader {
+			continue
+		}
+		var logical wire.MulticastAddr
+		copy(logical.IP[:], buf[0:4])
+		logical.Port = uint16(buf[4])<<8 | uint16(buf[5])
+		m.mu.Lock()
+		subscribed := m.joined[logical]
+		m.mu.Unlock()
+		if !subscribed {
+			continue
+		}
+		data := make([]byte, n-meshFrameHeader)
+		copy(data, buf[meshFrameHeader:n])
+		m.handler(data, logical)
+	}
+}
+
+// Join implements Transport.
+func (m *UDPMesh) Join(addr wire.MulticastAddr) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.joined[addr] = true
+	return nil
+}
+
+// Leave implements Transport.
+func (m *UDPMesh) Leave(addr wire.MulticastAddr) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.joined, addr)
+	return nil
+}
+
+// Send implements Transport.
+func (m *UDPMesh) Send(addr wire.MulticastAddr, data []byte) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	peers := make([]*net.UDPAddr, len(m.peers))
+	copy(peers, m.peers)
+	m.mu.Unlock()
+
+	frame := make([]byte, meshFrameHeader+len(data))
+	copy(frame[0:4], addr.IP[:])
+	frame[4] = byte(addr.Port >> 8)
+	frame[5] = byte(addr.Port)
+	copy(frame[meshFrameHeader:], data)
+	var firstErr error
+	for _, p := range peers {
+		if _, err := m.conn.WriteToUDP(frame, p); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close implements Transport.
+func (m *UDPMesh) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.conn.Close()
+	m.wg.Wait()
+	return nil
+}

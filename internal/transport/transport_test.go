@@ -1,0 +1,164 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ftmp/internal/wire"
+)
+
+func TestMeshLoopbackAndFiltering(t *testing.T) {
+	type rx struct {
+		data string
+		addr wire.MulticastAddr
+	}
+	var mu sync.Mutex
+	var got []rx
+	m, err := NewUDPMesh("127.0.0.1:0", func(data []byte, addr wire.MulticastAddr) {
+		mu.Lock()
+		got = append(got, rx{string(data), addr})
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.AddPeer(m.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate AddPeer is a no-op (no double delivery).
+	if err := m.AddPeer(m.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	a := wire.MulticastAddr{IP: [4]byte{239, 1, 1, 1}, Port: 100}
+	b := wire.MulticastAddr{IP: [4]byte{239, 1, 1, 2}, Port: 100}
+	if err := m.Join(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Send(a, []byte("on-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Send(b, []byte("on-b")); err != nil { // not joined: dropped
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0].data != "on-a" || got[0].addr != a {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMeshBadPeerAddress(t *testing.T) {
+	m, err := NewUDPMesh("127.0.0.1:0", func([]byte, wire.MulticastAddr) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.AddPeer("not-an-address"); err == nil {
+		t.Error("bad peer accepted")
+	}
+}
+
+func TestMeshBadListenAddress(t *testing.T) {
+	if _, err := NewUDPMesh("256.0.0.1:-1", func([]byte, wire.MulticastAddr) {}); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}
+
+func TestMeshCloseIdempotent(t *testing.T) {
+	m, err := NewUDPMesh("127.0.0.1:0", func([]byte, wire.MulticastAddr) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeshShortFrameIgnored(t *testing.T) {
+	received := false
+	m, err := NewUDPMesh("127.0.0.1:0", func([]byte, wire.MulticastAddr) { received = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	// A raw datagram shorter than the frame header must be dropped.
+	peer, err := NewUDPMesh("127.0.0.1:0", func([]byte, wire.MulticastAddr) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	// Send raw bytes (below the mesh framing) straight to m's socket.
+	if _, err := peer.conn.WriteToUDP([]byte{1, 2}, m.local); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if received {
+		t.Error("short frame delivered")
+	}
+}
+
+func TestUDPMulticastLifecycle(t *testing.T) {
+	// Genuine multicast may be unavailable in the environment; exercise
+	// as much of the lifecycle as the host permits.
+	var mu sync.Mutex
+	var got [][]byte
+	tr := NewUDPMulticast(func(data []byte, _ wire.MulticastAddr) {
+		mu.Lock()
+		got = append(got, data)
+		mu.Unlock()
+	})
+	addr := wire.MulticastAddr{IP: [4]byte{239, 200, 200, 200}, Port: 17999}
+	if err := tr.Join(addr); err != nil {
+		t.Skipf("multicast unavailable here: %v", err)
+	}
+	// Second join of the same group is a no-op.
+	if err := tr.Join(addr); err != nil {
+		t.Errorf("re-join: %v", err)
+	}
+	if err := tr.Send(addr, []byte("mc-hello")); err != nil {
+		t.Logf("multicast send failed (environment): %v", err)
+	} else {
+		deadline := time.Now().Add(time.Second)
+		for {
+			mu.Lock()
+			n := len(got)
+			mu.Unlock()
+			if n > 0 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		mu.Lock()
+		if len(got) > 0 && string(got[0]) != "mc-hello" {
+			t.Errorf("got %q", got[0])
+		}
+		mu.Unlock()
+	}
+	if err := tr.Leave(addr); err != nil {
+		t.Errorf("leave: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if err := tr.Join(addr); err == nil {
+		t.Error("join after close succeeded")
+	}
+	if err := tr.Send(addr, []byte("x")); err == nil {
+		t.Error("send after close succeeded")
+	}
+}

@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ftmp/internal/ids"
+)
+
+// writer appends primitive values to a buffer in a chosen byte order.
+// The zero value is not usable; construct with newWriter.
+type writer struct {
+	buf []byte
+	bo  binary.AppendByteOrder
+}
+
+func newWriter(little bool, sizeHint int) *writer {
+	var bo binary.AppendByteOrder = binary.BigEndian
+	if little {
+		bo = binary.LittleEndian
+	}
+	return &writer{buf: make([]byte, 0, sizeHint), bo: bo}
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = w.bo.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = w.bo.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = w.bo.AppendUint64(w.buf, v) }
+
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+func (w *writer) proc(p ids.ProcessorID) { w.u32(uint32(p)) }
+func (w *writer) group(g ids.GroupID)    { w.u32(uint32(g)) }
+func (w *writer) ts(t ids.Timestamp)     { w.u64(uint64(t)) }
+func (w *writer) seq(s ids.SeqNum)       { w.u32(uint32(s)) }
+
+func (w *writer) connID(c ids.ConnectionID) {
+	w.u32(uint32(c.ClientDomain))
+	w.u32(uint32(c.ClientGroup))
+	w.u32(uint32(c.ServerDomain))
+	w.u32(uint32(c.ServerGroup))
+}
+
+func (w *writer) membership(m ids.Membership) {
+	w.u32(uint32(len(m)))
+	for _, p := range m {
+		w.proc(p)
+	}
+}
+
+func (w *writer) seqVector(v SeqVector) {
+	w.u32(uint32(len(v)))
+	for _, e := range v {
+		w.proc(e.Proc)
+		w.seq(e.Seq)
+	}
+}
+
+// reader consumes primitive values from a buffer in a chosen byte order.
+// The first decode error sticks; callers check err() once at the end.
+type reader struct {
+	buf  []byte
+	bo   binary.ByteOrder
+	pos  int
+	fail error
+}
+
+func newReader(little bool, buf []byte) *reader {
+	var bo binary.ByteOrder = binary.BigEndian
+	if little {
+		bo = binary.LittleEndian
+	}
+	return &reader{buf: buf, bo: bo}
+}
+
+func (r *reader) err() error { return r.fail }
+
+func (r *reader) setErr(e error) {
+	if r.fail == nil {
+		r.fail = e
+	}
+}
+
+func (r *reader) take(n int) []byte {
+	if r.fail != nil {
+		return nil
+	}
+	if r.pos+n > len(r.buf) {
+		r.setErr(ErrShort)
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.pos }
+
+func (r *reader) done() {
+	if r.fail == nil && r.pos != len(r.buf) {
+		r.setErr(fmt.Errorf("%w: %d bytes", ErrTrailing, len(r.buf)-r.pos))
+	}
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return r.bo.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return r.bo.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return r.bo.Uint64(b)
+}
+
+func (r *reader) bytes() []byte {
+	n := r.u32()
+	if r.fail != nil {
+		return nil
+	}
+	if int(n) > r.remaining() {
+		r.setErr(ErrShort)
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.take(int(n)))
+	return out
+}
+
+func (r *reader) proc() ids.ProcessorID { return ids.ProcessorID(r.u32()) }
+func (r *reader) group() ids.GroupID    { return ids.GroupID(r.u32()) }
+func (r *reader) ts() ids.Timestamp     { return ids.Timestamp(r.u64()) }
+func (r *reader) seqnum() ids.SeqNum    { return ids.SeqNum(r.u32()) }
+
+func (r *reader) connID() ids.ConnectionID {
+	return ids.ConnectionID{
+		ClientDomain: ids.DomainID(r.u32()),
+		ClientGroup:  ids.ObjectGroupID(r.u32()),
+		ServerDomain: ids.DomainID(r.u32()),
+		ServerGroup:  ids.ObjectGroupID(r.u32()),
+	}
+}
+
+func (r *reader) membershipList() ids.Membership {
+	n := r.u32()
+	if r.fail != nil {
+		return nil
+	}
+	if int(n)*4 > r.remaining() {
+		r.setErr(ErrShort)
+		return nil
+	}
+	m := make(ids.Membership, 0, n)
+	for i := uint32(0); i < n; i++ {
+		m = append(m, r.proc())
+	}
+	return m
+}
+
+func (r *reader) seqVector() SeqVector {
+	n := r.u32()
+	if r.fail != nil {
+		return nil
+	}
+	if int(n)*8 > r.remaining() {
+		r.setErr(ErrShort)
+		return nil
+	}
+	v := make(SeqVector, 0, n)
+	for i := uint32(0); i < n; i++ {
+		e := SeqEntry{Proc: r.proc(), Seq: r.seqnum()}
+		v = append(v, e)
+	}
+	return v
+}

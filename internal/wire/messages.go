@@ -1,0 +1,314 @@
+package wire
+
+import (
+	"fmt"
+
+	"ftmp/internal/ids"
+)
+
+// SeqEntry pairs a processor with a sequence number; a SeqVector appears
+// in AddProcessor and Membership message bodies ("current sequence
+// numbers", paper sections 7.1 and 7.2).
+type SeqEntry struct {
+	Proc ids.ProcessorID
+	Seq  ids.SeqNum
+}
+
+// SeqVector maps each member of a membership to a sequence number: for
+// Membership messages, the highest sequence number s such that the sender
+// has received message s and all smaller-numbered messages from that
+// member; for AddProcessor messages, the most recent message from each
+// member that the sender has ordered.
+type SeqVector []SeqEntry
+
+// Get returns the sequence number recorded for p, or 0 if absent.
+func (v SeqVector) Get(p ids.ProcessorID) (ids.SeqNum, bool) {
+	for _, e := range v {
+		if e.Proc == p {
+			return e.Seq, true
+		}
+	}
+	return 0, false
+}
+
+// Clone returns an independent copy of v.
+func (v SeqVector) Clone() SeqVector {
+	out := make(SeqVector, len(v))
+	copy(out, v)
+	return out
+}
+
+// MulticastAddr is the IP multicast endpoint carried in a Connect message
+// body. FTMP treats it opaquely; the transport layer interprets it.
+type MulticastAddr struct {
+	IP   [4]byte
+	Port uint16
+}
+
+// String implements fmt.Stringer.
+func (a MulticastAddr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d", a.IP[0], a.IP[1], a.IP[2], a.IP[3], a.Port)
+}
+
+// IsZero reports whether a is the zero address.
+func (a MulticastAddr) IsZero() bool { return a == MulticastAddr{} }
+
+// Body is the decoded body of an FTMP message. Each implementation
+// corresponds to one MsgType.
+type Body interface {
+	// Type returns the message type the body belongs to.
+	Type() MsgType
+	// encodeBody appends the body encoding to w.
+	encodeBody(w *writer)
+}
+
+// Message is a complete decoded FTMP message.
+type Message struct {
+	Header Header
+	Body   Body
+}
+
+// Regular carries an encapsulated GIOP message together with the logical
+// connection identifier and request number used for duplicate detection
+// among object replicas (paper section 5).
+type Regular struct {
+	Conn       ids.ConnectionID
+	RequestNum ids.RequestNum
+	// Payload is the encapsulated GIOP message (header + body), or any
+	// application payload when FTMP is used without the ORB layers.
+	Payload []byte
+}
+
+// Type implements Body.
+func (*Regular) Type() MsgType { return TypeRegular }
+
+func (m *Regular) encodeBody(w *writer) {
+	w.connID(m.Conn)
+	w.u64(uint64(m.RequestNum))
+	w.bytes(m.Payload)
+}
+
+// RetransmitRequest negatively acknowledges a block of missing messages
+// with consecutive sequence numbers from one processor (paper section 5).
+type RetransmitRequest struct {
+	// Proc is the processor whose messages are missing.
+	Proc ids.ProcessorID
+	// StartSeq and StopSeq delimit the missing block, inclusive. If only
+	// one message is missing they are equal.
+	StartSeq ids.SeqNum
+	StopSeq  ids.SeqNum
+}
+
+// Type implements Body.
+func (*RetransmitRequest) Type() MsgType { return TypeRetransmitRequest }
+
+func (m *RetransmitRequest) encodeBody(w *writer) {
+	w.proc(m.Proc)
+	w.seq(m.StartSeq)
+	w.seq(m.StopSeq)
+}
+
+// Heartbeat is the null message a processor multicasts when it has been
+// idle; its value is entirely in the header (sequence number, message
+// timestamp, ack timestamp), so the body is empty (paper section 5).
+type Heartbeat struct{}
+
+// Type implements Body.
+func (*Heartbeat) Type() MsgType { return TypeHeartbeat }
+
+func (m *Heartbeat) encodeBody(*writer) {}
+
+// ConnectRequest asks the fault tolerance infrastructure of a server
+// object group to establish a connection (paper section 7). Addressed to
+// the server domain's multicast address with DestGroup = NilGroup.
+type ConnectRequest struct {
+	Conn ids.ConnectionID
+	// Procs is the sequence of identifiers of the processors that
+	// support the client object group.
+	Procs ids.Membership
+}
+
+// Type implements Body.
+func (*ConnectRequest) Type() MsgType { return TypeConnectRequest }
+
+func (m *ConnectRequest) encodeBody(w *writer) {
+	w.connID(m.Conn)
+	w.membership(m.Procs)
+}
+
+// Connect establishes a new logical connection, or changes the multicast
+// address or processor group of an existing one (paper section 7).
+type Connect struct {
+	Conn ids.ConnectionID
+	// Group is the processor group that will carry the connection.
+	Group ids.GroupID
+	// Addr is the IP multicast address the connection will use.
+	Addr MulticastAddr
+	// MembershipTS is the timestamp of the most recent message delivered
+	// by the sender; CurrentMembership is the processor group membership
+	// at that timestamp.
+	MembershipTS      ids.Timestamp
+	CurrentMembership ids.Membership
+}
+
+// Type implements Body.
+func (*Connect) Type() MsgType { return TypeConnect }
+
+func (m *Connect) encodeBody(w *writer) {
+	w.connID(m.Conn)
+	w.group(m.Group)
+	w.buf = append(w.buf, m.Addr.IP[:]...)
+	w.u16(m.Addr.Port)
+	w.ts(m.MembershipTS)
+	w.membership(m.CurrentMembership)
+}
+
+// AddProcessor adds a non-faulty processor to a processor group
+// (paper section 7.1).
+type AddProcessor struct {
+	MembershipTS      ids.Timestamp
+	CurrentMembership ids.Membership
+	// CurrentSeqs records, for each member of the current membership,
+	// the most recent message the sender has ordered, letting the new
+	// member construct the order for later messages.
+	CurrentSeqs SeqVector
+	NewMember   ids.ProcessorID
+}
+
+// Type implements Body.
+func (*AddProcessor) Type() MsgType { return TypeAddProcessor }
+
+func (m *AddProcessor) encodeBody(w *writer) {
+	w.ts(m.MembershipTS)
+	w.membership(m.CurrentMembership)
+	w.seqVector(m.CurrentSeqs)
+	w.proc(m.NewMember)
+}
+
+// RemoveProcessor removes a non-faulty processor from a processor group;
+// the removal takes effect when the message is ordered (paper section 7.1).
+type RemoveProcessor struct {
+	Member ids.ProcessorID
+}
+
+// Type implements Body.
+func (*RemoveProcessor) Type() MsgType { return TypeRemoveProcessor }
+
+func (m *RemoveProcessor) encodeBody(w *writer) {
+	w.proc(m.Member)
+}
+
+// Suspect reports the processors its sender suspects of being faulty
+// (paper section 7.2).
+type Suspect struct {
+	MembershipTS ids.Timestamp
+	Suspects     ids.Membership
+}
+
+// Type implements Body.
+func (*Suspect) Type() MsgType { return TypeSuspect }
+
+func (m *Suspect) encodeBody(w *writer) {
+	w.ts(m.MembershipTS)
+	w.membership(m.Suspects)
+}
+
+// MembershipMsg proposes a new membership that excludes convicted
+// processors (paper section 7.2). Named MembershipMsg to avoid colliding
+// with ids.Membership.
+type MembershipMsg struct {
+	MembershipTS      ids.Timestamp
+	CurrentMembership ids.Membership
+	// CurrentSeqs holds, for each member of the current membership, the
+	// highest sequence number such that the sender has received that
+	// message and all messages with smaller sequence numbers.
+	CurrentSeqs   SeqVector
+	NewMembership ids.Membership
+}
+
+// Type implements Body.
+func (*MembershipMsg) Type() MsgType { return TypeMembership }
+
+func (m *MembershipMsg) encodeBody(w *writer) {
+	w.ts(m.MembershipTS)
+	w.membership(m.CurrentMembership)
+	w.seqVector(m.CurrentSeqs)
+	w.membership(m.NewMembership)
+}
+
+// Encode serializes the message. The header's Type and Size fields are
+// set from the body; all other header fields are taken as given.
+func Encode(h Header, body Body) ([]byte, error) {
+	if body == nil {
+		return nil, fmt.Errorf("wire: nil body")
+	}
+	h.Type = body.Type()
+	w := newWriter(h.LittleEndian, HeaderSize+64)
+	w.buf = append(w.buf, make([]byte, HeaderSize)...)
+	body.encodeBody(w)
+	if len(w.buf) > MaxMessageSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrOversize, len(w.buf))
+	}
+	h.Size = uint32(len(w.buf))
+	h.encode(w.buf[:HeaderSize])
+	return w.buf, nil
+}
+
+// Decode parses a complete FTMP message from buf. buf must contain
+// exactly one message (datagram framing).
+func Decode(buf []byte) (Message, error) {
+	var m Message
+	h, err := DecodeHeader(buf)
+	if err != nil {
+		return m, err
+	}
+	if int(h.Size) != len(buf) {
+		return m, fmt.Errorf("%w: size %d, datagram %d", ErrBadSize, h.Size, len(buf))
+	}
+	r := newReader(h.LittleEndian, buf[HeaderSize:])
+	var body Body
+	switch h.Type {
+	case TypeRegular:
+		body = &Regular{Conn: r.connID(), RequestNum: ids.RequestNum(r.u64()), Payload: r.bytes()}
+	case TypeRetransmitRequest:
+		body = &RetransmitRequest{Proc: r.proc(), StartSeq: r.seqnum(), StopSeq: r.seqnum()}
+	case TypeHeartbeat:
+		body = &Heartbeat{}
+	case TypeConnectRequest:
+		body = &ConnectRequest{Conn: r.connID(), Procs: r.membershipList()}
+	case TypeConnect:
+		c := &Connect{Conn: r.connID(), Group: r.group()}
+		copy(c.Addr.IP[:], r.take(4))
+		c.Addr.Port = r.u16()
+		c.MembershipTS = r.ts()
+		c.CurrentMembership = r.membershipList()
+		body = c
+	case TypeAddProcessor:
+		body = &AddProcessor{
+			MembershipTS:      r.ts(),
+			CurrentMembership: r.membershipList(),
+			CurrentSeqs:       r.seqVector(),
+			NewMember:         r.proc(),
+		}
+	case TypeRemoveProcessor:
+		body = &RemoveProcessor{Member: r.proc()}
+	case TypeSuspect:
+		body = &Suspect{MembershipTS: r.ts(), Suspects: r.membershipList()}
+	case TypeMembership:
+		body = &MembershipMsg{
+			MembershipTS:      r.ts(),
+			CurrentMembership: r.membershipList(),
+			CurrentSeqs:       r.seqVector(),
+			NewMembership:     r.membershipList(),
+		}
+	default:
+		return m, fmt.Errorf("%w: %v", ErrBadType, h.Type)
+	}
+	r.done()
+	if err := r.err(); err != nil {
+		return m, fmt.Errorf("wire: decoding %v body: %w", h.Type, err)
+	}
+	m.Header = h
+	m.Body = body
+	return m, nil
+}
