@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiments: fig2,fig3,e1..e9,a1,a2 or all")
+		expFlag = flag.String("exp", "all", "comma-separated experiments: fig2,fig3,e1..e10,a1,a2,a3 or all")
 		quick   = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 		seed    = flag.Int64("seed", 0, "offset added to every experiment seed (0 reproduces EXPERIMENTS.md)")
 	)
@@ -42,6 +42,8 @@ func main() {
 	e7Reps := []int{1, 3, 5}
 	e7Calls := 60
 	e8Calls := 20
+	e10Gaps := []simnet.Time{10, 1}
+	e10FCDur := 15 * simnet.Second
 	if *quick {
 		msgs = 10
 		e1Sizes = []int{2, 4}
@@ -55,6 +57,11 @@ func main() {
 		e7Reps = []int{1, 3}
 		e7Calls = 20
 		e8Calls = 5
+		e10Gaps = []simnet.Time{10}
+		e10FCDur = 5 * simnet.Second
+	}
+	for i := range e10Gaps {
+		e10Gaps[i] *= simnet.Millisecond
 	}
 	for i := range hbs {
 		hbs[i] *= simnet.Millisecond
@@ -88,6 +95,14 @@ func main() {
 		{"e7", func() *trace.Table { return harness.E7GIOP(e7Reps, e7Calls) }},
 		{"e8", func() *trace.Table { return harness.E8Duplicates(e8Calls) }},
 		{"e9", func() *trace.Table { return harness.E9PlannedChange() }},
+		{"e10", func() *trace.Table {
+			// E10 is about the robustness machinery, so it also reports
+			// the event counters the pipeline left behind.
+			trace.ResetCounters()
+			tb := harness.E10Recovery(e10Gaps, e10FCDur)
+			fmt.Println(tb.String())
+			return trace.CountersTable("e10 robustness counters")
+		}},
 		{"a1", func() *trace.Table { return harness.A1RepairPolicy(0.10) }},
 		{"a2", harness.A2ClockMode},
 		{"a3", harness.A3FlowControl},
@@ -103,7 +118,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig2 fig3 e1..e9 a1 a2 a3 all\n", *expFlag)
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig2 fig3 e1..e10 a1 a2 a3 all\n", *expFlag)
 		os.Exit(2)
 	}
 }

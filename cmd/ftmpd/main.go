@@ -22,12 +22,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"ftmp/internal/core"
 	"ftmp/internal/ids"
+	"ftmp/internal/pgmp"
 	"ftmp/internal/runtime"
+	"ftmp/internal/trace"
 	"ftmp/internal/transport"
 	"ftmp/internal/wire"
 )
@@ -41,7 +47,9 @@ func main() {
 		groupFlag = flag.Uint("group", 100, "processor group id")
 		trFlag    = flag.String("transport", "mesh", "transport: mesh or multicast")
 		hbMs      = flag.Int("heartbeat-ms", 5, "heartbeat interval in milliseconds")
-		suspectMs = flag.Int("suspect-ms", 500, "suspect timeout in milliseconds")
+		suspectMs = flag.Int("suspect-ms", 500, "suspect timeout in milliseconds (adaptive: bootstrap threshold)")
+		policy    = flag.String("suspect-policy", "fixed",
+			"failure detector: fixed (constant -suspect-ms) or adaptive (per-member mean + k·stddev of heartbeat inter-arrivals)")
 		quietFlag = flag.Bool("quiet", false, "suppress view-change and fault chatter")
 	)
 	flag.Parse()
@@ -50,6 +58,14 @@ func main() {
 	cfg := core.DefaultConfig(self)
 	cfg.HeartbeatInterval = int64(*hbMs) * 1_000_000
 	cfg.PGMP.SuspectTimeout = int64(*suspectMs) * 1_000_000
+	switch *policy {
+	case "fixed":
+		// DefaultConfig's zero value.
+	case "adaptive":
+		cfg.PGMP.SuspectPolicy = pgmp.SuspectAdaptive
+	default:
+		fatal("unknown -suspect-policy %q (want fixed or adaptive)", *policy)
+	}
 
 	var membership ids.Membership
 	for _, tok := range strings.Split(*members, ",") {
@@ -124,6 +140,24 @@ func main() {
 	fmt.Fprintf(os.Stderr, "ftmpd: processor %v in group %v %v; type lines to multicast\n",
 		self, group, membership)
 
+	// SIGINT/SIGTERM leave gracefully: the RemoveProcessor is ordered
+	// and this processor lingers until every remaining member has
+	// acknowledged the removal (DESIGN.md "Graceful departure"), so no
+	// survivor has to convict us and run a recovery round.
+	var once sync.Once
+	leave := func(why string) {
+		once.Do(func() {
+			fmt.Fprintf(os.Stderr, "ftmpd: %s, leaving group %v\n", why, group)
+			shutdown(r, group)
+		})
+	}
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigC
+		leave(s.String())
+	}()
+
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		line := sc.Text()
@@ -156,6 +190,35 @@ func main() {
 			})
 		}
 	}
+	// stdin closed: same graceful departure as a signal.
+	leave("stdin closed")
+}
+
+// shutdown drives the graceful departure: propose Leave, wait (bounded)
+// until the removal is stable and the node has gone silent, then print
+// the robustness counters accumulated over the process lifetime and exit.
+func shutdown(r *runtime.Runner, group ids.GroupID) {
+	r.Do(func(node *core.Node, now int64) {
+		if err := node.Leave(now, group); err != nil {
+			fmt.Fprintf(os.Stderr, "ftmpd: leave: %v\n", err)
+		}
+	})
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		done := false
+		r.Do(func(node *core.Node, now int64) {
+			st, ok := node.Status(group)
+			done = !ok || st.Left
+		})
+		if done {
+			fmt.Fprintln(os.Stderr, "ftmpd: departure stable")
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Fprintln(os.Stderr, trace.CountersTable("ftmpd shutdown summary").String())
+	r.Close()
+	os.Exit(0)
 }
 
 func fatal(format string, args ...any) {

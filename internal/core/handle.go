@@ -4,6 +4,7 @@ import (
 	"ftmp/internal/ids"
 	"ftmp/internal/rmp"
 	"ftmp/internal/romp"
+	"ftmp/internal/trace"
 	"ftmp/internal/wire"
 )
 
@@ -326,7 +327,8 @@ func (n *Node) checkRecovery(gs *groupState, now int64) {
 	// processors absent from the map), so messages still in flight from
 	// the old view deliver in timestamp order merged across views.
 	gs.order.SetMembership(newM, ids.NilTimestamp)
-	if !newM.Contains(n.cfg.Self) {
+	expelled := !newM.Contains(n.cfg.Self)
+	if expelled {
 		gs.joined = false
 		gs.left = true
 		n.unsubscribe(gs.addr)
@@ -343,6 +345,44 @@ func (n *Node) checkRecovery(gs *groupState, now int64) {
 			n.applyOrdered(now, gs, e)
 		}
 	}
+	if expelled && !gs.leaving && !gs.leaveWanted {
+		n.restartRejoins(now, gs, viewTS)
+	}
+}
+
+// restartRejoins re-arms the automated rejoin pipeline after a
+// fault-recovery round expelled this processor from gs — the fate of a
+// rejoiner admitted on a stale cut: its sponsor composed the
+// AddProcessor before a concurrent recovery round concluded, so the
+// conclusion, ordered after the bootstrap, lists this processor among
+// the removed. Lingering as a silent non-member would deadlock the
+// pipeline: the connection looks established locally, so ConnectRequest
+// probing never resumes, while the survivors eventually convict the
+// silent processor for real. Instead the group state is torn down
+// entirely and every connection it carried reverts to backoff-paced
+// probing, so once the survivors' view settles the designated member
+// sponsors a clean re-admission whose AddProcessor carries a fresh cut
+// (and a timestamp above the expulsion, passing the staleness guard in
+// bootstrapFromAdd). Groups carrying no connections stay left: under
+// the fail-stop model re-entry there is the application's decision.
+func (n *Node) restartRejoins(now int64, gs *groupState, viewTS ids.Timestamp) {
+	conns := n.ConnectionsOn(gs.id)
+	if len(conns) == 0 {
+		return
+	}
+	delete(n.groups, gs.id)
+	n.expelled[gs.id] = viewTS
+	// The group address was unsubscribed with the expulsion; forget that
+	// it was ever a learned listen address so the next Connect
+	// announcement subscribes it again.
+	delete(n.listening, gs.addr)
+	for _, id := range conns {
+		req := n.conns.Reopen(id, ids.NewMembership(n.cfg.Self), now)
+		if addr, ok := n.serverDomainAddrFor(req); ok {
+			n.sendConnectRequest(now, addr, req)
+		}
+		trace.Inc("core.rejoin_restarts")
+	}
 }
 
 // bootstrapFromAdd admits this processor to a group it was added to: the
@@ -355,7 +395,20 @@ func (n *Node) bootstrapFromAdd(now int64, msg wire.Message, raw []byte) {
 	if _, exists := n.groups[h.DestGroup]; exists {
 		return
 	}
+	if ts, wasExpelled := n.expelled[h.DestGroup]; wasExpelled && h.MsgTS <= ts {
+		// A resend of the admission a recovery round already undid (this
+		// processor watched its own expulsion at ts); bootstrapping from
+		// it would only replay the expulsion cycle. Wait for a fresh
+		// AddProcessor sponsored against the settled view.
+		return
+	}
 	addr := n.cfg.GroupAddr(h.DestGroup)
+	lc, wasLearned := n.learned[h.DestGroup]
+	if wasLearned && lc.addr != (wire.MulticastAddr{}) {
+		// A rejoin probe learned the group's (possibly re-addressed)
+		// location from the designated member's Connect announcement.
+		addr = lc.addr
+	}
 	gs := n.newGroupState(h.DestGroup, addr)
 	members := body.CurrentMembership.Add(n.cfg.Self)
 	gs.mem.Install(members, h.MsgTS, now)
@@ -372,6 +425,15 @@ func (n *Node) bootstrapFromAdd(now int64, msg wire.Message, raw []byte) {
 	}
 	gs.joined = true
 	n.subscribe(addr)
+	delete(n.expelled, h.DestGroup)
+	if wasLearned {
+		// Complete the rejoin: adopt the connection whose probe led here
+		// (clearing the ConnectRequest retries) — the Connect itself
+		// predates our cut and will never be redelivered to us.
+		n.conns.Adopt(lc.conn, h.DestGroup, gs.addr)
+		delete(n.learned, h.DestGroup)
+		trace.Inc("core.rejoins_completed")
+	}
 	n.emitView(gs, ViewAdd, nil, nil, h.MsgTS)
 	// Process the AddProcessor itself through RMP (it is the first
 	// message after the cut from its source) and announce ourselves so
@@ -420,6 +482,7 @@ func (n *Node) onConnectRequest(now int64, req *wire.ConnectRequest) {
 		// sure the announcement reaches the client by re-arming it.
 		if gs, ok := n.groups[st.Group]; ok && gs.joined {
 			n.announceConnect(now, gs, st.ID, st.Addr)
+			n.maybeReadmit(now, gs, req)
 		}
 		return
 	}
@@ -453,6 +516,40 @@ func (n *Node) onConnectRequest(now int64, req *wire.ConnectRequest) {
 	n.announceConnect(now, gs, req.Conn, gs.addr)
 }
 
+// maybeReadmit sponsors processors asking for an established
+// connection whose group excludes them: under the fail-stop model a
+// crashed replica returns under a fresh ProcessorID (paper section 3),
+// and its only way back in is a ConnectRequest probe for the
+// connection it used to serve. The lowest-identifier configured
+// supporter still in the membership proposes the AddProcessor, exactly
+// one sponsor per rejoiner; pgmp's pending-add resends cover loss. The
+// round gate defers sponsorship during fault recovery — the probe's
+// retries re-trigger it once the new view installs.
+func (n *Node) maybeReadmit(now int64, gs *groupState, req *wire.ConnectRequest) {
+	if n.cfg.DisableAutoReadmit || gs.mem.InRecovery() {
+		return
+	}
+	members := gs.mem.Members()
+	designated := ids.NilProcessor
+	for _, p := range n.cfg.ObjectGroups[req.Conn.ServerGroup] {
+		if members.Contains(p) {
+			designated = p
+			break
+		}
+	}
+	if designated != n.cfg.Self {
+		return
+	}
+	for _, p := range req.Procs {
+		if members.Contains(p) || gs.mem.HasPendingAdd(p) {
+			continue
+		}
+		if err := n.RequestAddProcessor(now, gs.id, p); err == nil {
+			trace.Inc("core.readmits")
+		}
+	}
+}
+
 // announceConnect multicasts the Connect for conn on both the domain
 // address (where connecting clients listen) and the group address, and
 // arms the periodic resend until traffic flows.
@@ -482,9 +579,25 @@ func (n *Node) onConnect(now int64, msg wire.Message, raw []byte, arrival wire.M
 	h := msg.Header
 	gs, tracked := n.groups[h.DestGroup]
 	if !tracked {
-		// New group announced via the domain address. Join only if we
-		// are named in its membership.
-		if !body.CurrentMembership.Contains(n.cfg.Self) {
+		// New group announced via the domain address. Join directly only
+		// if we are named in a FRESH membership (view timestamp nil): the
+		// group was just created around us and baseline-zero reception is
+		// correct. A nonzero view timestamp means the group has history
+		// this processor lacks — joining it cold would NACK for messages
+		// long discarded. If we asked for this connection (a rejoin
+		// probe), learn where the group lives and listen there so the
+		// admitting AddProcessor — which carries the proper cut — can
+		// reach us; bootstrapFromAdd then joins and adopts.
+		if !body.CurrentMembership.Contains(n.cfg.Self) ||
+			body.MembershipTS != ids.NilTimestamp {
+			if n.conns.Waiting(body.Conn) {
+				n.learned[h.DestGroup] = learnedConn{conn: body.Conn, addr: body.Addr}
+				if !n.listening[body.Addr] {
+					n.listening[body.Addr] = true
+					n.subscribe(body.Addr)
+				}
+				trace.Inc("core.groups_learned")
+			}
 			return
 		}
 		gs = n.newGroupState(h.DestGroup, body.Addr)

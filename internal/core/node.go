@@ -23,6 +23,7 @@ import (
 	"ftmp/internal/pgmp"
 	"ftmp/internal/rmp"
 	"ftmp/internal/romp"
+	"ftmp/internal/trace"
 	"ftmp/internal/wire"
 )
 
@@ -75,6 +76,14 @@ type Config struct {
 	// it. The designated member uses it to build processor groups for
 	// new connections.
 	ObjectGroups map[ids.ObjectGroupID]ids.Membership
+
+	// DisableAutoReadmit turns off the rejoin path in which the
+	// designated member of an established connection's group proposes an
+	// AddProcessor for an unknown processor retrying ConnectRequests for
+	// that connection (a crashed replica returning under a fresh
+	// fail-stop identifier). The default (false) admits such rejoiners
+	// automatically.
+	DisableAutoReadmit bool
 
 	// GroupAddr derives the multicast address for a processor group.
 	// Nil selects a deterministic default derivation, so that every
@@ -224,6 +233,12 @@ type groupState struct {
 	// stall forever waiting to hear from it.
 	leaving   bool
 	leavingTS ids.Timestamp
+
+	// leaveWanted is set when this processor itself asked to leave
+	// (Node.Leave): if a concurrent fault-recovery round expels it
+	// before the graceful RemoveProcessor orders, the departure is still
+	// intentional and must not restart the rejoin pipeline.
+	leaveWanted bool
 }
 
 // Stats aggregates per-node counters across layers for the harness.
@@ -261,7 +276,24 @@ type Node struct {
 	// connReqSeen counts unanswered ConnectRequests per connection at
 	// non-designated server members (responder failover ladder).
 	connReqSeen map[ids.ConnectionID]int
-	stats       Stats
+	// learned maps groups announced to this (non-member) processor while
+	// it was waiting on a ConnectRequest — a rejoiner probing for an
+	// established connection. The node listens on the group address so
+	// the admitting AddProcessor can reach it, and adopts the connection
+	// when bootstrapFromAdd fires.
+	learned map[ids.GroupID]learnedConn
+	// expelled records, per group a fault-recovery round removed this
+	// processor from, the expulsion view timestamp: AddProcessor resends
+	// stamped at or below it are stale copies of an admission that the
+	// recovery already undid and must not re-bootstrap the group (see
+	// restartRejoins).
+	expelled map[ids.GroupID]ids.Timestamp
+	stats    Stats
+}
+
+type learnedConn struct {
+	conn ids.ConnectionID
+	addr wire.MulticastAddr
 }
 
 type readdress struct {
@@ -309,6 +341,8 @@ func NewNode(cfg Config, cb Callbacks) *Node {
 		oldAddrs:    make(map[wire.MulticastAddr]readdress),
 		listening:   make(map[wire.MulticastAddr]bool),
 		domainAddrs: make(map[ids.DomainID]wire.MulticastAddr),
+		learned:     make(map[ids.GroupID]learnedConn),
+		expelled:    make(map[ids.GroupID]ids.Timestamp),
 	}
 	n.subscribe(cfg.DomainAddr)
 	return n
@@ -754,6 +788,9 @@ func (n *Node) AdoptConnection(conn ids.ConnectionID, group ids.GroupID) error {
 // finishLeaving). The fault tolerance infrastructure must have removed
 // this processor's object replicas first.
 func (n *Node) Leave(now int64, g ids.GroupID) error {
+	if gs, ok := n.groups[g]; ok {
+		gs.leaveWanted = true
+	}
 	return n.RequestRemoveProcessor(now, g, n.cfg.Self)
 }
 
@@ -773,6 +810,47 @@ func (n *Node) OpenConnection(now int64, conn ids.ConnectionID, serverDomainAddr
 	n.domainAddrs[conn.ServerDomain] = serverDomainAddr
 	req := n.conns.RequestOpen(conn, clientProcs, now)
 	n.sendConnectRequest(now, serverDomainAddr, req)
+}
+
+// RequestRejoin begins re-entry into an established connection's
+// processor group under this node's identifier — the automated
+// recovery path for a replica that crashed and restarted under a fresh
+// fail-stop ProcessorID (paper section 3: a convicted processor never
+// returns under its old identifier). It probes the server domain with
+// ConnectRequests naming only this processor; the designated member of
+// the connection's group answers by re-announcing the Connect (from
+// which this node learns the group and its address) and proposing an
+// AddProcessor for it (auto-readmit), and bootstrapFromAdd completes
+// the join and adopts the connection. Retry pacing follows
+// Config.Conn's backoff policy.
+func (n *Node) RequestRejoin(now int64, conn ids.ConnectionID, serverDomainAddr wire.MulticastAddr) {
+	trace.Inc("core.rejoin_requests")
+	n.OpenConnection(now, conn, serverDomainAddr, ids.NewMembership(n.cfg.Self))
+}
+
+// ConnectAttempts returns how many ConnectRequest transmissions this
+// node has made for conn (initial sends plus retries), so recovery
+// drivers can assert the rejoin stayed within its retry budget.
+func (n *Node) ConnectAttempts(conn ids.ConnectionID) int {
+	return n.conns.Attempts(conn)
+}
+
+// ConnectionsOn returns the established logical connections carried by
+// processor group g, in deterministic order.
+func (n *Node) ConnectionsOn(g ids.GroupID) []ids.ConnectionID {
+	var out []ids.ConnectionID
+	for _, st := range n.conns.All() {
+		if st.Established && st.Group == g {
+			out = append(out, st.ID)
+		}
+	}
+	return out
+}
+
+// ObjectGroupProcs returns the configured supporting processors of
+// object group og (nil if unknown here).
+func (n *Node) ObjectGroupProcs(og ids.ObjectGroupID) ids.Membership {
+	return n.cfg.ObjectGroups[og].Clone()
 }
 
 // sendConnectRequest transmits a ConnectRequest: unreliable, addressed

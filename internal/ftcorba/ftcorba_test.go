@@ -104,6 +104,13 @@ type world struct {
 // (future replicas).
 func newWorld(t *testing.T, seed int64, loss float64, serverProcs, clientProcs ids.Membership, spares ...ids.ProcessorID) *world {
 	t.Helper()
+	return newWorldConfigured(t, seed, loss, serverProcs, clientProcs, nil, spares...)
+}
+
+// newWorldConfigured is newWorld with an extra per-node configuration
+// hook (the recovery tests arm backoff and the adaptive detector).
+func newWorldConfigured(t *testing.T, seed int64, loss float64, serverProcs, clientProcs ids.Membership, extra func(ids.ProcessorID, *core.Config), spares ...ids.ProcessorID) *world {
+	t.Helper()
 	var all []ids.ProcessorID
 	all = append(all, serverProcs...)
 	all = append(all, clientProcs...)
@@ -115,6 +122,9 @@ func newWorld(t *testing.T, seed int64, loss float64, serverProcs, clientProcs i
 		Net:  cfg,
 		Configure: func(p ids.ProcessorID, nc *core.Config) {
 			nc.ObjectGroups = map[ids.ObjectGroupID]ids.Membership{serverOG: serverProcs}
+			if extra != nil {
+				extra(p, nc)
+			}
 		},
 	}, all...)
 	w := &world{

@@ -1,0 +1,81 @@
+package ftcorba
+
+import (
+	"ftmp/internal/core"
+	"ftmp/internal/ids"
+	"ftmp/internal/orb"
+	"ftmp/internal/trace"
+	"ftmp/internal/wire"
+)
+
+// Automated crash recovery.
+//
+// The manual recovery path (ListenGroup + RequestAddProcessor +
+// AddReplica, exercised by the state-transfer tests) requires an
+// operator on both sides. The automated pipeline composes the same
+// primitives so a crashed replica returns without intervention:
+//
+//   rejoiner:  Rejoin() — register the joining replica and probe the
+//              server domain with ConnectRequests under the fresh
+//              ProcessorID (core.RequestRejoin, backoff-paced).
+//   sponsor:   the designated member auto-readmits the prober
+//              (core.maybeReadmit → AddProcessor).
+//   survivors: OnViewChange sees the admission and the designated
+//              replica multicasts the state-transfer marker
+//              (AddReplica); the snapshot and replay then proceed
+//              exactly as in the manual path (statetransfer.go).
+
+// OnViewChange drives the survivor side of automated recovery: when a
+// processor joins a group carrying connections whose server object
+// group is replicated here, the designated replica (lowest configured
+// supporter present in the new view) starts a state transfer so the
+// joiner catches up. Wire it to core.Callbacks.ViewChange alongside
+// OnDeliver; leaving it unwired keeps the manual AddReplica workflow.
+func (f *Infra) OnViewChange(v core.ViewChange, now int64) {
+	if v.Reason != core.ViewAdd || len(v.Joined) == 0 {
+		return
+	}
+	for _, conn := range f.node.ConnectionsOn(v.Group) {
+		og := conn.ServerGroup
+		sg, ok := f.servedGroups[og]
+		if !ok || sg.joining {
+			continue // not an established replica here (or we ARE the joiner)
+		}
+		if _, stateful := sg.servant.(Stateful); !stateful {
+			continue
+		}
+		designated := ids.NilProcessor
+		for _, p := range f.node.ObjectGroupProcs(og) {
+			if v.Members.Contains(p) {
+				designated = p
+				break
+			}
+		}
+		if designated != f.self {
+			continue
+		}
+		if err := f.AddReplica(now, conn, og); err == nil {
+			trace.Inc("ftcorba.auto_transfers")
+		}
+	}
+}
+
+// Rejoin runs the rejoiner side of automated recovery at a freshly
+// (re)started processor: it registers the local replica of og as
+// joining (requests buffer until the snapshot arrives) and probes for
+// readmission to conn's processor group under this node's ProcessorID.
+// Caught-up is observable as Joining(og) turning false.
+func (f *Infra) Rejoin(now int64, conn ids.ConnectionID, og ids.ObjectGroupID, objectKey string, servant orb.Servant, serverDomainAddr wire.MulticastAddr) {
+	if _, ok := f.servedGroups[og]; !ok {
+		f.ServeJoining(og, objectKey, servant)
+	}
+	trace.Inc("ftcorba.rejoins_started")
+	f.node.RequestRejoin(now, conn, serverDomainAddr)
+}
+
+// Joining reports whether the local replica of og is still waiting for
+// its state snapshot.
+func (f *Infra) Joining(og ids.ObjectGroupID) bool {
+	sg, ok := f.servedGroups[og]
+	return ok && sg.joining
+}

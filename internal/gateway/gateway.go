@@ -9,9 +9,11 @@
 package gateway
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ftmp/internal/core"
@@ -20,6 +22,8 @@ import (
 	"ftmp/internal/ids"
 	"ftmp/internal/orb"
 	"ftmp/internal/runtime"
+	"ftmp/internal/trace"
+	"ftmp/internal/transport"
 )
 
 // Gateway listens for IIOP connections and forwards requests onto one
@@ -36,24 +40,47 @@ type Gateway struct {
 	// instead of a hung connection. Set before Listen; default 30s.
 	Timeout time.Duration
 
-	lis    net.Listener
-	stop   chan struct{}
-	mu     sync.Mutex
-	conns  map[net.Conn]bool
-	closed bool
-	wg     sync.WaitGroup
+	// MaxInFlight bounds requests being forwarded concurrently across
+	// all client connections (each blocked reader holds one slot until
+	// the group replies). Excess requests are shed immediately with
+	// MessageError instead of queueing behind a degraded group; a client
+	// that keeps pushing into overload is disconnected with
+	// CloseConnection. 0 means unbounded. Set before Listen.
+	MaxInFlight int
+
+	// CallRetries is how many times a submission that finds the logical
+	// connection momentarily not established (a view change in
+	// progress, a rejoin underway) is retried before the client sees a
+	// system exception. The retry delay starts at CallRetryDelay and
+	// doubles, capped at 1s. Defaults 5 and 20ms. Set before Listen.
+	CallRetries    int
+	CallRetryDelay time.Duration
+
+	lis      net.Listener
+	stop     chan struct{}
+	mu       sync.Mutex
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+	inflight int64
 }
+
+// shedCloseAfter is how many consecutive shed requests on one client
+// connection escalate MessageError to CloseConnection.
+const shedCloseAfter = 8
 
 // New creates a gateway that forwards over conn via infra, serialized
 // through the runner's event loop.
 func New(runner *runtime.Runner, infra *ftcorba.Infra, conn ids.ConnectionID) *Gateway {
 	return &Gateway{
-		runner:  runner,
-		infra:   infra,
-		conn:    conn,
-		Timeout: 30 * time.Second,
-		stop:    make(chan struct{}),
-		conns:   make(map[net.Conn]bool),
+		runner:         runner,
+		infra:          infra,
+		conn:           conn,
+		Timeout:        30 * time.Second,
+		CallRetries:    5,
+		CallRetryDelay: 20 * time.Millisecond,
+		stop:           make(chan struct{}),
+		conns:          make(map[net.Conn]bool),
 	}
 }
 
@@ -70,13 +97,26 @@ func (g *Gateway) Listen(addr string) (string, error) {
 	return lis.Addr().String(), nil
 }
 
+func (g *Gateway) isClosed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.closed
+}
+
 func (g *Gateway) acceptLoop() {
 	defer g.wg.Done()
+	guard := transport.RetryGuard{Name: "gateway accept", Counter: "gateway.accept"}
 	for {
 		conn, err := g.lis.Accept()
 		if err != nil {
-			return
+			// Transient accept failures (e.g. file-descriptor pressure)
+			// must not kill the listener for all future clients.
+			if g.isClosed() || !guard.Admit(err) {
+				return
+			}
+			continue
 		}
+		guard.OK()
 		g.mu.Lock()
 		if g.closed {
 			g.mu.Unlock()
@@ -100,6 +140,7 @@ func (g *Gateway) serveConn(conn net.Conn) {
 	}()
 	// Replies may complete out of submission order (oneways interleave),
 	// so writes are serialized.
+	sheds := 0
 	var wmu sync.Mutex
 	write := func(buf []byte) error {
 		wmu.Lock()
@@ -120,7 +161,22 @@ func (g *Gateway) serveConn(conn net.Conn) {
 		}
 		switch msg.Type {
 		case giop.MsgRequest:
+			if !g.admit() {
+				sheds++
+				trace.Inc("gateway.shed")
+				out, _ := giop.Encode(giop.Message{Type: giop.MsgMessageError, MessageError: &giop.MessageError{}}, false)
+				_ = write(out)
+				if sheds >= shedCloseAfter {
+					trace.Inc("gateway.overload_close")
+					out, _ := giop.Encode(giop.Message{Type: giop.MsgCloseConnection, CloseConnection: &giop.CloseConnection{}}, false)
+					_ = write(out)
+					return
+				}
+				continue
+			}
+			sheds = 0
 			g.forward(msg, write)
+			g.release()
 		case giop.MsgCloseConnection:
 			return
 		default:
@@ -129,6 +185,25 @@ func (g *Gateway) serveConn(conn net.Conn) {
 			out, _ := giop.Encode(giop.Message{Type: giop.MsgMessageError, MessageError: &giop.MessageError{}}, false)
 			_ = write(out)
 		}
+	}
+}
+
+// admit claims an in-flight slot, or reports that the gateway is at
+// MaxInFlight and this request must be shed.
+func (g *Gateway) admit() bool {
+	if g.MaxInFlight <= 0 {
+		return true
+	}
+	if atomic.AddInt64(&g.inflight, 1) > int64(g.MaxInFlight) {
+		atomic.AddInt64(&g.inflight, -1)
+		return false
+	}
+	return true
+}
+
+func (g *Gateway) release() {
+	if g.MaxInFlight > 0 {
+		atomic.AddInt64(&g.inflight, -1)
 	}
 }
 
@@ -171,10 +246,30 @@ func (g *Gateway) forward(msg giop.Message, write func([]byte) error) {
 			respond(&giop.Reply{Status: giop.SystemException, Body: encodeGatewayExc(err)})
 		}
 	}
+	// Submission failures during a view change (the logical connection
+	// momentarily not established while membership reforms or a replica
+	// rejoins) degrade gracefully: retry with bounded backoff before
+	// surfacing an exception. Configuration errors fail immediately.
 	var callErr error
-	g.runner.Do(func(_ *core.Node, now int64) {
-		callErr = g.infra.Call(now, g.conn, req.Operation, req.Body, cb)
-	})
+	delay := g.CallRetryDelay
+retry:
+	for attempt := 0; ; attempt++ {
+		g.runner.Do(func(_ *core.Node, now int64) {
+			callErr = g.infra.Call(now, g.conn, req.Operation, req.Body, cb)
+		})
+		if callErr == nil || attempt >= g.CallRetries || !errors.Is(callErr, ftcorba.ErrNotEstablished) {
+			break
+		}
+		trace.Inc("gateway.call_retries")
+		select {
+		case <-g.stop:
+			break retry
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > time.Second {
+			delay = time.Second
+		}
+	}
 	if callErr != nil {
 		if req.ResponseExpected {
 			respond(&giop.Reply{Status: giop.SystemException, Body: encodeGatewayExc(callErr)})

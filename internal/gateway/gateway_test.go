@@ -40,6 +40,13 @@ func (c *counter) Invoke(op string, args []byte) ([]byte, *orb.Exception) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	switch op {
+	case "slow":
+		// Hold the invocation (and so the gateway's in-flight slot) long
+		// enough for load-shedding tests to observe the overload window.
+		time.Sleep(300 * time.Millisecond)
+		e := giop.NewEncoder(false)
+		e.LongLong(c.value)
+		return e.Bytes(), nil
 	case "add":
 		d := giop.NewDecoder(args, false)
 		c.value += d.LongLong()
@@ -72,6 +79,13 @@ type world struct {
 // buildWorld wires processors 1,2 as server replicas and 3 as the
 // gateway host over a loopback UDP mesh.
 func buildWorld(t *testing.T) *world {
+	t.Helper()
+	return buildWorldOpts(t, true)
+}
+
+// buildWorldOpts optionally leaves the logical connection unopened so
+// tests can exercise the gateway against a not-yet-established group.
+func buildWorldOpts(t *testing.T, connect bool) *world {
 	t.Helper()
 	servers := ids.NewMembership(1, 2)
 	w := &world{
@@ -126,6 +140,9 @@ func buildWorld(t *testing.T) *world {
 				t.Fatal(err)
 			}
 		}
+	}
+	if !connect {
+		return w
 	}
 	// The gateway host opens the logical connection.
 	domainAddr := core.DefaultConfig(3).DomainAddr
@@ -253,6 +270,136 @@ func TestGatewayGarbageBytes(t *testing.T) {
 	defer cli.Close()
 	if _, err := cli.Invoke("counter", "get", nil); err != nil {
 		t.Fatalf("gateway damaged by garbage connection: %v", err)
+	}
+}
+
+// rawRequest writes one GIOP Request on a raw TCP connection.
+func rawRequest(t *testing.T, c net.Conn, id uint32, op string) {
+	t.Helper()
+	out, err := giop.Encode(giop.Message{Type: giop.MsgRequest, Request: &giop.Request{
+		RequestID:        id,
+		ResponseExpected: true,
+		ObjectKey:        []byte("counter"),
+		Operation:        op,
+	}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rawRead reads and decodes one GIOP message.
+func rawRead(t *testing.T, c net.Conn) giop.Message {
+	t.Helper()
+	raw, err := giop.ReadMessage(c)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	msg, err := giop.Decode(raw)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return msg
+}
+
+func TestGatewayShedsLoadAndClosesOverloadedClient(t *testing.T) {
+	w := buildWorld(t)
+	gw := gateway.New(w.runners[3], w.infras[3], conn)
+	gw.MaxInFlight = 1
+	addr, err := gw.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	// Connection A occupies the single in-flight slot with a slow call.
+	a, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	rawRequest(t, a, 1, "slow")
+	time.Sleep(50 * time.Millisecond) // let A's request reach the group
+
+	// Connection B pushes into the overload: every request is shed with
+	// MessageError, and persisting past the threshold gets it closed.
+	b, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for i := 0; i < 8; i++ {
+		rawRequest(t, b, uint32(10+i), "get")
+	}
+	for i := 0; i < 8; i++ {
+		if msg := rawRead(t, b); msg.Type != giop.MsgMessageError {
+			t.Fatalf("shed %d: got %v, want MessageError", i, msg.Type)
+		}
+	}
+	if msg := rawRead(t, b); msg.Type != giop.MsgCloseConnection {
+		t.Fatalf("got %v, want CloseConnection after sustained overload", msg.Type)
+	}
+
+	// A's slow call still completes: shedding never harms admitted work.
+	if msg := rawRead(t, a); msg.Type != giop.MsgReply || msg.Reply.Status != giop.NoException {
+		t.Fatalf("slow call got %v", msg.Type)
+	}
+
+	// With the slot free again a fresh connection is served normally.
+	cli, err := orb.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Invoke("counter", "get", nil); err != nil {
+		t.Fatalf("invoke after overload cleared: %v", err)
+	}
+}
+
+func TestGatewayRetriesUntilEstablished(t *testing.T) {
+	// The logical connection is opened only after the client's request
+	// is already inside the gateway: graceful degradation retries the
+	// submission instead of bouncing the client.
+	w := buildWorldOpts(t, false)
+	gw := gateway.New(w.runners[3], w.infras[3], conn)
+	gw.CallRetries = 100
+	gw.CallRetryDelay = 10 * time.Millisecond
+	addr, err := gw.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	cli, err := orb.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	type result struct {
+		out []byte
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		out, err := cli.Invoke("counter", "get", nil)
+		done <- result{out, err}
+	}()
+
+	time.Sleep(100 * time.Millisecond) // request is now waiting inside forward
+	domainAddr := core.DefaultConfig(3).DomainAddr
+	w.runners[3].Do(func(_ *core.Node, now int64) {
+		w.infras[3].Connect(now, conn, domainAddr, ids.NewMembership(3))
+	})
+
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("invoke across establishment: %v", r.err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("invoke did not complete after establishment")
 	}
 }
 

@@ -48,6 +48,10 @@ type Host struct {
 	// OnDeliver, if set, observes each delivery after recording.
 	OnDeliver func(d core.Delivery, now int64)
 
+	// OnView, if set, observes each view change after recording (the
+	// hook the ftcorba automated-recovery glue attaches to).
+	OnView func(v core.ViewChange, now int64)
+
 	cluster *Cluster
 	now     int64
 }
@@ -100,6 +104,7 @@ type Cluster struct {
 	Net   *simnet.Net
 	Hosts map[ids.ProcessorID]*Host
 	order []ids.ProcessorID
+	opt   Options
 }
 
 // NewCluster builds a cluster of the given processors (no groups yet).
@@ -110,46 +115,67 @@ func NewCluster(opt Options, procs ...ids.ProcessorID) *Cluster {
 	c := &Cluster{
 		Net:   simnet.New(opt.Seed, opt.Net),
 		Hosts: make(map[ids.ProcessorID]*Host),
+		opt:   opt,
 	}
 	for _, p := range procs {
-		p := p
-		cfg := core.DefaultConfig(p)
-		if opt.Configure != nil {
-			opt.Configure(p, &cfg)
-		}
-		h := &Host{ID: p, cluster: c}
-		cb := core.Callbacks{
-			Transmit: func(addr wire.MulticastAddr, data []byte) {
-				c.Net.Send(simnet.NodeID(p), PackAddr(addr), data)
-			},
-			Deliver: func(d core.Delivery) {
-				h.Deliveries = append(h.Deliveries, d)
-				if h.OnDeliver != nil {
-					h.OnDeliver(d, h.now)
-				}
-			},
-			ViewChange: func(v core.ViewChange) {
-				h.Views = append(h.Views, v)
-			},
-			FaultReport: func(g ids.GroupID, convicted ids.Membership) {
-				h.Faults = append(h.Faults, Fault{Group: g, Convicted: convicted, At: h.now})
-			},
-			Subscribe: func(addr wire.MulticastAddr) {
-				c.Net.Subscribe(simnet.NodeID(p), PackAddr(addr))
-			},
-			Unsubscribe: func(addr wire.MulticastAddr) {
-				c.Net.Unsubscribe(simnet.NodeID(p), PackAddr(addr))
-			},
-		}
-		// Register with the network before constructing the node: the
-		// constructor subscribes to the domain address immediately.
-		c.Net.AddNode(simnet.NodeID(p), h, opt.TickEvery)
-		h.Node = core.NewNode(cfg, cb)
-		c.Hosts[p] = h
-		c.order = append(c.order, p)
+		c.attach(p)
 	}
 	sort.Slice(c.order, func(i, j int) bool { return c.order[i] < c.order[j] })
 	return c
+}
+
+// AddHost attaches a new processor to a running cluster — a replacement
+// replica rejoining under a fresh id after a crash — built with the
+// cluster's original options. The new node starts ticking at the
+// current virtual time.
+func (c *Cluster) AddHost(p ids.ProcessorID) *Host {
+	if _, ok := c.Hosts[p]; ok {
+		panic(fmt.Sprintf("harness: processor %v already exists", p))
+	}
+	h := c.attach(p)
+	sort.Slice(c.order, func(i, j int) bool { return c.order[i] < c.order[j] })
+	return h
+}
+
+func (c *Cluster) attach(p ids.ProcessorID) *Host {
+	cfg := core.DefaultConfig(p)
+	if c.opt.Configure != nil {
+		c.opt.Configure(p, &cfg)
+	}
+	h := &Host{ID: p, cluster: c}
+	cb := core.Callbacks{
+		Transmit: func(addr wire.MulticastAddr, data []byte) {
+			c.Net.Send(simnet.NodeID(p), PackAddr(addr), data)
+		},
+		Deliver: func(d core.Delivery) {
+			h.Deliveries = append(h.Deliveries, d)
+			if h.OnDeliver != nil {
+				h.OnDeliver(d, h.now)
+			}
+		},
+		ViewChange: func(v core.ViewChange) {
+			h.Views = append(h.Views, v)
+			if h.OnView != nil {
+				h.OnView(v, h.now)
+			}
+		},
+		FaultReport: func(g ids.GroupID, convicted ids.Membership) {
+			h.Faults = append(h.Faults, Fault{Group: g, Convicted: convicted, At: h.now})
+		},
+		Subscribe: func(addr wire.MulticastAddr) {
+			c.Net.Subscribe(simnet.NodeID(p), PackAddr(addr))
+		},
+		Unsubscribe: func(addr wire.MulticastAddr) {
+			c.Net.Unsubscribe(simnet.NodeID(p), PackAddr(addr))
+		},
+	}
+	// Register with the network before constructing the node: the
+	// constructor subscribes to the domain address immediately.
+	c.Net.AddNode(simnet.NodeID(p), h, c.opt.TickEvery)
+	h.Node = core.NewNode(cfg, cb)
+	c.Hosts[p] = h
+	c.order = append(c.order, p)
+	return h
 }
 
 // Procs returns the processors in deterministic order.

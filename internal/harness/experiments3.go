@@ -1,0 +1,263 @@
+package harness
+
+// Experiment E10: the automated crash-recovery pipeline end to end.
+//
+// The paper's recovery story (sections 3 and 7) ends at the new
+// membership; this repository adds the rest of the pipeline — adaptive
+// failure detection, backoff-paced rejoin probing, auto-readmission and
+// automatic state transfer — and E10 measures it: how long from the
+// crash until (a) the survivors convict the dead replica, (b) a
+// replacement processor is readmitted, and (c) the replacement has its
+// state snapshot and is serving, as a function of request load and of
+// the suspect policy (fixed timeout vs adaptive mean + k·stddev).
+//
+// A companion zero-fault run on a jittery network (bounded uniform
+// latency jitter far above the LAN defaults) counts false convictions:
+// the fixed 50ms detector convicts healthy members whose silence
+// occasionally exceeds its timeout, while the adaptive detector widens
+// its per-member threshold past the jitter bound and convicts no one.
+
+import (
+	"fmt"
+
+	"ftmp/internal/core"
+	"ftmp/internal/ftcorba"
+	"ftmp/internal/giop"
+	"ftmp/internal/ids"
+	"ftmp/internal/orb"
+	"ftmp/internal/pgmp"
+	"ftmp/internal/simnet"
+	"ftmp/internal/trace"
+)
+
+// ledger is the E10 stateful servant: it accumulates deposits, so a
+// rejoining replica can only catch up through a state transfer.
+type ledger struct {
+	total   int64
+	applied int64
+}
+
+func (l *ledger) Invoke(op string, args []byte) ([]byte, *orb.Exception) {
+	d := giop.NewDecoder(args, false)
+	v := d.LongLong()
+	if d.Err() != nil || op != "add" {
+		return nil, orb.ExcBadOperation
+	}
+	l.total += v
+	l.applied++
+	e := giop.NewEncoder(false)
+	e.LongLong(l.total)
+	return e.Bytes(), nil
+}
+
+func (l *ledger) SnapshotState() ([]byte, error) {
+	e := giop.NewEncoder(false)
+	e.LongLong(l.total)
+	e.LongLong(l.applied)
+	return e.Bytes(), nil
+}
+
+func (l *ledger) RestoreState(b []byte) error {
+	d := giop.NewDecoder(b, false)
+	l.total = d.LongLong()
+	l.applied = d.LongLong()
+	return d.Err()
+}
+
+func e10Amount(v int64) []byte {
+	e := giop.NewEncoder(false)
+	e.LongLong(v)
+	return e.Bytes()
+}
+
+// E10Result is one recovery measurement, all times relative to the
+// crash instant.
+type E10Result struct {
+	Policy    string
+	CallGapMs float64
+	ConvictMs float64 // crash -> survivor 1 convicts the dead replica
+	ReadmitMs float64 // crash -> replacement admitted to the group
+	CatchupMs float64 // crash -> replacement restored state and serving
+	Probes    int     // ConnectRequest transmissions by the replacement
+}
+
+// RunE10Recovery crashes one of three server replicas under a steady
+// client request stream (one call every callGap) and drives the full
+// automated pipeline: 30ms after the crash — typically before the
+// survivors have convicted it — a replacement processor starts probing
+// for readmission with Rejoin; the designated survivor readmits it and
+// transfers state while the stream keeps running.
+func RunE10Recovery(adaptive bool, callGap simnet.Time, seed int64) E10Result {
+	servers := ids.NewMembership(1, 2, 3)
+	clients := ids.NewMembership(4)
+	all := []ids.ProcessorID{1, 2, 3, 4}
+	c := NewCluster(Options{
+		Seed: seed, Net: simnet.NewConfig(),
+		Configure: func(p ids.ProcessorID, cfg *core.Config) {
+			cfg.ObjectGroups = map[ids.ObjectGroupID]ids.Membership{expServerOG: servers}
+			if adaptive {
+				cfg.PGMP.SuspectPolicy = pgmp.SuspectAdaptive
+			}
+			cfg.Conn.RequestRetryMax = 320_000_000 // rejoin probes back off 20ms -> 320ms
+			cfg.Conn.RequestRetryJitter = 0.2
+			cfg.PGMP.AddResendMax = 160_000_000
+			cfg.PGMP.AddResendJitter = 0.2
+		},
+	}, all...)
+	econn := ids.ConnectionID{
+		ClientDomain: 1, ClientGroup: expClientOG,
+		ServerDomain: 1, ServerGroup: expServerOG,
+	}
+	infras := make(map[ids.ProcessorID]*ftcorba.Infra)
+	attach := func(p ids.ProcessorID) *ftcorba.Infra {
+		h := c.Host(p)
+		infra := ftcorba.New(p, 1, h.Node)
+		infras[p] = infra
+		h.OnDeliver = infra.OnDeliver
+		h.OnView = infra.OnViewChange
+		return infra
+	}
+	for _, p := range all {
+		infra := attach(p)
+		if servers.Contains(p) {
+			infra.Serve(expServerOG, "ledger", &ledger{})
+		} else {
+			infra.RegisterObjectKey(expServerOG, "ledger")
+		}
+	}
+	addr := core.DefaultConfig(4).DomainAddr
+	infras[4].Connect(int64(c.Net.Now()), econn, addr, clients)
+	if !c.RunUntil(c.Net.Now()+30*simnet.Second, func() bool {
+		for _, p := range all {
+			if !infras[p].Established(econn) {
+				return false
+			}
+		}
+		return true
+	}) {
+		panic("E10: connection not established")
+	}
+
+	// Steady client load through the whole scenario.
+	stopped := false
+	var issue func(i int)
+	issue = func(i int) {
+		if stopped {
+			return
+		}
+		_ = infras[4].Call(int64(c.Net.Now()), econn, "add", e10Amount(int64(i+1)), func([]byte, error) {})
+		c.Net.At(c.Net.Now()+callGap, func() { issue(i + 1) })
+	}
+	c.Net.At(c.Net.Now(), func() { issue(0) })
+
+	// Warm up: the adaptive detector accrues inter-arrival history.
+	c.RunFor(100 * simnet.Millisecond)
+	crashAt := c.Net.Now()
+	c.Crash(3)
+
+	readmitAt := int64(-1)
+	h1 := c.Host(1)
+	innerView := h1.OnView
+	h1.OnView = func(v core.ViewChange, now int64) {
+		innerView(v, now)
+		if readmitAt < 0 && v.Joined.Contains(5) {
+			readmitAt = now
+		}
+	}
+	var infra5 *ftcorba.Infra
+	c.Net.At(crashAt+30*simnet.Millisecond, func() {
+		c.AddHost(5)
+		infra5 = attach(5)
+		infra5.Rejoin(int64(c.Net.Now()), econn, expServerOG, "ledger", &ledger{}, addr)
+	})
+	catchupAt := simnet.Time(0)
+	recovered := c.RunUntil(crashAt+60*simnet.Second, func() bool {
+		return infra5 != nil && infra5.Stats().StateTransfers >= 1 && !infra5.Joining(expServerOG)
+	})
+	if recovered {
+		catchupAt = c.Net.Now()
+	}
+	stopped = true
+
+	convictAt := int64(-1)
+	for _, f := range h1.Faults {
+		if f.Convicted.Contains(3) && f.At >= int64(crashAt) {
+			convictAt = f.At
+			break
+		}
+	}
+	policy := "fixed"
+	if adaptive {
+		policy = "adaptive"
+	}
+	ms := func(at, since int64) float64 {
+		if at < since {
+			return -1 // stage never observed
+		}
+		return float64(at-since) / 1e6
+	}
+	return E10Result{
+		Policy:    policy,
+		CallGapMs: float64(callGap) / 1e6,
+		ConvictMs: ms(convictAt, int64(crashAt)),
+		ReadmitMs: ms(readmitAt, int64(crashAt)),
+		CatchupMs: ms(int64(catchupAt), int64(crashAt)),
+		Probes:    c.Host(5).Node.ConnectAttempts(econn),
+	}
+}
+
+// RunE10FalseConvictions runs a healthy 4-member group on a jittery
+// network (heartbeats every 20ms, uniform delivery jitter up to 40ms)
+// with zero faults injected, and returns how many distinct processors
+// were convicted anyway. The adaptive run keeps SuspectTimeout at 100ms
+// as its bootstrap threshold (used until per-member history accrues);
+// the fixed run uses the default 50ms the LAN configuration assumes.
+func RunE10FalseConvictions(adaptive bool, dur simnet.Time, seed int64) int {
+	procs := []ids.ProcessorID{1, 2, 3, 4}
+	netCfg := simnet.NewConfig()
+	netCfg.LatencyJitter = 40 * simnet.Millisecond
+	c := NewCluster(Options{
+		Seed: seed, Net: netCfg,
+		Configure: func(p ids.ProcessorID, cfg *core.Config) {
+			cfg.HeartbeatInterval = int64(20 * simnet.Millisecond)
+			if adaptive {
+				cfg.PGMP.SuspectPolicy = pgmp.SuspectAdaptive
+				cfg.PGMP.SuspectTimeout = int64(100 * simnet.Millisecond)
+			}
+		},
+	}, procs...)
+	c.CreateGroup(expGroup, ids.NewMembership(procs...))
+	c.RunFor(dur)
+	var convicted ids.Membership
+	for _, p := range procs {
+		for _, f := range c.Host(p).Faults {
+			for _, v := range f.Convicted {
+				convicted = convicted.Add(v)
+			}
+		}
+	}
+	return len(convicted)
+}
+
+// E10Recovery regenerates experiment E10: time to recovery versus load
+// and suspect policy, with the jittery zero-fault false-conviction
+// comparison folded into the title.
+func E10Recovery(gaps []simnet.Time, fcDur simnet.Time) *trace.Table {
+	fixedFC := RunE10FalseConvictions(false, fcDur, SeedOffset+1000)
+	adaptFC := RunE10FalseConvictions(true, fcDur, SeedOffset+1000)
+	title := fmt.Sprintf(
+		"E10: crash -> conviction -> readmit -> caught up, vs load and suspect policy\n"+
+			"     zero-fault run with 40ms jitter over %.0fs: false convictions fixed=%d adaptive=%d",
+		float64(fcDur)/float64(simnet.Second), fixedFC, adaptFC)
+	tb := trace.NewTable(title,
+		"policy", "call gap ms", "convict ms", "readmit ms", "caught up ms", "probes")
+	row := 0
+	for _, gap := range gaps {
+		for _, adaptive := range []bool{false, true} {
+			r := RunE10Recovery(adaptive, gap, SeedOffset+1010+int64(row))
+			tb.AddRow(r.Policy, r.CallGapMs, r.ConvictMs, r.ReadmitMs, r.CatchupMs, r.Probes)
+			row++
+		}
+	}
+	return tb
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"ftmp/internal/ids"
+	"ftmp/internal/trace"
 	"ftmp/internal/wire"
 )
 
@@ -14,6 +15,15 @@ type ConnConfig struct {
 	// section 7: "the client fault tolerance infrastructure retransmits
 	// the ConnectRequest message periodically").
 	RequestRetry int64
+	// RequestRetryMax, when larger than RequestRetry, enables
+	// exponential backoff of the retries from RequestRetry up to this
+	// cap — a rejoining processor probing for a group that may take a
+	// while to readmit it should not flood the domain address. Zero
+	// keeps the fixed period.
+	RequestRetryMax int64
+	// RequestRetryJitter, in (0,1), spreads backed-off retries by a
+	// deterministic ± fraction so simultaneous rejoiners decorrelate.
+	RequestRetryJitter float64
 	// ConnectResend is the period at which the server group re-multicasts
 	// a Connect until it receives traffic on the new connection (paper:
 	// "the server processor group retransmits the Connect message
@@ -46,6 +56,7 @@ type clientPending struct {
 	conn      ids.ConnectionID
 	procs     ids.Membership
 	nextRetry int64
+	attempt   int
 }
 
 type serverPending struct {
@@ -64,6 +75,10 @@ type Connections struct {
 	// serverAnnouncing holds Connects this processor (as a server group
 	// member) keeps re-multicasting until client traffic arrives.
 	serverAnnouncing map[ids.ConnectionID]*serverPending
+	// attempts counts ConnectRequest transmissions per connection,
+	// surviving establishment so callers can assert on how many retries
+	// an open took.
+	attempts map[ids.ConnectionID]int
 }
 
 // NewConnections creates an empty connection table.
@@ -73,6 +88,7 @@ func NewConnections(cfg ConnConfig) *Connections {
 		conns:            make(map[ids.ConnectionID]*ConnState),
 		clientWaiting:    make(map[ids.ConnectionID]*clientPending),
 		serverAnnouncing: make(map[ids.ConnectionID]*serverPending),
+		attempts:         make(map[ids.ConnectionID]int),
 	}
 }
 
@@ -93,7 +109,9 @@ func (c *Connections) RequestOpen(conn ids.ConnectionID, procs ids.Membership, n
 		conn:      conn,
 		procs:     procs.Clone(),
 		nextRetry: now + c.cfg.RequestRetry,
+		attempt:   1,
 	}
+	c.attempts[conn]++
 	return &wire.ConnectRequest{Conn: conn, Procs: procs.Clone()}
 }
 
@@ -108,11 +126,22 @@ func (c *Connections) RequestRetriesDue(now int64) []*wire.ConnectRequest {
 	for _, k := range keys {
 		p := c.clientWaiting[k]
 		if now >= p.nextRetry {
-			p.nextRetry = now + c.cfg.RequestRetry
+			p.attempt++
+			c.attempts[k]++
+			p.nextRetry = now + backoffDelay(c.cfg.RequestRetry, c.cfg.RequestRetryMax,
+				c.cfg.RequestRetryJitter, p.attempt, connSeed(k))
 			out = append(out, &wire.ConnectRequest{Conn: p.conn, Procs: p.procs.Clone()})
+			trace.Inc("pgmp.connect_retries")
 		}
 	}
 	return out
+}
+
+// Attempts returns how many ConnectRequest transmissions (initial plus
+// retries) this processor has made for conn, including after it
+// established.
+func (c *Connections) Attempts(conn ids.ConnectionID) int {
+	return c.attempts[conn] + c.attempts[conn.Reverse()]
 }
 
 // OnConnect applies a Connect message (on either side). It returns the
@@ -153,6 +182,20 @@ func (c *Connections) Adopt(conn ids.ConnectionID, group ids.GroupID, addr wire.
 	delete(c.clientWaiting, conn)
 	delete(c.clientWaiting, conn.Reverse())
 	return st
+}
+
+// Reopen reverts conn to the client-waiting state: the processor was
+// expelled from the group carrying the connection (typically a rejoin
+// admitted on a stale cut and undone by an intervening recovery round)
+// and must probe for re-admission again. The cumulative attempt counter
+// is preserved so retry budgets span the whole rejoin; the backoff
+// schedule restarts from the base period for the new probing phase.
+func (c *Connections) Reopen(conn ids.ConnectionID, procs ids.Membership, now int64) *wire.ConnectRequest {
+	delete(c.conns, conn)
+	delete(c.conns, conn.Reverse())
+	delete(c.serverAnnouncing, conn)
+	delete(c.serverAnnouncing, conn.Reverse())
+	return c.RequestOpen(conn, procs, now)
 }
 
 // NoteAnnounce records that this server-group member must re-multicast

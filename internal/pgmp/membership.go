@@ -32,14 +32,30 @@ import (
 	"sort"
 
 	"ftmp/internal/ids"
+	"ftmp/internal/trace"
 	"ftmp/internal/wire"
 )
 
 // Config holds the PGMP policy knobs, in nanoseconds.
 type Config struct {
 	// SuspectTimeout is how long a member may be silent (no Regular or
-	// Heartbeat traffic) before this processor suspects it.
+	// Heartbeat traffic) before this processor suspects it. Under
+	// SuspectAdaptive it is only the bootstrap value used until enough
+	// inter-arrival history accumulates.
 	SuspectTimeout int64
+	// SuspectPolicy selects the fixed or adaptive detector; the zero
+	// value is SuspectFixed (the historical behavior).
+	SuspectPolicy SuspectPolicy
+	// AdaptiveK scales the stddev term of the adaptive threshold
+	// (mean + k·stddev). Zero selects the default of 4.
+	AdaptiveK float64
+	// AdaptiveMin and AdaptiveMax clamp the adaptive threshold; zero
+	// selects 25ms and 1s respectively.
+	AdaptiveMin int64
+	AdaptiveMax int64
+	// AdaptiveWindow is the number of inter-arrival samples retained per
+	// member; zero selects 64.
+	AdaptiveWindow int
 	// ProposalResend is the period at which an unfinished recovery
 	// round re-multicasts its Membership proposal, covering proposals
 	// lost before a new member of the round could NACK them.
@@ -48,6 +64,14 @@ type Config struct {
 	// re-multicasts it until the new member is heard from, covering the
 	// unreliable delivery to the new member (paper Figure 3).
 	AddResend int64
+	// AddResendMax, when larger than AddResend, enables exponential
+	// backoff of AddProcessor resends from AddResend up to this cap, so
+	// a proposer does not hammer the network while a slow joiner boots.
+	// Zero keeps the fixed period.
+	AddResendMax int64
+	// AddResendJitter, in (0,1), spreads backed-off resends by a
+	// deterministic ± fraction.
+	AddResendJitter float64
 	// ConvictionFraction tunes the paper's "enough processors suspect"
 	// heuristic: a processor is convicted once strictly more than this
 	// fraction of the unsuspected membership suspects it. Zero selects
@@ -115,12 +139,16 @@ type Group struct {
 	// pendingAdds maps a new member this processor proposed to the raw
 	// AddProcessor message re-multicast until the member is heard.
 	pendingAdds map[ids.ProcessorID]*pendingAdd
-	stats       Stats
+	// arrivals holds per-member inter-arrival history for the adaptive
+	// detector (populated only under SuspectAdaptive).
+	arrivals map[ids.ProcessorID]*arrivalTracker
+	stats    Stats
 }
 
 type pendingAdd struct {
 	raw        []byte
 	nextResend int64
+	attempt    int
 }
 
 // NewGroup creates membership state for group id at processor self.
@@ -133,6 +161,7 @@ func NewGroup(self ids.ProcessorID, id ids.GroupID, cfg Config) *Group {
 		suspicions:   make(map[ids.ProcessorID]map[ids.ProcessorID]bool),
 		lastProposal: make(map[ids.ProcessorID]*wire.MembershipMsg),
 		pendingAdds:  make(map[ids.ProcessorID]*pendingAdd),
+		arrivals:     make(map[ids.ProcessorID]*arrivalTracker),
 	}
 }
 
@@ -166,6 +195,11 @@ func (g *Group) Install(m ids.Membership, viewTS ids.Timestamp, now int64) {
 			delete(g.lastHeard, p)
 		}
 	}
+	for p := range g.arrivals {
+		if !m.Contains(p) {
+			delete(g.arrivals, p)
+		}
+	}
 	for q := range g.suspicions {
 		if !m.Contains(q) {
 			delete(g.suspicions, q)
@@ -189,6 +223,11 @@ func (g *Group) Install(m ids.Membership, viewTS ids.Timestamp, now int64) {
 // paper's protocol).
 func (g *Group) Heard(p ids.ProcessorID, now int64) {
 	if g.members.Contains(p) {
+		if g.cfg.SuspectPolicy == SuspectAdaptive && p != g.self {
+			if last, ok := g.lastHeard[p]; ok {
+				g.observeArrival(p, now-last)
+			}
+		}
 		g.lastHeard[p] = now
 	}
 	if pa, ok := g.pendingAdds[p]; ok && pa != nil {
@@ -207,7 +246,7 @@ func (g *Group) DueSuspicions(now int64) ids.Membership {
 		if p == g.self {
 			continue
 		}
-		if now-g.lastHeard[p] < g.cfg.SuspectTimeout {
+		if now-g.lastHeard[p] < g.SuspectTimeoutFor(p) {
 			continue
 		}
 		if g.suspicions[p][g.self] {
@@ -216,6 +255,7 @@ func (g *Group) DueSuspicions(now int64) ids.Membership {
 		due = due.Add(p)
 	}
 	g.stats.SuspectsRaised += uint64(len(due))
+	trace.Count("pgmp.suspicions_raised", uint64(len(due)))
 	return due
 }
 
@@ -271,6 +311,7 @@ func (g *Group) reconvict() ids.Membership {
 			g.convicted = g.convicted.Add(q)
 			newly = newly.Add(q)
 			g.stats.Convictions++
+			trace.Inc("pgmp.convictions")
 		}
 	}
 	return newly
@@ -422,7 +463,7 @@ func (g *Group) RoundResult() (ids.Membership, map[ids.ProcessorID]ids.SeqNum) {
 // NoteAddProposed records that this processor originated an AddProcessor
 // for p and must re-multicast raw until p is heard from.
 func (g *Group) NoteAddProposed(p ids.ProcessorID, raw []byte, now int64) {
-	g.pendingAdds[p] = &pendingAdd{raw: raw, nextResend: now + g.cfg.AddResend}
+	g.pendingAdds[p] = &pendingAdd{raw: raw, nextResend: now + g.cfg.AddResend, attempt: 1}
 }
 
 // AddResendsDue returns the raw AddProcessor messages due for
@@ -437,11 +478,21 @@ func (g *Group) AddResendsDue(now int64) [][]byte {
 	for _, p := range procs {
 		pa := g.pendingAdds[p]
 		if now >= pa.nextResend {
-			pa.nextResend = now + g.cfg.AddResend
+			pa.attempt++
+			pa.nextResend = now + backoffDelay(g.cfg.AddResend, g.cfg.AddResendMax,
+				g.cfg.AddResendJitter, pa.attempt, uint64(p)^uint64(g.id)<<32)
 			out = append(out, pa.raw)
+			trace.Inc("pgmp.add_resends")
 		}
 	}
 	return out
+}
+
+// HasPendingAdd reports whether this processor has an unacknowledged
+// AddProcessor proposal outstanding for p.
+func (g *Group) HasPendingAdd(p ids.ProcessorID) bool {
+	_, ok := g.pendingAdds[p]
+	return ok
 }
 
 // SuspectedOrConvicted reports whether p is suspected by anyone or

@@ -1,0 +1,150 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"ftmp/internal/core"
+	"ftmp/internal/ids"
+)
+
+func TestBackoffDelayShape(t *testing.T) {
+	b := BackoffConfig{Initial: 20, Max: 200}
+	want := []time.Duration{20, 40, 80, 160, 200, 200}
+	for i, w := range want {
+		if d := b.delay(i+1, 7); d != w {
+			t.Errorf("attempt %d: delay %v, want %v", i+1, d, w)
+		}
+	}
+	fixed := BackoffConfig{Initial: 20}
+	for attempt := 1; attempt <= 4; attempt++ {
+		if d := fixed.delay(attempt, 7); d != 20 {
+			t.Errorf("fixed attempt %d: delay %v, want 20", attempt, d)
+		}
+	}
+	jit := BackoffConfig{Initial: 1000, Max: 100_000, Jitter: 0.25}
+	for attempt := 1; attempt <= 4; attempt++ {
+		a, b2 := jit.delay(attempt, 42), jit.delay(attempt, 42)
+		if a != b2 {
+			t.Fatalf("jitter nondeterministic: %v vs %v", a, b2)
+		}
+		raw := BackoffConfig{Initial: 1000, Max: 100_000}.delay(attempt, 42)
+		if a < raw*3/4 || a > raw*5/4 {
+			t.Errorf("attempt %d: jittered %v outside [%v,%v]", attempt, a, raw*3/4, raw*5/4)
+		}
+	}
+}
+
+func TestRejoinerRetriesUntilCaughtUp(t *testing.T) {
+	var built []ids.ProcessorID
+	closed := 0
+	var slept []time.Duration
+	r := &Rejoiner{
+		NextID: func(attempt int) ids.ProcessorID { return ids.ProcessorID(100 + attempt) },
+		Build: func(id ids.ProcessorID) (*Attempt, error) {
+			built = append(built, id)
+			nth := len(built)
+			return &Attempt{
+				ID: id,
+				// The first attempt never catches up; the second does.
+				CaughtUp: func() bool { return nth == 2 },
+				Close:    func() { closed++ },
+			}, nil
+		},
+		Backoff:        BackoffConfig{Initial: 50 * time.Millisecond, Max: 400 * time.Millisecond},
+		AttemptTimeout: 4 * time.Millisecond,
+		Poll:           time.Millisecond,
+		MaxAttempts:    5,
+		Sleep:          func(d time.Duration) { slept = append(slept, d) },
+	}
+	a, err := r.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.ID != 102 {
+		t.Errorf("caught up under id %d, want 102", a.ID)
+	}
+	if len(built) != 2 || built[0] != 101 || built[1] != 102 {
+		t.Errorf("built ids %v, want [101 102]", built)
+	}
+	if closed != 1 {
+		t.Errorf("closed %d attempts, want 1 (only the failed one)", closed)
+	}
+	// Attempt 1 polls 4 times (timeout/poll) then the inter-attempt
+	// backoff of 50ms fires; attempt 2 catches up before any poll.
+	if len(slept) != 5 {
+		t.Fatalf("slept %d times (%v), want 5", len(slept), slept)
+	}
+	if slept[4] != 50*time.Millisecond {
+		t.Errorf("backoff sleep %v, want 50ms", slept[4])
+	}
+}
+
+func TestRejoinerBuildErrorRetried(t *testing.T) {
+	calls := 0
+	r := &Rejoiner{
+		NextID: func(attempt int) ids.ProcessorID { return ids.ProcessorID(attempt) },
+		Build: func(id ids.ProcessorID) (*Attempt, error) {
+			calls++
+			if calls == 1 {
+				return nil, ErrRejoinGaveUp // any error
+			}
+			return &Attempt{ID: id, CaughtUp: func() bool { return true }, Close: func() {}}, nil
+		},
+		MaxAttempts: 3,
+		Sleep:       func(time.Duration) {},
+	}
+	a, err := r.Run()
+	if err != nil || a == nil || a.ID != 2 {
+		t.Fatalf("Run = (%v, %v), want attempt id 2", a, err)
+	}
+}
+
+func TestRejoinerGivesUp(t *testing.T) {
+	closed := 0
+	r := &Rejoiner{
+		NextID: func(attempt int) ids.ProcessorID { return ids.ProcessorID(attempt) },
+		Build: func(id ids.ProcessorID) (*Attempt, error) {
+			return &Attempt{ID: id, CaughtUp: func() bool { return false }, Close: func() { closed++ }}, nil
+		},
+		AttemptTimeout: time.Millisecond,
+		Poll:           time.Millisecond,
+		MaxAttempts:    3,
+		Sleep:          func(time.Duration) {},
+	}
+	if _, err := r.Run(); err != ErrRejoinGaveUp {
+		t.Fatalf("err = %v, want ErrRejoinGaveUp", err)
+	}
+	if closed != 3 {
+		t.Errorf("closed %d attempts, want 3", closed)
+	}
+}
+
+func TestExpelledAndWatch(t *testing.T) {
+	self := ids.ProcessorID(4)
+	fault := core.ViewChange{Reason: core.ViewFault, Left: ids.NewMembership(4)}
+	remove := core.ViewChange{Reason: core.ViewRemove, Left: ids.NewMembership(4)}
+	otherFault := core.ViewChange{Reason: core.ViewFault, Left: ids.NewMembership(3)}
+	add := core.ViewChange{Reason: core.ViewAdd, Joined: ids.NewMembership(4)}
+	if !Expelled(self, fault) || !Expelled(self, remove) {
+		t.Error("fault/remove naming self should count as expulsion")
+	}
+	if Expelled(self, otherFault) || Expelled(self, add) {
+		t.Error("other-member fault or our own add is not an expulsion")
+	}
+
+	views, expelled := 0, 0
+	cb := WatchExpulsion(self,
+		func(core.ViewChange) { views++ },
+		func(core.ViewChange) { expelled++ })
+	cb(add)
+	cb(otherFault)
+	cb(fault)
+	cb(fault) // only the first expulsion fires
+	if views != 4 {
+		t.Errorf("inner callback ran %d times, want 4", views)
+	}
+	if expelled != 1 {
+		t.Errorf("onExpelled ran %d times, want 1", expelled)
+	}
+}

@@ -118,6 +118,7 @@ type event struct {
 	seq  uint64 // insertion order tie-break
 	kind eventKind
 	node NodeID // evDeliver, evTick
+	gen  uint64 // evTick: tick chain generation (see node.tickGen)
 	data []byte // evDeliver
 	addr Addr   // evDeliver
 	fn   func() // evFunc
@@ -148,6 +149,12 @@ type node struct {
 	tick    Time // tick period, 0 = no ticks
 	crashed bool
 	subs    map[Addr]bool
+	// tickGen invalidates queued tick events across crash/restart
+	// cycles: Crash bumps it, so a pre-crash tick still in the queue
+	// cannot fire (or re-arm itself) after a quick Restart has already
+	// started a fresh chain — back-to-back Crash/Restart must never
+	// leave a node ticking at a multiple of its configured rate.
+	tickGen uint64
 	// txFree is when the node's link finishes serializing its previous
 	// packet (the bandwidth model).
 	txFree Time
@@ -216,8 +223,9 @@ func (n *Net) Unsubscribe(id NodeID, addr Addr) {
 // Crash stops delivering packets and ticks to and from id, modeling a
 // crash fault (the paper's fault model).
 func (n *Net) Crash(id NodeID) {
-	if nd, ok := n.nodes[id]; ok {
+	if nd, ok := n.nodes[id]; ok && !nd.crashed {
 		nd.crashed = true
+		nd.tickGen++ // orphan any queued tick so Restart can't double the chain
 	}
 }
 
@@ -227,7 +235,7 @@ func (n *Net) Restart(id NodeID) {
 	if nd, ok := n.nodes[id]; ok && nd.crashed {
 		nd.crashed = false
 		if nd.tick > 0 {
-			n.post(&event{at: n.now + nd.tick, kind: evTick, node: id})
+			n.post(&event{at: n.now + nd.tick, kind: evTick, node: id, gen: nd.tickGen})
 		}
 	}
 }
@@ -248,6 +256,9 @@ func (n *Net) Heal() { n.partition = make(map[NodeID]int) }
 
 // SetLoss changes the loss rate mid-run.
 func (n *Net) SetLoss(rate float64) { n.cfg.LossRate = rate }
+
+// SetJitter changes the per-delivery latency jitter bound mid-run.
+func (n *Net) SetJitter(j Time) { n.cfg.LatencyJitter = j }
 
 // At schedules fn to run at virtual time t (or immediately if t is in
 // the past). Used by experiments to inject faults and workload.
@@ -333,10 +344,10 @@ func (n *Net) Step() bool {
 		}
 	case evTick:
 		nd := n.nodes[e.node]
-		if nd != nil && !nd.crashed {
+		if nd != nil && !nd.crashed && e.gen == nd.tickGen {
 			nd.ep.Tick(int64(n.now))
 			if nd.tick > 0 {
-				n.post(&event{at: n.now + nd.tick, kind: evTick, node: e.node})
+				n.post(&event{at: n.now + nd.tick, kind: evTick, node: e.node, gen: e.gen})
 			}
 		}
 	case evFunc:

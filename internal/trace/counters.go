@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// counters is a process-wide registry of named event counters. Layers
+// bump them on robustness-relevant events (suspicions, convictions,
+// connection retries, rejoin attempts, transport read errors, gateway
+// load shedding) so operators and experiments can see what the stack
+// did without threading a stats object through every layer. Counters
+// are observational only: no protocol decision ever reads one, so they
+// cannot perturb the deterministic simulations.
+var (
+	countersMu sync.Mutex
+	counters   = make(map[string]uint64)
+)
+
+// Inc increments the named counter by one.
+func Inc(name string) { Count(name, 1) }
+
+// Count adds delta to the named counter.
+func Count(name string, delta uint64) {
+	if delta == 0 {
+		return
+	}
+	countersMu.Lock()
+	counters[name] += delta
+	countersMu.Unlock()
+}
+
+// Counter returns the current value of the named counter (zero if it
+// was never bumped).
+func Counter(name string) uint64 {
+	countersMu.Lock()
+	defer countersMu.Unlock()
+	return counters[name]
+}
+
+// Counters returns a snapshot of every nonzero counter.
+func Counters() map[string]uint64 {
+	countersMu.Lock()
+	defer countersMu.Unlock()
+	out := make(map[string]uint64, len(counters))
+	for k, v := range counters {
+		out[k] = v
+	}
+	return out
+}
+
+// ResetCounters zeroes the registry; experiments call it between runs
+// so each table reflects only its own events.
+func ResetCounters() {
+	countersMu.Lock()
+	counters = make(map[string]uint64)
+	countersMu.Unlock()
+}
+
+// CountersTable renders the nonzero counters as a sorted two-column
+// table for shutdown summaries and ftmpbench output.
+func CountersTable(title string) *Table {
+	snap := Counters()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	t := NewTable(title, "counter", "value")
+	for _, name := range names {
+		t.AddRow(name, snap[name])
+	}
+	return t
+}

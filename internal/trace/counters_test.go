@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	ResetCounters()
+	Inc("a")
+	Count("a", 2)
+	Count("b", 5)
+	Count("zero", 0) // no-op: never materializes
+	if got := Counter("a"); got != 3 {
+		t.Errorf("Counter(a) = %d, want 3", got)
+	}
+	if got := Counter("missing"); got != 0 {
+		t.Errorf("Counter(missing) = %d, want 0", got)
+	}
+	snap := Counters()
+	if len(snap) != 2 || snap["a"] != 3 || snap["b"] != 5 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	// Snapshot is a copy.
+	snap["a"] = 99
+	if Counter("a") != 3 {
+		t.Error("snapshot aliases the registry")
+	}
+	ResetCounters()
+	if len(Counters()) != 0 {
+		t.Error("reset left counters behind")
+	}
+}
+
+func TestCountersTableSorted(t *testing.T) {
+	ResetCounters()
+	Count("zz.last", 1)
+	Count("aa.first", 2)
+	s := CountersTable("t").String()
+	if strings.Index(s, "aa.first") > strings.Index(s, "zz.last") {
+		t.Errorf("table not sorted:\n%s", s)
+	}
+	ResetCounters()
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	ResetCounters()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				Inc("shared")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := Counter("shared"); got != 8000 {
+		t.Errorf("concurrent increments lost: %d", got)
+	}
+	ResetCounters()
+}

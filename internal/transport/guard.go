@@ -1,0 +1,78 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"ftmp/internal/trace"
+)
+
+const (
+	retryBase      = time.Millisecond
+	retryMax       = 100 * time.Millisecond
+	fatalThreshold = 100
+)
+
+// RetryGuard paces a receive or accept loop through socket errors so a
+// transient fault (EMFILE, a momentarily unroutable interface, a
+// spurious ICMP error surfaced on the socket) does not silently kill
+// the reader goroutine and with it the node's ability to hear the
+// group. Closure (net.ErrClosed) exits quietly; anything else is
+// retried with exponential backoff from 1ms to 100ms; a streak of 100
+// consecutive failures is escalated to OnFatal and the loop exits.
+// The zero value is usable; set Name/Counter/OnFatal before the loop
+// starts.
+type RetryGuard struct {
+	// Name describes the loop in the fatal error text.
+	Name string
+	// Counter is the trace counter stem: "<Counter>_transient" counts
+	// retried errors and "<Counter>_fatal" escalations. Default
+	// "transport.read".
+	Counter string
+	// OnFatal is invoked (once per streak) when the error persists past
+	// the threshold; the loop exits afterwards. May be nil.
+	OnFatal func(error)
+	// Sleep is an injection point for tests; nil means time.Sleep.
+	Sleep func(time.Duration)
+
+	streak int
+	delay  time.Duration
+}
+
+// OK records a successful operation, resetting the error streak.
+func (g *RetryGuard) OK() { g.streak, g.delay = 0, 0 }
+
+// Admit classifies err after a failed read or accept. It returns true
+// when the loop should retry (after backing off in-call), false when it
+// must exit: either an orderly closure or a fatal error streak.
+func (g *RetryGuard) Admit(err error) bool {
+	if errors.Is(err, net.ErrClosed) {
+		return false
+	}
+	stem := g.Counter
+	if stem == "" {
+		stem = "transport.read"
+	}
+	g.streak++
+	trace.Inc(stem + "_transient")
+	if g.streak >= fatalThreshold {
+		trace.Inc(stem + "_fatal")
+		if g.OnFatal != nil {
+			g.OnFatal(fmt.Errorf("transport: %s failed %d times in a row: %w", g.Name, g.streak, err))
+		}
+		return false
+	}
+	if g.delay == 0 {
+		g.delay = retryBase
+	} else if g.delay *= 2; g.delay > retryMax {
+		g.delay = retryMax
+	}
+	sleep := g.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	sleep(g.delay)
+	return true
+}

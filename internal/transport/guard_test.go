@@ -1,0 +1,82 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"ftmp/internal/trace"
+)
+
+func TestRetryGuardClosedIsSilent(t *testing.T) {
+	var fatal error
+	g := RetryGuard{OnFatal: func(err error) { fatal = err }, Sleep: func(time.Duration) {}}
+	if g.Admit(net.ErrClosed) {
+		t.Error("Admit(ErrClosed) = true, want exit")
+	}
+	wrapped := &net.OpError{Op: "read", Err: net.ErrClosed}
+	if g.Admit(wrapped) {
+		t.Error("Admit(wrapped ErrClosed) = true, want exit")
+	}
+	if fatal != nil {
+		t.Errorf("closure reported as fatal: %v", fatal)
+	}
+}
+
+func TestRetryGuardRetriesThenEscalates(t *testing.T) {
+	trace.ResetCounters()
+	var fatal error
+	var slept []time.Duration
+	g := RetryGuard{
+		Name:    "test loop",
+		Counter: "test.read",
+		OnFatal: func(err error) { fatal = err },
+		Sleep:   func(d time.Duration) { slept = append(slept, d) },
+	}
+	transient := errors.New("no buffer space available")
+	for i := 1; i < fatalThreshold; i++ {
+		if !g.Admit(transient) {
+			t.Fatalf("error %d treated as fatal", i)
+		}
+	}
+	if fatal != nil {
+		t.Fatalf("fatal fired before threshold: %v", fatal)
+	}
+	if g.Admit(transient) {
+		t.Error("error at threshold should exit the loop")
+	}
+	if fatal == nil || !errors.Is(fatal, transient) {
+		t.Fatalf("OnFatal error = %v, want wrap of transient", fatal)
+	}
+	// Backoff doubles from 1ms and caps at 100ms.
+	if slept[0] != retryBase {
+		t.Errorf("first sleep %v, want %v", slept[0], retryBase)
+	}
+	if slept[1] != 2*retryBase {
+		t.Errorf("second sleep %v, want %v", slept[1], 2*retryBase)
+	}
+	for _, d := range slept {
+		if d > retryMax {
+			t.Fatalf("sleep %v exceeds cap %v", d, retryMax)
+		}
+	}
+	if got := trace.Counter("test.read_transient"); got != fatalThreshold {
+		t.Errorf("transient counter = %d, want %d", got, fatalThreshold)
+	}
+	if got := trace.Counter("test.read_fatal"); got != 1 {
+		t.Errorf("fatal counter = %d, want 1", got)
+	}
+}
+
+func TestRetryGuardOKResetsStreak(t *testing.T) {
+	g := RetryGuard{Counter: "test.reset", Sleep: func(time.Duration) {}}
+	transient := errors.New("transient")
+	for i := 0; i < 10; i++ {
+		g.Admit(transient)
+	}
+	g.OK()
+	if g.streak != 0 || g.delay != 0 {
+		t.Errorf("OK left streak=%d delay=%v", g.streak, g.delay)
+	}
+}

@@ -41,10 +41,29 @@ const maxDatagram = 65536
 type UDPMulticast struct {
 	handler Handler
 
-	mu     sync.Mutex
-	conns  map[wire.MulticastAddr]*net.UDPConn
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	conns   map[wire.MulticastAddr]*net.UDPConn
+	errHook func(error)
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// SetErrorHook registers fn to receive fatal receive-loop errors (a
+// reader that exhausted its retries and died). Without a hook such
+// deaths are still counted (transport.read_fatal) but otherwise silent.
+func (t *UDPMulticast) SetErrorHook(fn func(error)) {
+	t.mu.Lock()
+	t.errHook = fn
+	t.mu.Unlock()
+}
+
+func (t *UDPMulticast) fatal(err error) {
+	t.mu.Lock()
+	fn := t.errHook
+	t.mu.Unlock()
+	if fn != nil {
+		fn(err)
+	}
 }
 
 // NewUDPMulticast creates a multicast transport delivering to handler.
@@ -81,12 +100,20 @@ func (t *UDPMulticast) Join(addr wire.MulticastAddr) error {
 
 func (t *UDPMulticast) readLoop(conn *net.UDPConn, addr wire.MulticastAddr) {
 	defer t.wg.Done()
+	guard := RetryGuard{Name: fmt.Sprintf("multicast reader %v", addr), OnFatal: t.fatal}
 	buf := make([]byte, maxDatagram)
 	for {
 		n, _, err := conn.ReadFromUDP(buf)
 		if err != nil {
-			return
+			// Closure (Leave or Close) exits quietly; a transient socket
+			// error must not kill the reader — missed heartbeats would
+			// get this processor convicted. Retry with backoff.
+			if !guard.Admit(err) {
+				return
+			}
+			continue
 		}
+		guard.OK()
 		data := make([]byte, n)
 		copy(data, buf[:n])
 		t.handler(data, addr)
@@ -153,11 +180,29 @@ type UDPMesh struct {
 	conn  *net.UDPConn
 	local *net.UDPAddr
 
-	mu     sync.Mutex
-	peers  []*net.UDPAddr
-	joined map[wire.MulticastAddr]bool
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	peers   []*net.UDPAddr
+	joined  map[wire.MulticastAddr]bool
+	errHook func(error)
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// SetErrorHook registers fn to receive fatal receive-loop errors, as
+// with UDPMulticast.SetErrorHook.
+func (m *UDPMesh) SetErrorHook(fn func(error)) {
+	m.mu.Lock()
+	m.errHook = fn
+	m.mu.Unlock()
+}
+
+func (m *UDPMesh) fatal(err error) {
+	m.mu.Lock()
+	fn := m.errHook
+	m.mu.Unlock()
+	if fn != nil {
+		fn(err)
+	}
 }
 
 // NewUDPMesh binds a unicast socket on listenAddr (e.g. "127.0.0.1:0")
@@ -208,12 +253,17 @@ func (m *UDPMesh) AddPeer(addr string) error {
 
 func (m *UDPMesh) readLoop() {
 	defer m.wg.Done()
+	guard := RetryGuard{Name: fmt.Sprintf("mesh reader %v", m.local), OnFatal: m.fatal}
 	buf := make([]byte, maxDatagram)
 	for {
 		n, _, err := m.conn.ReadFromUDP(buf)
 		if err != nil {
-			return
+			if !guard.Admit(err) {
+				return
+			}
+			continue
 		}
+		guard.OK()
 		if n < meshFrameHeader {
 			continue
 		}
