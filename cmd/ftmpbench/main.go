@@ -1,6 +1,6 @@
 // Command ftmpbench regenerates every table and figure recorded in
 // EXPERIMENTS.md: the paper's structural figures (2 and 3) and the
-// performance characterization experiments E1-E9 (see DESIGN.md for the
+// performance characterization experiments E1-E11 (see DESIGN.md for the
 // experiment index).
 //
 // Usage:
@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiments: fig2,fig3,e1..e10,a1,a2,a3 or all")
+		expFlag = flag.String("exp", "all", "comma-separated experiments: fig2,fig3,e1..e11,a1,a2,a3 or all")
 		quick   = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 		seed    = flag.Int64("seed", 0, "offset added to every experiment seed (0 reproduces EXPERIMENTS.md)")
 	)
@@ -44,6 +44,8 @@ func main() {
 	e8Calls := 20
 	e10Gaps := []simnet.Time{10, 1}
 	e10FCDur := 15 * simnet.Second
+	e11Sizes := []int{2000, 20000}
+	e11Payload := 256
 	if *quick {
 		msgs = 10
 		e1Sizes = []int{2, 4}
@@ -59,6 +61,7 @@ func main() {
 		e8Calls = 5
 		e10Gaps = []simnet.Time{10}
 		e10FCDur = 5 * simnet.Second
+		e11Sizes = []int{200, 2000}
 	}
 	for i := range e10Gaps {
 		e10Gaps[i] *= simnet.Millisecond
@@ -103,6 +106,7 @@ func main() {
 			fmt.Println(tb.String())
 			return trace.CountersTable("e10 robustness counters")
 		}},
+		{"e11", func() *trace.Table { return harness.E11Durability(e11Sizes, e11Payload) }},
 		{"a1", func() *trace.Table { return harness.A1RepairPolicy(0.10) }},
 		{"a2", harness.A2ClockMode},
 		{"a3", harness.A3FlowControl},
@@ -118,7 +122,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig2 fig3 e1..e10 a1 a2 a3 all\n", *expFlag)
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig2 fig3 e1..e11 a1 a2 a3 all\n", *expFlag)
 		os.Exit(2)
 	}
 }

@@ -15,6 +15,13 @@
 //	ftmpd -id 1 -listen 127.0.0.1:9001 -peers 127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 -members 1,2,3
 //	ftmpd -id 2 -listen 127.0.0.1:9002 -peers 127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 -members 1,2,3
 //	ftmpd -id 3 -listen 127.0.0.1:9003 -peers 127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 -members 1,2,3
+//
+// With -wal-dir the processor is durable: every ordered delivery and
+// installed view is written ahead to a segmented, checksummed log
+// (fsync policy chosen with -fsync), and a restart replays the log and
+// resumes from the last installed membership:
+//
+//	ftmpd -id 1 ... -wal-dir /var/lib/ftmp/node1 -fsync always
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"ftmp/internal/runtime"
 	"ftmp/internal/trace"
 	"ftmp/internal/transport"
+	"ftmp/internal/wal"
 	"ftmp/internal/wire"
 )
 
@@ -51,6 +59,8 @@ func main() {
 		policy    = flag.String("suspect-policy", "fixed",
 			"failure detector: fixed (constant -suspect-ms) or adaptive (per-member mean + k·stddev of heartbeat inter-arrivals)")
 		quietFlag = flag.Bool("quiet", false, "suppress view-change and fault chatter")
+		walDir    = flag.String("wal-dir", "", "directory for the write-ahead log (empty: no durability)")
+		fsyncPol  = flag.String("fsync", "always", "WAL fsync policy: always, interval or never")
 	)
 	flag.Parse()
 
@@ -99,6 +109,48 @@ func main() {
 		},
 	}
 
+	// Durability: with -wal-dir every ordered delivery and installed
+	// view is appended (write-ahead) to a segmented log; after a crash
+	// the replayed history is printed and the group membership resumes
+	// from the last logged epoch instead of the static bootstrap.
+	var log *wal.Log
+	var replay runtime.Replay
+	if *walDir != "" {
+		pol, err := wal.ParsePolicy(*fsyncPol)
+		if err != nil {
+			fatal("%v", err)
+		}
+		dfs, err := wal.NewDirFS(*walDir)
+		if err != nil {
+			fatal("wal: %v", err)
+		}
+		l, rec, err := wal.Open(wal.Config{
+			FS:     dfs,
+			Policy: pol,
+			Now:    func() int64 { return time.Now().UnixNano() },
+		})
+		if err != nil {
+			fatal("wal: %v", err)
+		}
+		log = l
+		if rec.TornTail != nil {
+			fmt.Fprintf(os.Stderr, "ftmpd: wal: torn tail truncated at %s+%d: %v\n",
+				rec.TruncatedSegment, rec.TruncatedAt, rec.TornTail)
+		}
+		replay = runtime.RecoverReplay(rec.Records)
+		if n := len(replay.Deliveries); n > 0 {
+			fmt.Fprintf(os.Stderr, "ftmpd: wal: recovered %d deliveries from %d segments (%d bytes)\n",
+				n, rec.Segments, rec.Bytes)
+			for _, d := range replay.Deliveries {
+				fmt.Fprintf(out, "[replay] %s\n", d.Payload)
+			}
+			out.Flush()
+		}
+		cb = runtime.WrapDurable(log, cb, func(err error) {
+			fmt.Fprintf(os.Stderr, "ftmpd: wal: %v\n", err)
+		})
+	}
+
 	mk := func(h transport.Handler) (transport.Transport, error) {
 		switch *trFlag {
 		case "multicast":
@@ -135,8 +187,12 @@ func main() {
 	defer r.Close()
 
 	r.Do(func(node *core.Node, now int64) {
-		node.CreateGroup(now, group, membership)
+		runtime.Bootstrap(node, now, group, membership, replay)
 	})
+	if ep, ok := replay.Epochs[group]; ok {
+		fmt.Fprintf(os.Stderr, "ftmpd: resuming group %v at recovered view %v %v\n",
+			group, ep.ViewTS, ep.Members)
+	}
 	fmt.Fprintf(os.Stderr, "ftmpd: processor %v in group %v %v; type lines to multicast\n",
 		self, group, membership)
 
@@ -148,7 +204,7 @@ func main() {
 	leave := func(why string) {
 		once.Do(func() {
 			fmt.Fprintf(os.Stderr, "ftmpd: %s, leaving group %v\n", why, group)
-			shutdown(r, group)
+			shutdown(r, group, log)
 		})
 	}
 	sigC := make(chan os.Signal, 1)
@@ -194,11 +250,18 @@ func main() {
 	leave("stdin closed")
 }
 
-// shutdown drives the graceful departure: propose Leave, wait (bounded)
-// until the removal is stable and the node has gone silent, then print
-// the robustness counters accumulated over the process lifetime and exit.
-func shutdown(r *runtime.Runner, group ids.GroupID) {
+// shutdown drives the graceful departure: flush and fsync the WAL so
+// everything delivered so far is durable, propose Leave, wait (bounded)
+// until the removal is stable and the node has gone silent, log the
+// final recovery point, then print the robustness counters accumulated
+// over the process lifetime and exit.
+func shutdown(r *runtime.Runner, group ids.GroupID, log *wal.Log) {
 	r.Do(func(node *core.Node, now int64) {
+		if log != nil {
+			if err := log.Sync(); err != nil {
+				fmt.Fprintf(os.Stderr, "ftmpd: wal sync: %v\n", err)
+			}
+		}
 		if err := node.Leave(now, group); err != nil {
 			fmt.Fprintf(os.Stderr, "ftmpd: leave: %v\n", err)
 		}
@@ -216,8 +279,23 @@ func shutdown(r *runtime.Runner, group ids.GroupID) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	fmt.Fprintln(os.Stderr, trace.CountersTable("ftmpd shutdown summary").String())
+	if log != nil {
+		// The departure itself appended view records; make them durable
+		// and report where a restart would resume from.
+		r.Do(func(*core.Node, int64) {
+			if err := log.Sync(); err != nil {
+				fmt.Fprintf(os.Stderr, "ftmpd: wal sync: %v\n", err)
+			}
+			seg, off, synced := log.RecoveryPoint()
+			fmt.Fprintf(os.Stderr, "ftmpd: wal recovery point: segment %d offset %d synced=%v\n",
+				seg, off, synced)
+		})
+	}
 	r.Close()
+	if log != nil {
+		_ = log.Close()
+	}
+	fmt.Fprintln(os.Stderr, trace.CountersTable("ftmpd shutdown summary").String())
 	os.Exit(0)
 }
 

@@ -497,13 +497,27 @@ func (n *Node) newGroupState(id ids.GroupID, addr wire.MulticastAddr) *groupStat
 // member must call it with identical arguments. If this processor is in
 // members it becomes an active member immediately.
 func (n *Node) CreateGroup(now int64, id ids.GroupID, members ids.Membership) {
+	n.CreateGroupAt(now, id, members, ids.NilTimestamp)
+}
+
+// CreateGroupAt bootstraps a processor group whose membership epoch was
+// recovered from a write-ahead log (cold start: every replica was down
+// and restarts from durable state). The view is installed at viewTS
+// rather than nil, and the Lamport clock observes it, so messages sent
+// in the resumed group carry timestamps strictly above everything in
+// the logged epoch — logged and new deliveries stay totally ordered.
+// Every restarting member must call it with the same membership; small
+// viewTS differences (a member that crashed before logging the last
+// epoch) are reconciled by the install-takes-max rule.
+func (n *Node) CreateGroupAt(now int64, id ids.GroupID, members ids.Membership, viewTS ids.Timestamp) {
 	if _, exists := n.groups[id]; exists {
 		return
 	}
+	n.clk.Observe(viewTS)
 	addr := n.cfg.GroupAddr(id)
 	gs := n.newGroupState(id, addr)
-	gs.mem.Install(members, ids.NilTimestamp, now)
-	gs.order.SetMembership(members, ids.NilTimestamp)
+	gs.mem.Install(members, viewTS, now)
+	gs.order.SetMembership(members, viewTS)
 	if members.Contains(n.cfg.Self) {
 		gs.joined = true
 		n.subscribe(addr)
@@ -520,8 +534,14 @@ func (n *Node) CreateGroup(now int64, id ids.GroupID, members ids.Membership) {
 		phase := n.cfg.HeartbeatInterval * idx / int64(len(members))
 		gs.lastSent = now - n.cfg.HeartbeatInterval + phase
 	}
-	n.emitView(gs, ViewBootstrap, members, nil, ids.NilTimestamp)
+	n.emitView(gs, ViewBootstrap, members, nil, viewTS)
 }
+
+// RecoverClock advances the Lamport clock past ts, the highest
+// timestamp found in a recovered write-ahead log. A restarted processor
+// must call it before sending anything: a clock reborn at zero would
+// issue timestamps that order new messages before the logged history.
+func (n *Node) RecoverClock(ts ids.Timestamp) { n.clk.Observe(ts) }
 
 // emitView reports a view change, computing joins/leaves against prev.
 func (n *Node) emitView(gs *groupState, reason ViewReason, prev ids.Membership, _ any, viewTS ids.Timestamp) {

@@ -72,6 +72,29 @@ func (f *Infra) noteReplied(conn ids.ConnectionID, req ids.RequestNum) {
 	}
 }
 
+// advanceProcessed jumps the processed watermark to upTo: everything at
+// or below it counts as dispatched. Used when a state snapshot is
+// applied — the snapshot embodies that history, so per-request filter
+// entries for it never existed at this replica.
+func (f *Infra) advanceProcessed(conn ids.ConnectionID, upTo ids.RequestNum) {
+	if f.water == nil {
+		f.water = make(map[ids.ConnectionID]*lowWater)
+	}
+	w, ok := f.water[conn]
+	if !ok {
+		w = &lowWater{}
+		f.water[conn] = w
+	}
+	if upTo <= w.processedUpTo {
+		return
+	}
+	for r := w.processedSwept + 1; r <= upTo; r++ {
+		delete(f.processed, callKey{conn, r})
+	}
+	w.processedUpTo = upTo
+	w.processedSwept = upTo
+}
+
 // isProcessed reports whether (conn, req) was already dispatched,
 // consulting the watermark for compacted history.
 func (f *Infra) isProcessed(conn ids.ConnectionID, req ids.RequestNum) bool {

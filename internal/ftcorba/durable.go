@@ -1,0 +1,550 @@
+package ftcorba
+
+import (
+	"ftmp/internal/core"
+	"ftmp/internal/giop"
+	"ftmp/internal/ids"
+	"ftmp/internal/orb"
+	"ftmp/internal/trace"
+	"ftmp/internal/wal"
+	"ftmp/internal/wire"
+)
+
+// Durability and whole-group crash recovery.
+//
+// The in-memory message log, duplicate-suppression filters and
+// membership epoch survive single-replica crashes through their
+// replicas — but a correlated failure of every replica (power loss,
+// rolling deploy gone wrong) loses all of them. AttachWAL mirrors the
+// three structures into a write-ahead log (package wal); after a
+// restart, RecoverFromWAL rebuilds them and re-runs the logged,
+// processed requests against the local servants, so the servant state
+// is exactly the logged history.
+//
+// Recovery-point semantics: the RecOp record for a request is written
+// (appendLog) before its RecMark processed record (dispatch), so a
+// crash between the two leaves an op without a mark — recovery then
+// does not replay it into the servant and does not claim it processed,
+// which matches the fact that its reply was never sent. The servant
+// state rebuilt from the log is therefore always consistent with the
+// recovered duplicate-suppression filter.
+//
+// After the local replay, replicas reconcile with each other so the
+// group converges on the longest valid logged prefix:
+//
+//	_ft_recovered  — a recovered (or surviving) replica announces its
+//	                 processed watermark for a connection. Replicas
+//	                 that hear an announce echo their own watermark
+//	                 (once per value), so everyone learns everyone's.
+//	_ft_get_delta  — a replica whose watermark is behind the maximum
+//	                 asks for the missing suffix; the delivery of this
+//	                 marker fixes the cut, like _ft_get_state.
+//	_ft_set_delta  — the designated holder of the longest log answers
+//	                 with the logged requests above the requester's
+//	                 watermark. The requester applies them (without
+//	                 re-multicasting replies), appends them to its own
+//	                 log and WAL, and goes live once it has caught up.
+//
+// If the responder's log no longer covers the requested range (it was
+// trimmed), it falls back to a full _ft_set_state snapshot taken at the
+// same cut. A cold start is just this protocol with every replica
+// recovering at once; a single restarted replica (RejoinWithWAL) runs
+// the same announce/delta exchange against the survivors and transfers
+// only the suffix it missed, not the whole state.
+//
+// Reconciliation needs core.Config.ObjectGroups so each replica knows
+// the set of peers whose announcements to expect.
+
+// Control operations of the recovery protocol (request number 0).
+const (
+	opRecovered = "_ft_recovered"
+	opGetDelta  = "_ft_get_delta"
+	opSetDelta  = "_ft_set_delta"
+)
+
+// reconState is the per-connection reconciliation progress of a served
+// object group.
+type reconState struct {
+	// peerMarks holds the announced processed watermarks, self included.
+	peerMarks map[ids.ProcessorID]ids.RequestNum
+	// lastAnnounced is the watermark this replica last multicast;
+	// announces are re-sent only when the value changed.
+	lastAnnounced ids.RequestNum
+	hasAnnounced  bool
+	// deltaMarkerTS is the delivery timestamp of our own _ft_get_delta
+	// (the reconciliation cut); zero until sent.
+	deltaMarkerTS ids.Timestamp
+	// deltaOutstanding guards against duplicate delta requests.
+	deltaOutstanding bool
+	// done: this connection has been reconciled (watermark reached the
+	// group maximum).
+	done bool
+}
+
+// AttachWAL mirrors the message log, duplicate-suppression filters and
+// membership epochs into w. onErr (may be nil) observes append/sync
+// failures; the wal.Log itself turns sticky after the first failure, so
+// a durability hole is reported loudly rather than silently widened.
+func (f *Infra) AttachWAL(w *wal.Log, onErr func(error)) {
+	f.wal = w
+	f.walErr = onErr
+}
+
+// WAL returns the attached log (nil if none).
+func (f *Infra) WAL() *wal.Log { return f.wal }
+
+func (f *Infra) walAppend(r wal.Record) {
+	if f.wal == nil {
+		return
+	}
+	if err := f.wal.Append(r); err != nil {
+		if f.walErr != nil {
+			f.walErr(err)
+		}
+	}
+}
+
+// walOp mirrors one appendLog entry.
+func (f *Infra) walOp(d core.Delivery, isRequest bool) {
+	f.walAppend(wal.Record{Type: wal.RecOp, Op: &wal.OpRecord{
+		Conn:    d.Conn,
+		ReqNum:  d.RequestNum,
+		Request: isRequest,
+		TS:      d.TS,
+		Payload: d.Payload,
+	}})
+}
+
+// walMark mirrors one duplicate-filter entry.
+func (f *Infra) walMark(kind wal.MarkKind, conn ids.ConnectionID, req ids.RequestNum) {
+	f.walAppend(wal.Record{Type: wal.RecMark, Mark: &wal.MarkRecord{Kind: kind, Conn: conn, ReqNum: req}})
+}
+
+// walEpoch mirrors one installed membership view.
+func (f *Infra) walEpoch(group ids.GroupID, viewTS ids.Timestamp, members ids.Membership) {
+	f.walAppend(wal.Record{Type: wal.RecEpoch, Epoch: &wal.EpochRecord{
+		Group:   group,
+		ViewTS:  viewTS,
+		Members: members.Clone(),
+	}})
+}
+
+// Recovered summarizes what RecoverFromWAL rebuilt.
+type Recovered struct {
+	// Ops is the number of log entries restored (after deduplication).
+	Ops int
+	// Marks is the number of duplicate-filter entries restored.
+	Marks int
+	// Replayed is the number of logged, processed requests re-run
+	// against local servants.
+	Replayed int
+	// Epochs holds the last installed membership per group; cold start
+	// recreates each group at this epoch (core.CreateGroupAt).
+	Epochs map[ids.GroupID]wal.EpochRecord
+	// MaxTS is the highest timestamp seen anywhere in the log; the node
+	// clock must observe it (core.RecoverClock) before sending.
+	MaxTS ids.Timestamp
+}
+
+// opDedupeKey identifies a logged operation exactly; a segment
+// duplicated by an interrupted copy/restore replays records verbatim,
+// and verbatim records collapse here.
+type opDedupeKey struct {
+	conn    ids.ConnectionID
+	req     ids.RequestNum
+	request bool
+	ts      ids.Timestamp
+}
+
+// RecoverFromWAL rebuilds the infrastructure state from the records a
+// wal.Open recovered. Call it after registering the local replicas
+// (Serve / ServeRecovered) and before processing any delivery: logged,
+// processed requests are re-dispatched into the servants so their state
+// equals the logged history. Records are applied in log order; exact
+// duplicates (duplicate segment replay) are dropped.
+func (f *Infra) RecoverFromWAL(records []wal.Record) Recovered {
+	out := Recovered{Epochs: make(map[ids.GroupID]wal.EpochRecord)}
+	seen := make(map[opDedupeKey]bool)
+	var ops []wal.OpRecord
+	for _, r := range records {
+		switch r.Type {
+		case wal.RecOp:
+			op := *r.Op
+			key := opDedupeKey{op.Conn, op.ReqNum, op.Request, op.TS}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			f.logs[op.Conn] = append(f.logs[op.Conn], LogEntry{
+				ReqNum:  op.ReqNum,
+				Request: op.Request,
+				TS:      op.TS,
+				Payload: op.Payload,
+			})
+			if op.Request && op.ReqNum > f.nextReq[op.Conn] {
+				// Request numbers resume above everything logged, so a
+				// restarted client cannot reuse a key the group has
+				// already processed.
+				f.nextReq[op.Conn] = op.ReqNum
+			}
+			if op.TS > out.MaxTS {
+				out.MaxTS = op.TS
+			}
+			ops = append(ops, op)
+			out.Ops++
+		case wal.RecMark:
+			key := callKey{r.Mark.Conn, r.Mark.ReqNum}
+			switch r.Mark.Kind {
+			case wal.MarkProcessedUpTo:
+				f.advanceProcessed(r.Mark.Conn, r.Mark.ReqNum)
+				out.Marks++
+			case wal.MarkProcessed:
+				if !f.processed[key] && !f.isProcessed(key.conn, key.req) {
+					f.processed[key] = true
+					out.Marks++
+				}
+				f.noteProcessed(key.conn, key.req)
+			case wal.MarkReplied:
+				if !f.replied[key] && !f.isReplied(key.conn, key.req) {
+					f.replied[key] = true
+					out.Marks++
+				}
+				f.noteReplied(key.conn, key.req)
+			}
+		case wal.RecEpoch:
+			out.Epochs[r.Epoch.Group] = *r.Epoch
+			if r.Epoch.ViewTS > out.MaxTS {
+				out.MaxTS = r.Epoch.ViewTS
+			}
+		}
+	}
+	// Second pass, after every mark is known: re-run the processed
+	// requests against local servants, in log order. Requests without a
+	// processed mark are skipped — their replies were never sent, so the
+	// group will (re)order and dispatch them normally.
+	for _, op := range ops {
+		if !op.Request || op.ReqNum == 0 {
+			continue
+		}
+		sg, servesHere := f.servedGroups[op.Conn.ServerGroup]
+		if !servesHere || !f.isProcessed(op.Conn, op.ReqNum) {
+			continue
+		}
+		msg, err := giop.Decode(op.Payload)
+		if err != nil || msg.Type != giop.MsgRequest || msg.Request == nil {
+			continue
+		}
+		sg.adapter.Dispatch(msg.Request)
+		out.Replayed++
+	}
+	f.stats.WALRecoveredOps += uint64(out.Ops)
+	trace.Count("ftcorba.wal_recovered_ops", uint64(out.Ops))
+	if out.Replayed > 0 {
+		trace.Count("ftcorba.wal_replayed", uint64(out.Replayed))
+	}
+	return out
+}
+
+// ServeRecovered registers a local replica rebuilt from its WAL: it
+// buffers ordered requests (like ServeJoining) until the announce/delta
+// reconciliation establishes that its log has reached the group's
+// longest prefix. Use it on every replica of a cold start, and via
+// RejoinWithWAL on a single restarted replica.
+func (f *Infra) ServeRecovered(og ids.ObjectGroupID, objectKey string, servant orb.Servant) {
+	f.ServeJoining(og, objectKey, servant)
+	f.servedGroups[og].durable = true
+}
+
+// RejoinWithWAL is Rejoin for a replica that recovered local state from
+// its WAL first: after readmission it announces its watermark and
+// requests only the missing suffix (delta) instead of a full snapshot.
+func (f *Infra) RejoinWithWAL(now int64, conn ids.ConnectionID, og ids.ObjectGroupID, objectKey string, servant orb.Servant, serverDomainAddr wire.MulticastAddr) {
+	if _, ok := f.servedGroups[og]; !ok {
+		f.ServeRecovered(og, objectKey, servant)
+	}
+	trace.Inc("ftcorba.rejoins_started")
+	f.node.RequestRejoin(now, conn, serverDomainAddr)
+}
+
+// watermark returns the contiguous processed watermark for conn.
+func (f *Infra) watermark(conn ids.ConnectionID) ids.RequestNum {
+	if w, ok := f.water[conn]; ok {
+		return w.processedUpTo
+	}
+	return 0
+}
+
+// recon returns (creating if needed) the reconciliation state of sg on
+// conn.
+func (sg *served) reconFor(conn ids.ConnectionID) *reconState {
+	if sg.recon == nil {
+		sg.recon = make(map[ids.ConnectionID]*reconState)
+	}
+	rc, ok := sg.recon[conn]
+	if !ok {
+		rc = &reconState{peerMarks: make(map[ids.ProcessorID]ids.RequestNum)}
+		sg.recon[conn] = rc
+	}
+	return rc
+}
+
+// AnnounceRecovery multicasts this replica's processed watermark for
+// conn (_ft_recovered). Recovered replicas call it once the connection
+// is re-established; replicas that hear an announce echo automatically.
+func (f *Infra) AnnounceRecovery(now int64, conn ids.ConnectionID) error {
+	sg, ok := f.servedGroups[conn.ServerGroup]
+	if !ok {
+		return ErrNotServed
+	}
+	rc := sg.reconFor(conn)
+	mark := f.watermark(conn)
+	e := giop.NewEncoder(false)
+	e.ULongLong(uint64(mark))
+	if err := f.sendControl(now, conn, conn.ServerGroup, opRecovered, e.Bytes()); err != nil {
+		return err
+	}
+	rc.hasAnnounced = true
+	rc.lastAnnounced = mark
+	trace.Inc("ftcorba.recovery_announces")
+	return nil
+}
+
+// reconPeers returns the processors expected to announce on conn: the
+// configured supporters of the server object group that are currently
+// members of the connection's processor group.
+func (f *Infra) reconPeers(conn ids.ConnectionID) ids.Membership {
+	st := f.node.ConnectionState(conn)
+	if st == nil {
+		return nil
+	}
+	members := f.node.Members(st.Group)
+	var out ids.Membership
+	for _, p := range f.node.ObjectGroupProcs(conn.ServerGroup) {
+		if members.Contains(p) {
+			out = out.Add(p)
+		}
+	}
+	return out
+}
+
+// onRecovered handles an ordered _ft_recovered announce.
+func (f *Infra) onRecovered(now int64, d core.Delivery, req *giop.Request) {
+	sg, ok := f.servedGroups[d.Conn.ServerGroup]
+	if !ok {
+		return
+	}
+	dec := giop.NewDecoder(req.Body, false)
+	mark := ids.RequestNum(dec.ULongLong())
+	if dec.Err() != nil {
+		return
+	}
+	rc := sg.reconFor(d.Conn)
+	rc.peerMarks[d.Source] = mark
+	// Echo our own watermark so the announcer (and everyone else) learns
+	// it — but only when the value is news.
+	if cur := f.watermark(d.Conn); !rc.hasAnnounced || rc.lastAnnounced != cur {
+		_ = f.AnnounceRecovery(now, d.Conn)
+	}
+	f.maybeReconcile(now, d.Conn, sg)
+}
+
+// maybeReconcile decides, for a durable joining replica, whether the
+// connection has caught up (go live) or needs a delta.
+func (f *Infra) maybeReconcile(now int64, conn ids.ConnectionID, sg *served) {
+	if !sg.joining || !sg.durable {
+		return
+	}
+	rc := sg.reconFor(conn)
+	if rc.done || !rc.hasAnnounced {
+		return
+	}
+	peers := f.reconPeers(conn)
+	maxMark := ids.RequestNum(0)
+	for _, p := range peers {
+		if p == f.self {
+			continue
+		}
+		m, ok := rc.peerMarks[p]
+		if !ok {
+			return // wait for every expected announce
+		}
+		if m > maxMark {
+			maxMark = m
+		}
+	}
+	if f.watermark(conn) >= maxMark {
+		rc.done = true
+		f.maybeGoLive(now, sg)
+		return
+	}
+	if rc.deltaOutstanding {
+		return
+	}
+	rc.deltaOutstanding = true
+	e := giop.NewEncoder(false)
+	e.ULongLong(uint64(f.watermark(conn)))
+	_ = f.sendControl(now, conn, conn.ServerGroup, opGetDelta, e.Bytes())
+	trace.Inc("ftcorba.delta_requests")
+}
+
+// maybeGoLive flips a durable joining replica live once every
+// reconciling connection is done, replaying the buffered requests. The
+// full buffer goes through dispatch — its duplicate filter skips
+// everything the delta already covered.
+func (f *Infra) maybeGoLive(now int64, sg *served) {
+	if !sg.joining {
+		return
+	}
+	for _, rc := range sg.recon {
+		if !rc.done {
+			return
+		}
+	}
+	sg.joining = false
+	buffered := sg.buffered
+	sg.buffered = nil
+	for _, b := range buffered {
+		f.stats.Replayed++
+		f.dispatch(now, b.d, sg, b.msg.Request)
+	}
+	trace.Inc("ftcorba.recoveries_completed")
+}
+
+// onGetDelta handles an ordered _ft_get_delta marker. The requester
+// notes the cut; the designated responder (lowest-id member with the
+// highest announced watermark) answers with its logged requests above
+// the requester's watermark, or falls back to a snapshot if its log no
+// longer covers the range.
+func (f *Infra) onGetDelta(now int64, d core.Delivery, req *giop.Request) {
+	sg, ok := f.servedGroups[d.Conn.ServerGroup]
+	if !ok {
+		return
+	}
+	dec := giop.NewDecoder(req.Body, false)
+	from := ids.RequestNum(dec.ULongLong())
+	if dec.Err() != nil {
+		return
+	}
+	if d.Source == f.self {
+		sg.reconFor(d.Conn).deltaMarkerTS = d.TS
+		return
+	}
+	rc := sg.reconFor(d.Conn)
+	// Designated responder: among the expected peers other than the
+	// requester, the lowest id holding the highest announced watermark.
+	// Announces are totally ordered before this marker, so every replica
+	// computes the same responder.
+	responder := ids.NilProcessor
+	best := ids.RequestNum(0)
+	for _, p := range f.reconPeers(d.Conn) {
+		if p == d.Source {
+			continue
+		}
+		if m, ok := rc.peerMarks[p]; ok && (responder == ids.NilProcessor || m > best) {
+			responder, best = p, m
+		}
+	}
+	if responder != f.self {
+		return
+	}
+	upTo := f.watermark(d.Conn)
+	// The delta is the logged requests in (from, upTo]; check coverage —
+	// TrimLog may have dropped part of the range.
+	entries := make(map[ids.RequestNum]*LogEntry)
+	for i := range f.logs[d.Conn] {
+		e := &f.logs[d.Conn][i]
+		if e.Request && e.ReqNum > from && e.ReqNum <= upTo {
+			if _, dup := entries[e.ReqNum]; !dup {
+				entries[e.ReqNum] = e
+			}
+		}
+	}
+	for r := from + 1; r <= upTo; r++ {
+		if entries[r] == nil {
+			// Gap: fall back to a full snapshot at this same cut.
+			f.sendSnapshot(now, d, sg)
+			return
+		}
+	}
+	e := giop.NewEncoder(false)
+	e.ULong(uint32(d.Source))
+	e.ULongLong(uint64(d.TS))
+	e.ULongLong(uint64(upTo - from))
+	for r := from + 1; r <= upTo; r++ {
+		e.ULongLong(uint64(entries[r].ReqNum))
+		e.ULongLong(uint64(entries[r].TS))
+		e.OctetSeq(entries[r].Payload)
+	}
+	_ = f.sendControl(now, d.Conn, d.Conn.ServerGroup, opSetDelta, e.Bytes())
+	trace.Inc("ftcorba.delta_responses")
+}
+
+// sendSnapshot multicasts a _ft_set_state at the cut d.TS (the delta
+// fallback when the responder's log was trimmed below the range).
+func (f *Infra) sendSnapshot(now int64, d core.Delivery, sg *served) {
+	st, ok := sg.servant.(Stateful)
+	if !ok {
+		return
+	}
+	snap, err := st.SnapshotState()
+	if err != nil {
+		return
+	}
+	e := giop.NewEncoder(false)
+	e.ULongLong(uint64(d.TS))
+	e.OctetSeq(snap)
+	e.ULongLong(uint64(f.watermark(d.Conn)))
+	_ = f.sendControl(now, d.Conn, d.Conn.ServerGroup, opSetState, e.Bytes())
+}
+
+// onSetDelta applies an ordered _ft_set_delta at the requester: the
+// missing requests are run against the servant (replies are NOT
+// re-multicast — they were sent when the ops were first processed),
+// marked processed, and appended to the local log and WAL.
+func (f *Infra) onSetDelta(now int64, d core.Delivery, req *giop.Request) {
+	sg, ok := f.servedGroups[d.Conn.ServerGroup]
+	if !ok || !sg.joining || !sg.durable {
+		return
+	}
+	dec := giop.NewDecoder(req.Body, false)
+	requester := ids.ProcessorID(dec.ULong())
+	markerTS := ids.Timestamp(dec.ULongLong())
+	n := dec.ULongLong()
+	if dec.Err() != nil || requester != f.self {
+		return
+	}
+	rc := sg.reconFor(d.Conn)
+	if markerTS != rc.deltaMarkerTS {
+		return // answers someone else's (or a stale) request
+	}
+	rc.deltaOutstanding = false
+	applied := 0
+	for i := uint64(0); i < n; i++ {
+		rnum := ids.RequestNum(dec.ULongLong())
+		ts := ids.Timestamp(dec.ULongLong())
+		payload := dec.OctetSeq()
+		if dec.Err() != nil {
+			return
+		}
+		if f.isProcessed(d.Conn, rnum) {
+			continue
+		}
+		msg, err := giop.Decode(payload)
+		if err != nil || msg.Type != giop.MsgRequest || msg.Request == nil {
+			continue
+		}
+		od := core.Delivery{Group: d.Group, Source: d.Source, TS: ts, Conn: d.Conn, RequestNum: rnum, Payload: payload}
+		f.appendLog(od, true)
+		sg.adapter.Dispatch(msg.Request)
+		f.processed[callKey{d.Conn, rnum}] = true
+		f.noteProcessed(d.Conn, rnum)
+		f.walMark(wal.MarkProcessed, d.Conn, rnum)
+		applied++
+	}
+	if applied > 0 {
+		f.stats.DeltaTransfers++
+		f.stats.Replayed += uint64(applied)
+		trace.Count("ftcorba.delta_ops", uint64(applied))
+	}
+	f.maybeReconcile(now, d.Conn, sg)
+}

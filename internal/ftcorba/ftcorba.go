@@ -21,6 +21,7 @@ import (
 	"ftmp/internal/giop"
 	"ftmp/internal/ids"
 	"ftmp/internal/orb"
+	"ftmp/internal/wal"
 	"ftmp/internal/wire"
 )
 
@@ -54,6 +55,8 @@ type Stats struct {
 	Replayed           uint64 // buffered requests replayed after a join
 	Fragmented         uint64 // outgoing messages split into fragments
 	Reassembled        uint64 // incoming fragmented messages rebuilt
+	WALRecoveredOps    uint64 // log entries rebuilt from the WAL
+	DeltaTransfers     uint64 // delta state transfers applied here
 }
 
 // LogEntry is one record of the per-connection message log.
@@ -77,6 +80,12 @@ type served struct {
 	markerTS ids.Timestamp
 	// buffered holds ordered requests awaiting the snapshot.
 	buffered []bufferedReq
+	// durable is true for a replica rebuilt from its WAL
+	// (ServeRecovered): it reconciles via announce/delta instead of a
+	// full snapshot, and accepts snapshots only as the delta fallback.
+	durable bool
+	// recon holds per-connection reconciliation progress (durable.go).
+	recon map[ids.ConnectionID]*reconState
 }
 
 type bufferedReq struct {
@@ -127,7 +136,11 @@ type Infra struct {
 	// water holds per-connection completion watermarks for filter
 	// compaction (see compact.go).
 	water map[ids.ConnectionID]*lowWater
-	stats Stats
+	// wal, when attached, mirrors the log, the duplicate filters and the
+	// membership epochs to stable storage (see durable.go).
+	wal    *wal.Log
+	walErr func(error)
+	stats  Stats
 }
 
 // Errors returned by Infra operations.
@@ -291,6 +304,15 @@ func (f *Infra) onRequest(now int64, d core.Delivery, msg giop.Message) {
 	case opReplay:
 		f.onReplay(now, d, req)
 		return
+	case opRecovered:
+		f.onRecovered(now, d, req)
+		return
+	case opGetDelta:
+		f.onGetDelta(now, d, req)
+		return
+	case opSetDelta:
+		f.onSetDelta(now, d, req)
+		return
 	}
 	f.appendLog(d, true)
 	if !servesHere {
@@ -312,6 +334,7 @@ func (f *Infra) dispatch(now int64, d core.Delivery, sg *served, req *giop.Reque
 	}
 	f.processed[callKey{d.Conn, d.RequestNum}] = true
 	f.noteProcessed(d.Conn, d.RequestNum)
+	f.walMark(wal.MarkProcessed, d.Conn, d.RequestNum)
 	reply := sg.adapter.Dispatch(req)
 	f.stats.RequestsDispatched++
 	if reply == nil {
@@ -352,6 +375,7 @@ func (f *Infra) onReply(d core.Delivery, msg giop.Message) {
 	}
 	f.replied[key] = true
 	f.noteReplied(d.Conn, d.RequestNum)
+	f.walMark(wal.MarkReplied, d.Conn, d.RequestNum)
 	delete(f.pending, key)
 	f.stats.RepliesDelivered++
 	reply := msg.Reply
@@ -375,6 +399,7 @@ func (f *Infra) appendLog(d core.Delivery, isRequest bool) {
 		TS:      d.TS,
 		Payload: d.Payload,
 	})
+	f.walOp(d, isRequest)
 }
 
 // Log returns the ordered message log for conn.

@@ -32,7 +32,22 @@ import (
 // joiner catches up. Wire it to core.Callbacks.ViewChange alongside
 // OnDeliver; leaving it unwired keeps the manual AddReplica workflow.
 func (f *Infra) OnViewChange(v core.ViewChange, now int64) {
-	if v.Reason != core.ViewAdd || len(v.Joined) == 0 {
+	// Every installed view is a durable membership epoch: cold start
+	// recreates the group at the last logged one (core.CreateGroupAt).
+	f.walEpoch(v.Group, v.ViewTS, v.Members)
+	if len(v.Joined) == 0 {
+		return
+	}
+	// A durable joiner sees its own admission here: announce the
+	// recovered watermark so reconciliation (announce/delta) starts.
+	if v.Joined.Contains(f.self) {
+		for _, conn := range f.node.ConnectionsOn(v.Group) {
+			if sg, ok := f.servedGroups[conn.ServerGroup]; ok && sg.joining && sg.durable {
+				_ = f.AnnounceRecovery(now, conn)
+			}
+		}
+	}
+	if v.Reason != core.ViewAdd {
 		return
 	}
 	for _, conn := range f.node.ConnectionsOn(v.Group) {

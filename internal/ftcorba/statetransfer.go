@@ -4,6 +4,7 @@ import (
 	"ftmp/internal/core"
 	"ftmp/internal/giop"
 	"ftmp/internal/ids"
+	"ftmp/internal/wal"
 )
 
 // State transfer to a new replica.
@@ -100,11 +101,14 @@ func (f *Infra) onGetStateMarker(now int64, d core.Delivery) {
 	if err != nil {
 		return
 	}
-	// Encode snapshot with the marker's delivery timestamp, the cut the
-	// new replica replays from.
+	// Encode snapshot with the marker's delivery timestamp (the cut the
+	// new replica replays from) and this replica's processed watermark,
+	// so the recipient's duplicate filter also covers the history the
+	// snapshot embodies.
 	e := giop.NewEncoder(false)
 	e.ULongLong(uint64(d.TS))
 	e.OctetSeq(snap)
+	e.ULongLong(uint64(f.watermark(d.Conn)))
 	_ = f.sendControl(now, d.Conn, d.Conn.ServerGroup, opSetState, e.Bytes())
 }
 
@@ -120,6 +124,24 @@ func (f *Infra) onSetState(now int64, d core.Delivery, req *giop.Request) {
 	if dec.Err() != nil {
 		return
 	}
+	// The sender's processed watermark rides along (absent only in logs
+	// written by older encodings).
+	var upTo ids.RequestNum
+	if len(dec.Remaining()) >= 8 {
+		upTo = ids.RequestNum(dec.ULongLong())
+	}
+	if sg.durable {
+		// A WAL-recovered joiner reconciles via delta; the only snapshot
+		// it accepts is the delta fallback, cut at its own get-delta
+		// marker. Anything else (a survivor's automatic transfer racing
+		// the announce) would discard the locally replayed history.
+		rc := sg.reconFor(d.Conn)
+		if rc.deltaMarkerTS == 0 || markerTS != rc.deltaMarkerTS {
+			return
+		}
+		rc.deltaOutstanding = false
+		rc.done = true
+	}
 	st, ok := sg.servant.(Stateful)
 	if !ok {
 		return
@@ -128,6 +150,10 @@ func (f *Infra) onSetState(now int64, d core.Delivery, req *giop.Request) {
 		return
 	}
 	f.stats.StateTransfers++
+	if upTo > f.watermark(d.Conn) {
+		f.advanceProcessed(d.Conn, upTo)
+		f.walMark(wal.MarkProcessedUpTo, d.Conn, upTo)
+	}
 	sg.joining = false
 	// Replay buffered requests ordered after the snapshot cut.
 	buffered := sg.buffered

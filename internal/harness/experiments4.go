@@ -1,0 +1,166 @@
+package harness
+
+// Experiment E11: the durability cost model of the write-ahead log.
+//
+// The paper's protocol tolerates processor crashes by regenerating
+// state from the survivors; this repository additionally makes each
+// processor individually durable (internal/wal), which buys whole-group
+// crash recovery at the price of synchronous disk writes. E11 puts a
+// number on that price: append throughput under the three fsync
+// policies (always / interval / never), and the recovery-side cost —
+// how long a restart spends scanning and verifying the log — as a
+// function of log size.
+//
+// Unlike E1–E10 this experiment runs against the real filesystem (a
+// temporary directory), because the quantity of interest is fsync and
+// read-back cost, not protocol behaviour: numbers vary with the
+// machine, but the *ratios* between policies are the result.
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ftmp/internal/ids"
+	"ftmp/internal/trace"
+	"ftmp/internal/wal"
+)
+
+// e11Record builds the i-th synthetic op record with a payload of the
+// given size — shaped like a logged GIOP request.
+func e11Record(i int, payload int) wal.Record {
+	return wal.Record{Type: wal.RecOp, Op: &wal.OpRecord{
+		Conn:    ids.ConnectionID{ClientDomain: 1, ClientGroup: 10, ServerDomain: 1, ServerGroup: 20},
+		ReqNum:  ids.RequestNum(i + 1),
+		Request: true,
+		TS:      ids.MakeTimestamp(uint64(i+1), 1),
+		Payload: make([]byte, payload),
+	}}
+}
+
+// E11AppendResult is one append-side measurement.
+type E11AppendResult struct {
+	Policy    wal.Policy
+	Records   int
+	Seconds   float64
+	RecsPerS  float64
+	Fsyncs    uint64
+	MeanUs    float64 // mean per-append latency
+	LogBytes  uint64
+	Truncated bool
+}
+
+// RunE11Append writes n records of the given payload size to a fresh
+// log under dir and measures wall-clock append cost.
+func RunE11Append(policy wal.Policy, n, payload int, dir string) (E11AppendResult, error) {
+	dfs, err := wal.NewDirFS(dir)
+	if err != nil {
+		return E11AppendResult{}, err
+	}
+	fsyncs0 := trace.Counter("wal.fsyncs")
+	bytes0 := trace.Counter("wal.bytes")
+	w, _, err := wal.Open(wal.Config{
+		FS:     dfs,
+		Policy: policy,
+		Now:    func() int64 { return time.Now().UnixNano() },
+	})
+	if err != nil {
+		return E11AppendResult{}, err
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := w.Append(e11Record(i, payload)); err != nil {
+			return E11AppendResult{}, err
+		}
+	}
+	if err := w.Sync(); err != nil { // a fair finish line for every policy
+		return E11AppendResult{}, err
+	}
+	dur := time.Since(start)
+	if err := w.Close(); err != nil {
+		return E11AppendResult{}, err
+	}
+	secs := dur.Seconds()
+	return E11AppendResult{
+		Policy:   policy,
+		Records:  n,
+		Seconds:  secs,
+		RecsPerS: float64(n) / secs,
+		Fsyncs:   trace.Counter("wal.fsyncs") - fsyncs0,
+		MeanUs:   float64(dur.Microseconds()) / float64(n),
+		LogBytes: trace.Counter("wal.bytes") - bytes0,
+	}, nil
+}
+
+// RunE11Recover reopens the log under dir (written by RunE11Append) and
+// measures how long recovery — scanning, checksumming and decoding
+// every record — takes.
+func RunE11Recover(dir string) (ms float64, records int, err error) {
+	dfs, err := wal.NewDirFS(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	w, rec, err := wal.Open(wal.Config{FS: dfs, Policy: wal.SyncNever})
+	if err != nil {
+		return 0, 0, err
+	}
+	dur := time.Since(start)
+	_ = w.Close()
+	return float64(dur.Nanoseconds()) / 1e6, len(rec.Records), nil
+}
+
+// E11Durability measures append throughput per fsync policy at the
+// first log size, then recovery time at every given log size (records
+// of payloadBytes each, written under fsync=never so the log content is
+// identical across sizes).
+func E11Durability(sizes []int, payloadBytes int) *trace.Table {
+	tb := trace.NewTable(
+		"E11: WAL durability cost — fsync policy vs append throughput, recovery time vs log size",
+		"mode", "policy", "records", "recs/s", "mean us/rec", "fsyncs", "log MB", "recover ms")
+	if len(sizes) == 0 {
+		return tb
+	}
+	for _, policy := range []wal.Policy{wal.SyncAlways, wal.SyncInterval, wal.SyncNever} {
+		dir, err := os.MkdirTemp("", "ftmp-e11-*")
+		if err != nil {
+			tb.AddRow("append", policy, 0, fmt.Sprintf("error: %v", err), "", "", "", "")
+			continue
+		}
+		r, err := RunE11Append(policy, sizes[0], payloadBytes, dir)
+		if err != nil {
+			tb.AddRow("append", policy, sizes[0], fmt.Sprintf("error: %v", err), "", "", "", "")
+			os.RemoveAll(dir)
+			continue
+		}
+		tb.AddRow("append", policy, r.Records,
+			fmt.Sprintf("%.0f", r.RecsPerS), fmt.Sprintf("%.1f", r.MeanUs),
+			r.Fsyncs, fmt.Sprintf("%.2f", float64(r.LogBytes)/1e6), "-")
+		os.RemoveAll(dir)
+	}
+	for _, n := range sizes {
+		dir, err := os.MkdirTemp("", "ftmp-e11-*")
+		if err != nil {
+			tb.AddRow("recover", "-", n, "", "", "", "", fmt.Sprintf("error: %v", err))
+			continue
+		}
+		r, err := RunE11Append(wal.SyncNever, n, payloadBytes, dir)
+		if err == nil {
+			var ms float64
+			var got int
+			ms, got, err = RunE11Recover(dir)
+			if err == nil && got != n {
+				err = fmt.Errorf("recovered %d of %d records", got, n)
+			}
+			if err == nil {
+				tb.AddRow("recover", "-", n, "-", "-", "-",
+					fmt.Sprintf("%.2f", float64(r.LogBytes)/1e6), fmt.Sprintf("%.2f", ms))
+			}
+		}
+		if err != nil {
+			tb.AddRow("recover", "-", n, "", "", "", "", fmt.Sprintf("error: %v", err))
+		}
+		os.RemoveAll(dir)
+	}
+	return tb
+}

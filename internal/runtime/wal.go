@@ -1,0 +1,117 @@
+package runtime
+
+import (
+	"ftmp/internal/core"
+	"ftmp/internal/ids"
+	"ftmp/internal/wal"
+)
+
+// Durable hosting: a Runner whose application callbacks are wrapped by
+// WrapDurable persists every totally-ordered delivery and every
+// installed membership view to a write-ahead log before handing it to
+// the application. After a crash the process reopens the log, replays
+// the recovered deliveries into the application (RecoverReplay), and
+// reinstalls the last logged view at its original logical timestamp
+// (core.Node.CreateGroupAt + RecoverClock), so the restarted processor
+// rejoins with its pre-crash history instead of a blank slate.
+
+// Replay summarises a recovered WAL for a runtime host.
+type Replay struct {
+	// Deliveries are the logged ordered messages, in log order.
+	Deliveries []wal.OpRecord
+	// Epochs holds the last installed membership per group.
+	Epochs map[ids.GroupID]wal.EpochRecord
+	// MaxTS is the highest logical timestamp seen anywhere in the log;
+	// feed it to core.Node.RecoverClock so post-restart timestamps
+	// dominate the logged history.
+	MaxTS ids.Timestamp
+}
+
+// RecoverReplay folds a recovered record stream into a Replay.
+// Duplicate records (for example from a segment copied during manual
+// disk repair) collapse: a delivery is kept once per (connection,
+// request number, direction, timestamp).
+func RecoverReplay(records []wal.Record) Replay {
+	rp := Replay{Epochs: make(map[ids.GroupID]wal.EpochRecord)}
+	type key struct {
+		conn    ids.ConnectionID
+		req     ids.RequestNum
+		request bool
+		ts      ids.Timestamp
+	}
+	seen := make(map[key]bool)
+	for _, r := range records {
+		switch r.Type {
+		case wal.RecOp:
+			op := *r.Op
+			k := key{op.Conn, op.ReqNum, op.Request, op.TS}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			rp.Deliveries = append(rp.Deliveries, op)
+			if op.TS > rp.MaxTS {
+				rp.MaxTS = op.TS
+			}
+		case wal.RecEpoch:
+			rp.Epochs[r.Epoch.Group] = *r.Epoch
+			if r.Epoch.ViewTS > rp.MaxTS {
+				rp.MaxTS = r.Epoch.ViewTS
+			}
+		}
+	}
+	return rp
+}
+
+// WrapDurable returns a copy of cb whose Deliver and ViewChange append
+// to w before invoking the wrapped callback (write-ahead: the record is
+// durable by the time the application observes the event, under the
+// log's fsync policy). Log failures are reported through onErr (may be
+// nil) and the event still reaches the application: availability is not
+// sacrificed to a full disk, but the operator hears about it loudly.
+func WrapDurable(w *wal.Log, cb core.Callbacks, onErr func(error)) core.Callbacks {
+	report := func(err error) {
+		if err != nil && onErr != nil {
+			onErr(err)
+		}
+	}
+	out := cb
+	inner := cb.Deliver
+	out.Deliver = func(d core.Delivery) {
+		report(w.Append(wal.Record{Type: wal.RecOp, Op: &wal.OpRecord{
+			Conn:    d.Conn,
+			ReqNum:  d.RequestNum,
+			Request: true,
+			TS:      d.TS,
+			Payload: d.Payload,
+		}}))
+		if inner != nil {
+			inner(d)
+		}
+	}
+	innerView := cb.ViewChange
+	out.ViewChange = func(v core.ViewChange) {
+		report(w.Append(wal.Record{Type: wal.RecEpoch, Epoch: &wal.EpochRecord{
+			Group:   v.Group,
+			ViewTS:  v.ViewTS,
+			Members: v.Members.Clone(),
+		}}))
+		if innerView != nil {
+			innerView(v)
+		}
+	}
+	return out
+}
+
+// Bootstrap installs group membership on the node, resuming from a
+// recovered epoch when the replay has one: the view is reinstalled at
+// its original logical timestamp and the Lamport clock is advanced past
+// everything in the log. With no logged epoch it is a plain CreateGroup.
+func Bootstrap(node *core.Node, now int64, group ids.GroupID, members ids.Membership, rp Replay) {
+	if ep, ok := rp.Epochs[group]; ok && len(ep.Members) > 0 {
+		node.CreateGroupAt(now, group, ep.Members, ep.ViewTS)
+	} else {
+		node.CreateGroup(now, group, members)
+	}
+	node.RecoverClock(rp.MaxTS)
+}

@@ -1,0 +1,132 @@
+package runtime_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ftmp/internal/core"
+	"ftmp/internal/ids"
+	"ftmp/internal/runtime"
+	"ftmp/internal/wal"
+	"ftmp/internal/wire"
+)
+
+// TestWrapDurableSurvivesCrash drives deliveries and view changes
+// through durable callbacks, crashes the filesystem, and verifies the
+// replay reconstructs the full history and the last installed epoch.
+func TestWrapDurableSurvivesCrash(t *testing.T) {
+	fs := wal.NewMemFS()
+	w, _, err := wal.Open(wal.Config{FS: fs, Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var gotPayloads []string
+	var gotViews int
+	var walErrs []error
+	cb := runtime.WrapDurable(w, core.Callbacks{
+		Transmit: func(wire.MulticastAddr, []byte) {},
+		Deliver: func(d core.Delivery) {
+			gotPayloads = append(gotPayloads, string(d.Payload))
+		},
+		ViewChange: func(core.ViewChange) { gotViews++ },
+	}, func(err error) { walErrs = append(walErrs, err) })
+
+	members := ids.NewMembership(1, 2, 3)
+	viewTS := ids.MakeTimestamp(7, 1)
+	cb.ViewChange(core.ViewChange{Group: 100, ViewTS: viewTS, Members: members, Reason: core.ViewBootstrap})
+	for i := 1; i <= 5; i++ {
+		cb.Deliver(core.Delivery{
+			Group:      100,
+			Source:     ids.ProcessorID(1 + i%3),
+			TS:         ids.MakeTimestamp(uint64(10+i), ids.ProcessorID(1+i%3)),
+			RequestNum: ids.RequestNum(i),
+			Payload:    []byte{byte('a' + i)},
+		})
+	}
+	grown := members.Add(4)
+	viewTS2 := ids.MakeTimestamp(30, 2)
+	cb.ViewChange(core.ViewChange{Group: 100, ViewTS: viewTS2, Members: grown, Reason: core.ViewAdd})
+
+	if len(gotPayloads) != 5 || gotViews != 2 {
+		t.Fatalf("application saw %d deliveries, %d views", len(gotPayloads), gotViews)
+	}
+	if len(walErrs) != 0 {
+		t.Fatalf("wal errors: %v", walErrs)
+	}
+
+	fs.Crash()
+	_, rec, err := wal.Open(wal.Config{FS: fs, Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := runtime.RecoverReplay(rec.Records)
+	if len(rp.Deliveries) != 5 {
+		t.Fatalf("recovered %d deliveries, want 5", len(rp.Deliveries))
+	}
+	for i, d := range rp.Deliveries {
+		if got := string(d.Payload); got != string(byte('a'+i+1)) {
+			t.Errorf("delivery %d payload = %q", i, got)
+		}
+	}
+	ep, ok := rp.Epochs[100]
+	if !ok {
+		t.Fatal("no recovered epoch for group 100")
+	}
+	if ep.ViewTS != viewTS2 || !reflect.DeepEqual(ep.Members, grown) {
+		t.Errorf("recovered epoch = %+v, want viewTS %v members %v", ep, viewTS2, grown)
+	}
+	if rp.MaxTS != viewTS2 {
+		t.Errorf("MaxTS = %v, want %v", rp.MaxTS, viewTS2)
+	}
+}
+
+// TestRecoverReplayDedupes collapses duplicated records (a copied
+// segment) to one delivery each.
+func TestRecoverReplayDedupes(t *testing.T) {
+	op := wal.Record{Type: wal.RecOp, Op: &wal.OpRecord{
+		ReqNum: 1, Request: true, TS: ids.MakeTimestamp(5, 2), Payload: []byte("x"),
+	}}
+	rp := runtime.RecoverReplay([]wal.Record{op, op, op})
+	if len(rp.Deliveries) != 1 {
+		t.Fatalf("recovered %d deliveries, want 1", len(rp.Deliveries))
+	}
+}
+
+// TestBootstrapReinstallsEpoch: with a recovered epoch the node's group
+// comes back at the logged membership and view timestamp; without one
+// it is a plain bootstrap at the configured membership.
+func TestBootstrapReinstallsEpoch(t *testing.T) {
+	mk := func() *core.Node {
+		return core.NewNode(core.DefaultConfig(2), core.Callbacks{
+			Transmit: func(wire.MulticastAddr, []byte) {},
+			Deliver:  func(core.Delivery) {},
+		})
+	}
+
+	recovered := ids.NewMembership(2, 3) // processor 1 had already left
+	viewTS := ids.MakeTimestamp(42, 3)
+	rp := runtime.Replay{
+		Epochs: map[ids.GroupID]wal.EpochRecord{100: {Group: 100, ViewTS: viewTS, Members: recovered}},
+		MaxTS:  ids.MakeTimestamp(90, 3),
+	}
+	n := mk()
+	runtime.Bootstrap(n, 0, 100, ids.NewMembership(1, 2, 3), rp)
+	st, ok := n.Status(100)
+	if !ok {
+		t.Fatal("group not installed")
+	}
+	if !reflect.DeepEqual(st.Members, recovered) {
+		t.Errorf("members = %v, want recovered %v", st.Members, recovered)
+	}
+
+	n2 := mk()
+	runtime.Bootstrap(n2, 0, 100, ids.NewMembership(1, 2, 3), runtime.Replay{})
+	st2, ok := n2.Status(100)
+	if !ok {
+		t.Fatal("group not installed on cold bootstrap")
+	}
+	if !reflect.DeepEqual(st2.Members, ids.NewMembership(1, 2, 3)) {
+		t.Errorf("cold members = %v", st2.Members)
+	}
+}

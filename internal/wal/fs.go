@@ -1,0 +1,286 @@
+// Package wal implements the durable write-ahead log behind the fault
+// tolerance infrastructure's message log, duplicate-suppression table
+// and membership epoch. The paper keys every GIOP request and reply
+// with a (connection id, request number) pair precisely so that
+// messages can be "replayed from a log" (section 4); this package makes
+// that log survive process crashes: segmented append-only files,
+// length-prefixed CRC32C-framed records, configurable fsync policy, and
+// recovery that truncates a torn tail to the last valid record.
+//
+// All file access goes through the FS interface so tests can inject
+// torn writes, short writes, EIO and disk-full at any byte offset, and
+// can model the fsync=interval crash window deterministically (MemFS).
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// File is an append-only segment file being written.
+type File interface {
+	io.Writer
+	// Sync forces written bytes to stable storage.
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem a Log lives on, scoped to one directory. The
+// production implementation is DirFS; tests inject MemFS to exercise
+// failure modes real disks produce only at the worst possible moment.
+type FS interface {
+	// Create opens name for appending, creating it if absent.
+	Create(name string) (File, error)
+	// ReadFile returns the entire content of name.
+	ReadFile(name string) ([]byte, error)
+	// List returns the file names in the directory, in any order.
+	List() ([]string, error)
+	// Truncate shortens name to size bytes (torn-tail repair).
+	Truncate(name string, size int64) error
+	// Remove deletes name (segments beyond the recovery point).
+	Remove(name string) error
+}
+
+// DirFS is the os-backed FS rooted at a directory.
+type DirFS struct{ dir string }
+
+// NewDirFS returns a DirFS rooted at dir, creating it if needed.
+func NewDirFS(dir string) (*DirFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirFS{dir: dir}, nil
+}
+
+// Dir returns the root directory.
+func (d *DirFS) Dir() string { return d.dir }
+
+// Create implements FS.
+func (d *DirFS) Create(name string) (File, error) {
+	return os.OpenFile(filepath.Join(d.dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// ReadFile implements FS.
+func (d *DirFS) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(d.dir, name))
+}
+
+// List implements FS.
+func (d *DirFS) List() ([]string, error) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	return out, nil
+}
+
+// Truncate implements FS.
+func (d *DirFS) Truncate(name string, size int64) error {
+	return os.Truncate(filepath.Join(d.dir, name), size)
+}
+
+// Remove implements FS.
+func (d *DirFS) Remove(name string) error {
+	return os.Remove(filepath.Join(d.dir, name))
+}
+
+// MemFS is an in-memory FS for deterministic tests. It models the
+// buffer-cache/durability split: writes land in the buffer, Sync
+// commits them, and Crash discards everything not yet synced — exactly
+// the data a power loss takes from a real disk. Fault hooks inject torn
+// writes, EIO and disk-full at chosen byte offsets.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+
+	// WriteHook, when set, intercepts every write: it returns how many
+	// bytes to accept before failing with err (err == nil accepts all of
+	// p). off is the file offset the write starts at.
+	WriteHook func(name string, off int64, p []byte) (n int, err error)
+	// SyncErr, when set, fails every Sync with this error.
+	SyncErr error
+	// Capacity, when positive, bounds the total bytes stored across all
+	// files; writes beyond it fail with ErrNoSpace after a partial write
+	// (disk-full).
+	Capacity int64
+}
+
+// ErrNoSpace is the MemFS disk-full error.
+var ErrNoSpace = errors.New("wal: no space left on device")
+
+type memFile struct {
+	buf    []byte
+	synced int // bytes guaranteed durable
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS { return &MemFS{files: make(map[string]*memFile)} }
+
+type memHandle struct {
+	fs   *MemFS
+	name string
+}
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		m.files[name] = &memFile{}
+	}
+	return &memHandle{fs: m, name: name}, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	m := h.fs
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[h.name]
+	if f == nil {
+		return 0, fmt.Errorf("wal: write to removed file %q", h.name)
+	}
+	accept := len(p)
+	var failure error
+	if m.WriteHook != nil {
+		if n, err := m.WriteHook(h.name, int64(len(f.buf)), p); err != nil {
+			accept, failure = n, err
+		}
+	}
+	if m.Capacity > 0 {
+		var used int64
+		for _, other := range m.files {
+			used += int64(len(other.buf))
+		}
+		if room := m.Capacity - used; int64(accept) > room {
+			if room < 0 {
+				room = 0
+			}
+			accept, failure = int(room), ErrNoSpace
+		}
+	}
+	f.buf = append(f.buf, p[:accept]...)
+	if failure != nil {
+		return accept, failure
+	}
+	return accept, nil
+}
+
+func (h *memHandle) Sync() error {
+	m := h.fs
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.SyncErr != nil {
+		return m.SyncErr
+	}
+	if f := m.files[h.name]; f != nil {
+		f.synced = len(f.buf)
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }
+
+// ReadFile implements FS.
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("wal: %q: %w", name, os.ErrNotExist)
+	}
+	out := make([]byte, len(f.buf))
+	copy(out, f.buf)
+	return out, nil
+}
+
+// List implements FS.
+func (m *MemFS) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.files))
+	for name := range m.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Truncate implements FS.
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("wal: %q: %w", name, os.ErrNotExist)
+	}
+	if size < int64(len(f.buf)) {
+		f.buf = f.buf[:size]
+	}
+	if f.synced > len(f.buf) {
+		f.synced = len(f.buf)
+	}
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, name)
+	return nil
+}
+
+// Crash simulates a power loss: every byte not yet forced by Sync is
+// gone. The resulting files are exactly what recovery will see.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.files {
+		f.buf = f.buf[:f.synced]
+	}
+}
+
+// Size returns the current length of name (0 if absent), for tests.
+func (m *MemFS) Size(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[name]; ok {
+		return int64(len(f.buf))
+	}
+	return 0
+}
+
+// segmentName formats the name of segment seq.
+func segmentName(seq uint64) string { return fmt.Sprintf("wal-%016d.seg", seq) }
+
+// parseSegmentName extracts the sequence number, reporting whether name
+// is a segment file.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
+	if len(digits) != 16 {
+		return 0, false
+	}
+	var seq uint64
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		seq = seq*10 + uint64(c-'0')
+	}
+	return seq, true
+}

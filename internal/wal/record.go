@@ -1,0 +1,378 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"ftmp/internal/ids"
+)
+
+// On-disk layout.
+//
+// Segment file:  8-byte header ("FTWL", u16 version, u16 zero) followed
+// by frames. Frame: u32 payload length | u32 CRC32C(payload) | payload.
+// Payload: u8 record type | type-specific body. All integers big-endian,
+// matching the FTMP wire codec's canonical byte order.
+//
+// A frame whose length field is zero, exceeds MaxRecord, or runs past
+// the end of the file, or whose CRC mismatches, ends the valid prefix:
+// recovery truncates there (torn tail) and ftmpinspect flags it.
+
+const (
+	segMagic     = "FTWL"
+	segVersion   = 1
+	segHeaderLen = 8
+	frameHeader  = 8
+	// MaxRecord bounds one record's payload; larger length fields are
+	// treated as corruption, not allocation requests.
+	MaxRecord = 1 << 24
+)
+
+// castagnoli is the CRC32C polynomial table (iSCSI/ext4 checksum).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors surfaced by the codec and recovery.
+var (
+	ErrBadSegmentHeader = errors.New("wal: bad segment header")
+	ErrCorruptRecord    = errors.New("wal: corrupt record")
+	ErrTruncatedRecord  = errors.New("wal: truncated record")
+	ErrBadRecord        = errors.New("wal: undecodable record payload")
+)
+
+// RecordType discriminates the persisted record kinds.
+type RecordType uint8
+
+const (
+	// RecOp is a delivered GIOP operation with its (connection id,
+	// request number) key — the replayable message log.
+	RecOp RecordType = 1
+	// RecMark is a duplicate-suppression table entry: the (connection,
+	// request) pair was processed (dispatched) or replied here.
+	RecMark RecordType = 2
+	// RecEpoch is an installed membership epoch.
+	RecEpoch RecordType = 3
+)
+
+// String implements fmt.Stringer.
+func (t RecordType) String() string {
+	switch t {
+	case RecOp:
+		return "Op"
+	case RecMark:
+		return "Mark"
+	case RecEpoch:
+		return "Epoch"
+	default:
+		return fmt.Sprintf("RecordType(%d)", uint8(t))
+	}
+}
+
+// MarkKind distinguishes the two duplicate-suppression filters.
+type MarkKind uint8
+
+const (
+	// MarkProcessed records a dispatched request.
+	MarkProcessed MarkKind = 0
+	// MarkReplied records a reply delivered to a local caller.
+	MarkReplied MarkKind = 1
+	// MarkProcessedUpTo records a watermark jump: every request number
+	// at or below ReqNum is processed (a state snapshot embodies the
+	// history, so per-request marks below it never existed here).
+	MarkProcessedUpTo MarkKind = 2
+)
+
+// String implements fmt.Stringer.
+func (k MarkKind) String() string {
+	switch k {
+	case MarkProcessed:
+		return "processed"
+	case MarkReplied:
+		return "replied"
+	case MarkProcessedUpTo:
+		return "processed-up-to"
+	default:
+		return fmt.Sprintf("MarkKind(%d)", uint8(k))
+	}
+}
+
+// OpRecord is one delivered GIOP operation.
+type OpRecord struct {
+	Conn    ids.ConnectionID
+	ReqNum  ids.RequestNum
+	Request bool // request or reply
+	TS      ids.Timestamp
+	Payload []byte
+}
+
+// MarkRecord is one duplicate-suppression table entry.
+type MarkRecord struct {
+	Kind   MarkKind
+	Conn   ids.ConnectionID
+	ReqNum ids.RequestNum
+}
+
+// EpochRecord is one installed membership epoch.
+type EpochRecord struct {
+	Group   ids.GroupID
+	ViewTS  ids.Timestamp
+	Members ids.Membership
+}
+
+// Record is the tagged union persisted per frame.
+type Record struct {
+	Type  RecordType
+	Op    *OpRecord
+	Mark  *MarkRecord
+	Epoch *EpochRecord
+}
+
+func appendConn(b []byte, c ids.ConnectionID) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(c.ClientDomain))
+	b = binary.BigEndian.AppendUint32(b, uint32(c.ClientGroup))
+	b = binary.BigEndian.AppendUint32(b, uint32(c.ServerDomain))
+	b = binary.BigEndian.AppendUint32(b, uint32(c.ServerGroup))
+	return b
+}
+
+// EncodeRecord serializes r's payload (type byte + body, no framing).
+func EncodeRecord(r Record) ([]byte, error) {
+	b := []byte{byte(r.Type)}
+	switch r.Type {
+	case RecOp:
+		if r.Op == nil {
+			return nil, fmt.Errorf("%w: nil Op", ErrBadRecord)
+		}
+		b = appendConn(b, r.Op.Conn)
+		b = binary.BigEndian.AppendUint64(b, uint64(r.Op.ReqNum))
+		if r.Op.Request {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = binary.BigEndian.AppendUint64(b, uint64(r.Op.TS))
+		b = binary.BigEndian.AppendUint32(b, uint32(len(r.Op.Payload)))
+		b = append(b, r.Op.Payload...)
+	case RecMark:
+		if r.Mark == nil {
+			return nil, fmt.Errorf("%w: nil Mark", ErrBadRecord)
+		}
+		b = append(b, byte(r.Mark.Kind))
+		b = appendConn(b, r.Mark.Conn)
+		b = binary.BigEndian.AppendUint64(b, uint64(r.Mark.ReqNum))
+	case RecEpoch:
+		if r.Epoch == nil {
+			return nil, fmt.Errorf("%w: nil Epoch", ErrBadRecord)
+		}
+		b = binary.BigEndian.AppendUint32(b, uint32(r.Epoch.Group))
+		b = binary.BigEndian.AppendUint64(b, uint64(r.Epoch.ViewTS))
+		b = binary.BigEndian.AppendUint32(b, uint32(len(r.Epoch.Members)))
+		for _, p := range r.Epoch.Members {
+			b = binary.BigEndian.AppendUint32(b, uint32(p))
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown type %v", ErrBadRecord, r.Type)
+	}
+	return b, nil
+}
+
+type recReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *recReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.pos+n > len(r.buf) {
+		r.err = fmt.Errorf("%w: short body", ErrBadRecord)
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *recReader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *recReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *recReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *recReader) conn() ids.ConnectionID {
+	return ids.ConnectionID{
+		ClientDomain: ids.DomainID(r.u32()),
+		ClientGroup:  ids.ObjectGroupID(r.u32()),
+		ServerDomain: ids.DomainID(r.u32()),
+		ServerGroup:  ids.ObjectGroupID(r.u32()),
+	}
+}
+
+// DecodeRecord parses one frame payload produced by EncodeRecord.
+func DecodeRecord(payload []byte) (Record, error) {
+	if len(payload) == 0 {
+		return Record{}, fmt.Errorf("%w: empty payload", ErrBadRecord)
+	}
+	r := &recReader{buf: payload, pos: 1}
+	rec := Record{Type: RecordType(payload[0])}
+	switch rec.Type {
+	case RecOp:
+		op := &OpRecord{}
+		op.Conn = r.conn()
+		op.ReqNum = ids.RequestNum(r.u64())
+		dir := r.u8()
+		if r.err == nil && dir > 1 {
+			// Strict: the flag is 0 or 1, so every accepted record
+			// re-encodes byte-identically (the encoding is canonical).
+			r.err = fmt.Errorf("%w: direction flag %d", ErrBadRecord, dir)
+		}
+		op.Request = dir == 1
+		op.TS = ids.Timestamp(r.u64())
+		n := r.u32()
+		if r.err == nil && int(n) > len(payload)-r.pos {
+			r.err = fmt.Errorf("%w: payload length %d", ErrBadRecord, n)
+		}
+		if b := r.take(int(n)); r.err == nil {
+			op.Payload = append([]byte(nil), b...)
+		}
+		rec.Op = op
+	case RecMark:
+		mk := &MarkRecord{}
+		mk.Kind = MarkKind(r.u8())
+		mk.Conn = r.conn()
+		mk.ReqNum = ids.RequestNum(r.u64())
+		if r.err == nil && mk.Kind > MarkProcessedUpTo {
+			r.err = fmt.Errorf("%w: mark kind %d", ErrBadRecord, mk.Kind)
+		}
+		rec.Mark = mk
+	case RecEpoch:
+		ep := &EpochRecord{}
+		ep.Group = ids.GroupID(r.u32())
+		ep.ViewTS = ids.Timestamp(r.u64())
+		n := r.u32()
+		if r.err == nil && int(n)*4 > len(payload)-r.pos {
+			r.err = fmt.Errorf("%w: member count %d", ErrBadRecord, n)
+		}
+		for i := uint32(0); i < n && r.err == nil; i++ {
+			ep.Members = append(ep.Members, ids.ProcessorID(r.u32()))
+		}
+		rec.Epoch = ep
+	default:
+		return Record{}, fmt.Errorf("%w: unknown type %d", ErrBadRecord, payload[0])
+	}
+	if r.err != nil {
+		return Record{}, r.err
+	}
+	if r.pos != len(payload) {
+		return Record{}, fmt.Errorf("%w: %d trailing bytes", ErrBadRecord, len(payload)-r.pos)
+	}
+	return rec, nil
+}
+
+// appendFrame frames payload (length + CRC32C + payload) onto b.
+func appendFrame(b, payload []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.BigEndian.AppendUint32(b, crc32.Checksum(payload, castagnoli))
+	return append(b, payload...)
+}
+
+// SegmentHeader builds the 8-byte segment file header.
+func SegmentHeader() []byte {
+	h := make([]byte, 0, segHeaderLen)
+	h = append(h, segMagic...)
+	h = binary.BigEndian.AppendUint16(h, segVersion)
+	h = binary.BigEndian.AppendUint16(h, 0)
+	return h
+}
+
+// CheckSegmentHeader validates a segment's first bytes.
+func CheckSegmentHeader(b []byte) error {
+	if len(b) < segHeaderLen || string(b[:4]) != segMagic {
+		return ErrBadSegmentHeader
+	}
+	if v := binary.BigEndian.Uint16(b[4:6]); v != segVersion {
+		return fmt.Errorf("%w: version %d", ErrBadSegmentHeader, v)
+	}
+	return nil
+}
+
+// Scanner iterates the frames of one segment's content (header
+// included). Recovery and ftmpinspect share it.
+type Scanner struct {
+	buf []byte
+	pos int64
+	err error
+}
+
+// NewScanner returns a scanner over a full segment file image. The
+// segment header is validated up front; scanning then starts at the
+// first frame.
+func NewScanner(segment []byte) (*Scanner, error) {
+	if err := CheckSegmentHeader(segment); err != nil {
+		return nil, err
+	}
+	return &Scanner{buf: segment, pos: segHeaderLen}, nil
+}
+
+// Offset returns the byte offset of the next frame — after the last
+// successful Next, the end of the valid prefix so far.
+func (s *Scanner) Offset() int64 { return s.pos }
+
+// Err returns the corruption that stopped scanning (nil after a clean
+// end of segment).
+func (s *Scanner) Err() error { return s.err }
+
+// Next returns the next frame's payload, or false at the end of the
+// valid prefix. After false, Err distinguishes a clean end (nil) from a
+// torn or corrupt tail.
+func (s *Scanner) Next() ([]byte, bool) {
+	if s.err != nil {
+		return nil, false
+	}
+	rest := s.buf[s.pos:]
+	if len(rest) == 0 {
+		return nil, false
+	}
+	if len(rest) < frameHeader {
+		s.err = fmt.Errorf("%w: %d-byte frame header fragment at offset %d", ErrTruncatedRecord, len(rest), s.pos)
+		return nil, false
+	}
+	length := binary.BigEndian.Uint32(rest[:4])
+	if length == 0 || length > MaxRecord {
+		s.err = fmt.Errorf("%w: frame length %d at offset %d", ErrCorruptRecord, length, s.pos)
+		return nil, false
+	}
+	if int(length) > len(rest)-frameHeader {
+		s.err = fmt.Errorf("%w: frame length %d exceeds %d remaining bytes at offset %d",
+			ErrTruncatedRecord, length, len(rest)-frameHeader, s.pos)
+		return nil, false
+	}
+	payload := rest[frameHeader : frameHeader+int(length)]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.BigEndian.Uint32(rest[4:8]); got != want {
+		s.err = fmt.Errorf("%w: CRC mismatch at offset %d (stored %08x, computed %08x)", ErrCorruptRecord, s.pos, want, got)
+		return nil, false
+	}
+	s.pos += frameHeader + int64(length)
+	return payload, true
+}

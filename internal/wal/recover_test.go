@@ -1,0 +1,263 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// buildLog writes n op records at fsync=always into a fresh MemFS and
+// returns the fs, the segment name, and the frame boundary offsets
+// (byte offset after the header and after each record).
+func buildLog(t *testing.T, n int) (*MemFS, string, []int64) {
+	t.Helper()
+	fs := NewMemFS()
+	l, _, err := Open(Config{FS: fs, Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := segmentName(l.seq)
+	bounds := []int64{fs.Size(seg)}
+	for i := 1; i <= n; i++ {
+		if err := l.Append(opRec(uint64(i), fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, fs.Size(seg))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return fs, seg, bounds
+}
+
+// recordsBefore counts the full records contained in a prefix of size
+// bytes, given the boundary offsets.
+func recordsBefore(bounds []int64, size int64) int {
+	n := 0
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= size {
+			n = i
+		}
+	}
+	return n
+}
+
+func TestTornTailEveryBoundary(t *testing.T) {
+	const n = 5
+	_, _, bounds := buildLog(t, n)
+	total := bounds[len(bounds)-1]
+
+	// Truncate at every record boundary and one byte either side —
+	// plus, for good measure, every single byte offset of the file.
+	offsets := map[int64]bool{}
+	for _, b := range bounds {
+		for _, d := range []int64{-1, 0, 1} {
+			if o := b + d; o >= 0 && o <= total {
+				offsets[o] = true
+			}
+		}
+	}
+	for o := int64(0); o <= total; o++ {
+		offsets[o] = true
+	}
+
+	for size := range offsets {
+		fs, seg, bounds := buildLog(t, n)
+		if err := fs.Truncate(seg, size); err != nil {
+			t.Fatal(err)
+		}
+		_, rec, err := Open(Config{FS: fs})
+		if err != nil {
+			t.Fatalf("size %d: open: %v", size, err)
+		}
+		want := recordsBefore(bounds, size)
+		if len(rec.Records) != want {
+			t.Errorf("size %d: recovered %d records, want %d", size, len(rec.Records), want)
+			continue
+		}
+		atBoundary := size == 0
+		for _, b := range bounds {
+			if size == b {
+				atBoundary = true
+			}
+		}
+		if !atBoundary && rec.TornTail == nil {
+			t.Errorf("size %d: mid-record truncation not reported as torn tail", size)
+		}
+		if atBoundary && size > 0 && rec.TornTail != nil {
+			t.Errorf("size %d: clean boundary reported torn: %v", size, rec.TornTail)
+		}
+		if rec.TornTail != nil {
+			wantAt := bounds[want]
+			if size < segHeaderLen {
+				wantAt = 0 // torn header write: repaired to an empty file
+			}
+			if rec.TruncatedAt != wantAt {
+				t.Errorf("size %d: truncated at %d, want boundary %d", size, rec.TruncatedAt, wantAt)
+			}
+		}
+		// Recovery must be idempotent: a second open after the repair
+		// sees a clean log with the same records.
+		_, rec2, err := Open(Config{FS: fs})
+		if err != nil || rec2.TornTail != nil || len(rec2.Records) != want {
+			t.Errorf("size %d: reopen after repair: %d records, torn=%v, err=%v",
+				size, len(rec2.Records), rec2.TornTail, err)
+		}
+	}
+}
+
+func TestCorruptBitFlip(t *testing.T) {
+	const n = 4
+	fs, seg, bounds := buildLog(t, n)
+	// Flip one byte inside the third record's payload: CRC must catch it
+	// and recovery keeps exactly the first two records.
+	data, _ := fs.ReadFile(seg)
+	data[bounds[2]+frameHeader+3] ^= 0x40
+	fs.files[seg].buf = data
+
+	_, rec, err := Open(Config{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 2 {
+		t.Fatalf("recovered %d records past a bit flip, want 2", len(rec.Records))
+	}
+	if rec.TornTail == nil || !errors.Is(rec.TornTail, ErrCorruptRecord) {
+		t.Fatalf("bit flip not reported as corrupt record: %v", rec.TornTail)
+	}
+	if rec.TruncatedAt != bounds[2] {
+		t.Fatalf("truncated at %d, want %d", rec.TruncatedAt, bounds[2])
+	}
+}
+
+func TestCorruptionDropsLaterSegments(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(Config{FS: fs, Policy: SyncAlways, SegmentSize: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstSeg := segmentName(l.seq)
+	for i := uint64(1); i <= 12; i++ {
+		if err := l.Append(opRec(i, "spread-across-segments")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fs.List()
+	if len(names) < 3 {
+		t.Fatalf("need >= 3 segments, got %v", names)
+	}
+	// Corrupt the first segment's last record: everything after it —
+	// including whole later segments — is beyond the recovery point.
+	data, _ := fs.ReadFile(firstSeg)
+	data[len(data)-1] ^= 0xFF
+	fs.files[firstSeg].buf = data
+
+	_, rec, err := Open(Config{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TornTail == nil {
+		t.Fatal("corruption not reported")
+	}
+	if rec.TruncatedSegment != firstSeg {
+		t.Fatalf("truncated %s, want %s", rec.TruncatedSegment, firstSeg)
+	}
+	var lastRec uint64
+	for _, r := range rec.Records {
+		if r.Type == RecOp && uint64(r.Op.ReqNum) > lastRec {
+			lastRec = uint64(r.Op.ReqNum)
+		}
+	}
+	remaining, _ := fs.List()
+	for _, name := range remaining {
+		if seq, ok := parseSegmentName(name); ok {
+			if first, _ := parseSegmentName(firstSeg); seq > first && fs.Size(name) > 0 {
+				// Open creates a fresh segment for appends, which is fine;
+				// but recovered old segments past the corruption must be gone.
+				if name != segmentName(first+uint64(len(names))) && seq <= first+uint64(len(names))-1 {
+					t.Fatalf("segment %s survived past corruption in %s", name, firstSeg)
+				}
+			}
+		}
+	}
+	// The records from later segments must not have been recovered.
+	if lastRec >= 12 {
+		t.Fatalf("records from dropped segments leaked into recovery (last req %d)", lastRec)
+	}
+}
+
+func TestDuplicateSegmentReplay(t *testing.T) {
+	// A crash between "copy segment" and "remove original" in an ad-hoc
+	// backup/restore can leave the same records in two segment files.
+	// Recovery surfaces both copies; the ftcorba layer dedupes by
+	// (conn, reqnum, ts) key — here we verify the WAL reads both cleanly
+	// and in segment order.
+	fs := NewMemFS()
+	l, _, err := Open(Config{FS: fs, Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := segmentName(l.seq)
+	for i := uint64(1); i <= 3; i++ {
+		if err := l.Append(opRec(i, "dup")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.ReadFile(seg)
+	dupName := segmentName(2)
+	f, _ := fs.Create(dupName)
+	f.Write(data)
+	f.Sync()
+	f.Close()
+
+	_, rec, err := Open(Config{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TornTail != nil {
+		t.Fatalf("duplicate segment reported torn: %v", rec.TornTail)
+	}
+	if len(rec.Records) != 6 {
+		t.Fatalf("recovered %d records from duplicated segment, want 6", len(rec.Records))
+	}
+	for i, r := range rec.Records {
+		want := uint64(i%3) + 1
+		if uint64(r.Op.ReqNum) != want {
+			t.Fatalf("record %d: req %d, want %d (segment order violated)", i, r.Op.ReqNum, want)
+		}
+	}
+}
+
+func TestEmptyAndForeignFiles(t *testing.T) {
+	fs := NewMemFS()
+	// A foreign file and an empty segment-shaped file must not break Open.
+	f, _ := fs.Create("notes.txt")
+	f.Write([]byte("not a segment"))
+	f.Close()
+	f, _ = fs.Create(segmentName(1))
+	f.Close() // zero bytes: empty segment, no header yet
+	_, rec, err := Open(Config{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 0 {
+		t.Fatalf("recovered %d records from garbage", len(rec.Records))
+	}
+}
+
+func TestBadSegmentHeader(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create(segmentName(1))
+	f.Write([]byte("XXXXxxxxrest-of-file"))
+	f.Sync()
+	f.Close()
+	if _, _, err := Open(Config{FS: fs}); err == nil {
+		t.Fatal("Open accepted a segment with a bad magic header")
+	}
+}

@@ -1,0 +1,271 @@
+package wal
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ftmp/internal/ids"
+)
+
+func testConn() ids.ConnectionID {
+	return ids.ConnectionID{ClientDomain: 1, ClientGroup: 10, ServerDomain: 1, ServerGroup: 20}
+}
+
+func opRec(req uint64, payload string) Record {
+	return Record{Type: RecOp, Op: &OpRecord{
+		Conn:    testConn(),
+		ReqNum:  ids.RequestNum(req),
+		Request: true,
+		TS:      ids.MakeTimestamp(100+req, 3),
+		Payload: []byte(payload),
+	}}
+}
+
+func markRec(kind MarkKind, req uint64) Record {
+	return Record{Type: RecMark, Mark: &MarkRecord{Kind: kind, Conn: testConn(), ReqNum: ids.RequestNum(req)}}
+}
+
+func epochRec(viewCounter uint64, members ...ids.ProcessorID) Record {
+	return Record{Type: RecEpoch, Epoch: &EpochRecord{
+		Group:   7,
+		ViewTS:  ids.MakeTimestamp(viewCounter, 1),
+		Members: ids.Membership(members),
+	}}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		opRec(1, "hello"),
+		opRec(2, ""),
+		{Type: RecOp, Op: &OpRecord{Conn: testConn(), ReqNum: 9, Request: false, TS: 42, Payload: []byte{0, 1, 2}}},
+		markRec(MarkProcessed, 1),
+		markRec(MarkReplied, 2),
+		epochRec(5, 1, 2, 3),
+		epochRec(6), // empty membership
+	}
+	for i, r := range recs {
+		b, err := EncodeRecord(r)
+		if err != nil {
+			t.Fatalf("record %d: encode: %v", i, err)
+		}
+		got, err := DecodeRecord(b)
+		if err != nil {
+			t.Fatalf("record %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalize(r), normalize(got)) {
+			t.Fatalf("record %d: round trip mismatch:\n in: %+v\nout: %+v", i, r, got)
+		}
+	}
+}
+
+// normalize maps empty and nil slices to a canonical form for DeepEqual.
+func normalize(r Record) Record {
+	if r.Op != nil && len(r.Op.Payload) == 0 {
+		op := *r.Op
+		op.Payload = nil
+		r.Op = &op
+	}
+	if r.Epoch != nil && len(r.Epoch.Members) == 0 {
+		ep := *r.Epoch
+		ep.Members = nil
+		r.Epoch = &ep
+	}
+	return r
+}
+
+func TestDecodeRejectsBadPayloads(t *testing.T) {
+	good, _ := EncodeRecord(opRec(1, "x"))
+	cases := map[string][]byte{
+		"empty":          {},
+		"unknown type":   {99, 0, 0},
+		"short op body":  {byte(RecOp), 1, 2},
+		"trailing bytes": append(append([]byte{}, good...), 0xAA),
+		"bad mark kind":  func() []byte { b, _ := EncodeRecord(markRec(MarkKind(7), 1)); return b }(),
+		"huge op len": func() []byte {
+			b, _ := EncodeRecord(opRec(1, "abc"))
+			// Payload length field sits 21 bytes before the payload end.
+			b[len(b)-7] = 0xFF
+			return b
+		}(),
+	}
+	for name, payload := range cases {
+		if _, err := DecodeRecord(payload); err == nil {
+			t.Errorf("%s: decode accepted corrupt payload", name)
+		}
+	}
+}
+
+func TestAppendAndRecover(t *testing.T) {
+	fs := NewMemFS()
+	l, rec, err := Open(Config{FS: fs, Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Segments != 0 || len(rec.Records) != 0 {
+		t.Fatalf("fresh dir recovered %d segments, %d records", rec.Segments, len(rec.Records))
+	}
+	want := []Record{opRec(1, "alpha"), markRec(MarkProcessed, 1), opRec(2, "beta"), epochRec(4, 1, 2)}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec2, err := Open(Config{FS: fs, Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.TornTail != nil {
+		t.Fatalf("unexpected torn tail: %v", rec2.TornTail)
+	}
+	if len(rec2.Records) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(rec2.Records), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(normalize(want[i]), normalize(rec2.Records[i])) {
+			t.Fatalf("record %d mismatch:\nwant %+v\n got %+v", i, want[i], rec2.Records[i])
+		}
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(Config{FS: fs, SegmentSize: 128, Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := uint64(1); i <= n; i++ {
+		if err := l.Append(opRec(i, "payload-payload-payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fs.List()
+	if len(names) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %v", names)
+	}
+	_, rec, err := Open(Config{FS: fs, Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != n {
+		t.Fatalf("recovered %d records across segments, want %d", len(rec.Records), n)
+	}
+	if rec.Segments < 3 {
+		t.Fatalf("recovery scanned %d segments, want >= 3", rec.Segments)
+	}
+}
+
+func TestSyncIntervalPolicy(t *testing.T) {
+	fs := NewMemFS()
+	var now int64
+	l, _, err := Open(Config{FS: fs, Policy: SyncInterval, Interval: 100, Now: func() int64 { return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := segmentName(l.seq)
+	if err := l.Append(opRec(1, "a")); err != nil { // within interval: buffered
+		t.Fatal(err)
+	}
+	fs.Crash()
+	if got := fs.Size(seg); got != 0 {
+		t.Fatalf("record within interval survived crash: %d bytes synced", got)
+	}
+	if err := l.Append(opRec(2, "b")); err != nil {
+		t.Fatal(err)
+	}
+	now = 150 // past the interval: next append syncs
+	if err := l.Append(opRec(3, "c")); err != nil {
+		t.Fatal(err)
+	}
+	before := fs.Size(seg)
+	fs.Crash()
+	if got := fs.Size(seg); got != before {
+		t.Fatalf("records not durable after interval elapsed: %d of %d bytes", got, before)
+	}
+}
+
+func TestSyncNeverPolicy(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(Config{FS: fs, Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := segmentName(l.seq)
+	if err := l.Append(opRec(1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	if got := fs.Size(seg); got != 0 {
+		t.Fatalf("SyncNever still synced %d bytes", got)
+	}
+}
+
+func TestExplicitSyncMakesDurable(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(Config{FS: fs, Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(opRec(1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	_, rec, err := Open(Config{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != 1 {
+		t.Fatalf("explicit Sync lost the record: recovered %d", len(rec.Records))
+	}
+}
+
+func TestDirFSEndToEnd(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	fs, err := NewDirFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := Open(Config{FS: fs, Policy: SyncAlways, SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := uint64(1); i <= n; i++ {
+		if err := l.Append(opRec(i, "on-disk")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(Config{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Records) != n || rec.TornTail != nil {
+		t.Fatalf("DirFS recovery: %d records, torn=%v", len(rec.Records), rec.TornTail)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]Policy{"always": SyncAlways, "interval": SyncInterval, "never": SyncNever} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("ParsePolicy accepted garbage")
+	}
+}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"reflect"
 	"testing"
 
 	"ftmp/internal/ids"
@@ -39,8 +40,18 @@ func FuzzDecode(f *testing.F) {
 		if !m.Header.Type.Valid() {
 			t.Fatalf("accepted invalid type %v", m.Header.Type)
 		}
-		if _, err := Encode(m.Header, m.Body); err != nil {
+		enc, err := Encode(m.Header, m.Body)
+		if err != nil {
 			t.Fatalf("accepted message does not re-encode: %v", err)
+		}
+		// Re-encoding is canonical: decoding it again must reproduce the
+		// same message exactly (decode∘encode is a fixpoint).
+		m2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoded message does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("roundtrip mismatch:\n first %+v\nsecond %+v", m, m2)
 		}
 	})
 }
