@@ -284,6 +284,10 @@ func printRecord(w io.Writer, off int64, n int, rec wal.Record) {
 		e := rec.Epoch
 		fmt.Fprintf(w, "  %6d  record %d: epoch group=%v viewTS=%v members=%v\n",
 			off, n, e.Group, e.ViewTS, e.Members)
+	case wal.RecSnapshot:
+		s := rec.Snap
+		fmt.Fprintf(w, "  %6d  record %d: snapshot conn=%v markerTS=%v upTo=%d state=%dB\n",
+			off, n, s.Conn, s.MarkerTS, s.UpTo, len(s.State))
 	default:
 		fmt.Fprintf(w, "  %6d  record %d: unknown type %v\n", off, n, rec.Type)
 	}

@@ -129,6 +129,30 @@ func (f *Infra) walEpoch(group ids.GroupID, viewTS ids.Timestamp, members ids.Me
 	}})
 }
 
+// walSnapshot mirrors an applied state snapshot, reporting whether it
+// is durably logged (vacuously true without a WAL). Callers must not
+// persist the MarkProcessedUpTo watermark jump the snapshot justifies
+// unless this succeeded — a logged watermark whose underlying state is
+// not logged would recover as silent data loss.
+func (f *Infra) walSnapshot(conn ids.ConnectionID, markerTS ids.Timestamp, upTo ids.RequestNum, state []byte) bool {
+	if f.wal == nil {
+		return true
+	}
+	err := f.wal.Append(wal.Record{Type: wal.RecSnapshot, Snap: &wal.SnapshotRecord{
+		Conn:     conn,
+		MarkerTS: markerTS,
+		UpTo:     upTo,
+		State:    state,
+	}})
+	if err != nil {
+		if f.walErr != nil {
+			f.walErr(err)
+		}
+		return false
+	}
+	return true
+}
+
 // Recovered summarizes what RecoverFromWAL rebuilt.
 type Recovered struct {
 	// Ops is the number of log entries restored (after deduplication).
@@ -138,6 +162,9 @@ type Recovered struct {
 	// Replayed is the number of logged, processed requests re-run
 	// against local servants.
 	Replayed int
+	// Snapshots is the number of logged state snapshots restored into
+	// local servants.
+	Snapshots int
 	// Epochs holds the last installed membership per group; cold start
 	// recreates each group at this epoch (core.CreateGroupAt).
 	Epochs map[ids.GroupID]wal.EpochRecord
@@ -165,7 +192,25 @@ type opDedupeKey struct {
 func (f *Infra) RecoverFromWAL(records []wal.Record) Recovered {
 	out := Recovered{Epochs: make(map[ids.GroupID]wal.EpochRecord)}
 	seen := make(map[opDedupeKey]bool)
-	var ops []wal.OpRecord
+	type snapDedupeKey struct {
+		conn ids.ConnectionID
+		ts   ids.Timestamp
+		upTo ids.RequestNum
+	}
+	seenSnaps := make(map[snapDedupeKey]bool)
+	// replayItem interleaves ops and snapshots in log order: a snapshot
+	// must be restored at its logged position, with earlier ops' effects
+	// replaced by it and later ops applied on top.
+	type replayItem struct {
+		op   *wal.OpRecord
+		snap *wal.SnapshotRecord
+	}
+	var seq []replayItem
+	// snapCover is the latest snapshot cut per connection: a request
+	// delivered at or before it has its effects inside a snapshot that
+	// will be restored, so replaying it would be wasted (or, for
+	// non-idempotent side effects, wrong) work.
+	snapCover := make(map[ids.ConnectionID]ids.Timestamp)
 	for _, r := range records {
 		switch r.Type {
 		case wal.RecOp:
@@ -190,7 +235,7 @@ func (f *Infra) RecoverFromWAL(records []wal.Record) Recovered {
 			if op.TS > out.MaxTS {
 				out.MaxTS = op.TS
 			}
-			ops = append(ops, op)
+			seq = append(seq, replayItem{op: &op})
 			out.Ops++
 		case wal.RecMark:
 			key := callKey{r.Mark.Conn, r.Mark.ReqNum}
@@ -216,18 +261,55 @@ func (f *Infra) RecoverFromWAL(records []wal.Record) Recovered {
 			if r.Epoch.ViewTS > out.MaxTS {
 				out.MaxTS = r.Epoch.ViewTS
 			}
+		case wal.RecSnapshot:
+			sn := r.Snap
+			key := snapDedupeKey{sn.Conn, sn.MarkerTS, sn.UpTo}
+			if seenSnaps[key] {
+				continue
+			}
+			seenSnaps[key] = true
+			// The snapshot embodies every request up to UpTo even when
+			// the crash hit before the separate watermark record landed.
+			f.advanceProcessed(sn.Conn, sn.UpTo)
+			if sn.MarkerTS > out.MaxTS {
+				out.MaxTS = sn.MarkerTS
+			}
+			if sn.MarkerTS > snapCover[sn.Conn] {
+				snapCover[sn.Conn] = sn.MarkerTS
+			}
+			seq = append(seq, replayItem{snap: sn})
 		}
 	}
-	// Second pass, after every mark is known: re-run the processed
-	// requests against local servants, in log order. Requests without a
-	// processed mark are skipped — their replies were never sent, so the
-	// group will (re)order and dispatch them normally.
-	for _, op := range ops {
+	// Second pass, after every mark is known: restore logged snapshots
+	// and re-run the processed requests against local servants, in log
+	// order. Requests without a processed mark are skipped — their
+	// replies were never sent, so the group will (re)order and dispatch
+	// them normally; requests covered by a snapshot cut are skipped —
+	// their effects are inside the restored state.
+	for _, it := range seq {
+		if it.snap != nil {
+			sg, ok := f.servedGroups[it.snap.Conn.ServerGroup]
+			if !ok {
+				continue
+			}
+			st, ok := sg.servant.(Stateful)
+			if !ok {
+				continue
+			}
+			if st.RestoreState(it.snap.State) == nil {
+				out.Snapshots++
+			}
+			continue
+		}
+		op := it.op
 		if !op.Request || op.ReqNum == 0 {
 			continue
 		}
 		sg, servesHere := f.servedGroups[op.Conn.ServerGroup]
 		if !servesHere || !f.isProcessed(op.Conn, op.ReqNum) {
+			continue
+		}
+		if op.TS <= snapCover[op.Conn] {
 			continue
 		}
 		msg, err := giop.Decode(op.Payload)
@@ -241,6 +323,9 @@ func (f *Infra) RecoverFromWAL(records []wal.Record) Recovered {
 	trace.Count("ftcorba.wal_recovered_ops", uint64(out.Ops))
 	if out.Replayed > 0 {
 		trace.Count("ftcorba.wal_replayed", uint64(out.Replayed))
+	}
+	if out.Snapshots > 0 {
+		trace.Count("ftcorba.wal_recovered_snapshots", uint64(out.Snapshots))
 	}
 	return out
 }

@@ -243,6 +243,173 @@ func TestWholeGroupCrashRecovery(t *testing.T) {
 	}
 }
 
+// TestSnapshotJoinSurvivesWholeGroupCrash is the regression for the
+// snapshot-durability hole: a replica that joins via _ft_set_state gets
+// its watermark jumped to the snapshot's history. That watermark is
+// persisted — so the snapshot itself must be too, or a whole-group
+// crash recovers "processed up to N" with nothing below N and silently
+// loses the snapshot prefix.
+func TestSnapshotJoinSurvivesWholeGroupCrash(t *testing.T) {
+	servers := ids.NewMembership(1, 2)
+	clients := ids.NewMembership(3)
+	w := newWorld(t, 131, 0, servers, clients, 4)
+	fss := attachFreshWAL(t, w)
+	// The future replica keeps its own WAL from birth.
+	fss[4] = wal.NewMemFS()
+	l4, _ := openWAL(t, fss[4])
+	w.infras[4].AttachWAL(l4, func(err error) { t.Errorf("joiner wal: %v", err) })
+	w.c.Host(4).OnView = w.infras[4].OnViewChange
+	w.connect(t, 3, clients)
+
+	const before = 5
+	runDeposits(t, w, 3, before)
+	preJoin := w.accounts[1].balance
+
+	// Processor 4 joins via the normal snapshot path: processor group
+	// admission triggers the survivors' automatic state transfer.
+	g := w.c.Host(3).Node.ConnectionState(conn).Group
+	acct := &account{}
+	w.accounts[4] = acct
+	w.infras[4].ServeJoining(serverOG, "account", acct)
+	w.c.Host(4).Node.ListenGroup(g)
+	if err := w.c.Host(1).Node.RequestAddProcessor(int64(w.c.Net.Now()), g, 4); err != nil {
+		t.Fatal(err)
+	}
+	ok := w.c.RunUntil(w.c.Net.Now()+20*simnet.Second, func() bool {
+		return w.infras[4].Stats().StateTransfers == 1 && !w.infras[4].Joining(serverOG)
+	})
+	if !ok {
+		t.Fatalf("state transfer never completed: %+v", w.infras[4].Stats())
+	}
+	if acct.balance != preJoin {
+		t.Fatalf("joined replica balance = %d, want %d", acct.balance, preJoin)
+	}
+
+	// Traffic continues after the join, then every process dies.
+	runDeposits(t, w, 3, 2)
+	want := w.accounts[1].balance
+	if acct.balance != want {
+		t.Fatalf("post-join balance = %d, want %d", acct.balance, want)
+	}
+	fss[4].Crash()
+
+	// The joiner's WAL must hold the snapshot itself, not just the
+	// watermark jump it justified.
+	l, rec := openWAL(t, fss[4])
+	defer l.Close()
+	if rec.TornTail != nil {
+		t.Fatalf("unexpected torn tail: %v", rec.TornTail)
+	}
+	snaps := 0
+	for _, r := range rec.Records {
+		if r.Type == wal.RecSnapshot {
+			snaps++
+			if r.Snap.UpTo != before {
+				t.Errorf("snapshot record upTo = %d, want %d", r.Snap.UpTo, before)
+			}
+		}
+	}
+	if snaps != 1 {
+		t.Fatalf("joiner WAL holds %d snapshot records, want 1", snaps)
+	}
+
+	// Restart from the WAL alone: the recovered servant must contain the
+	// snapshot prefix plus the replayed suffix — the full history.
+	infra2 := ftcorba.New(4, 1, w.c.Host(4).Node)
+	acct2 := &account{}
+	infra2.ServeRecovered(serverOG, "account", acct2)
+	rcv := infra2.RecoverFromWAL(rec.Records)
+	if rcv.Snapshots != 1 {
+		t.Errorf("recovery restored %d snapshots, want 1", rcv.Snapshots)
+	}
+	if rcv.Replayed != 2 {
+		t.Errorf("recovery replayed %d ops, want 2 (the post-join suffix)", rcv.Replayed)
+	}
+	if acct2.balance != want || acct2.applied != w.accounts[1].applied {
+		t.Errorf("recovered state balance=%d applied=%d, want %d/%d",
+			acct2.balance, acct2.applied, want, w.accounts[1].applied)
+	}
+}
+
+// TestReconciliationSurvivesPeerLoss: cold-start reconciliation must
+// not block forever on a replica that never returns. Replica 3 dies
+// again right after the group re-forms, before announcing; the failure
+// detector's conviction is the deadline that lets the survivors
+// reconcile among themselves and go live.
+func TestReconciliationSurvivesPeerLoss(t *testing.T) {
+	servers := ids.NewMembership(1, 2, 3)
+	clients := ids.NewMembership(4)
+	const k = 6
+	wantBalance := int64(k * (k + 1) / 2)
+
+	w1 := newRecoveryWorld(t, 241, servers, clients)
+	fss := attachFreshWAL(t, w1)
+	w1.connect(t, 4, clients)
+	runDeposits(t, w1, 4, k)
+	for _, fs := range fss {
+		fs.Crash()
+	}
+
+	w2 := newRecoveryWorld(t, 251, servers, clients)
+	for _, p := range w2.participants {
+		l, rec := openWAL(t, fss[p])
+		if rec.TornTail != nil {
+			t.Fatalf("proc %v: unexpected torn tail: %v", p, rec.TornTail)
+		}
+		infra := w2.infras[p]
+		if servers.Contains(p) {
+			infra.ServeRecovered(serverOG, "account", w2.accounts[p])
+		}
+		infra.AttachWAL(l, func(error) {})
+		rcv := infra.RecoverFromWAL(rec.Records)
+		w2.c.Host(p).Node.RecoverClock(rcv.MaxTS)
+	}
+	w2.connect(t, 4, clients)
+
+	// Replica 3's second life is short: it dies before announcing its
+	// watermark (a permanently lost disk looks the same to the others —
+	// an expected peer that never speaks).
+	w2.c.Crash(3)
+	now := int64(w2.c.Net.Now())
+	for _, p := range []ids.ProcessorID{1, 2} {
+		if err := w2.infras[p].AnnounceRecovery(now, conn); err != nil {
+			t.Fatalf("announce %v: %v", p, err)
+		}
+	}
+	ok := w2.c.RunUntil(w2.c.Net.Now()+60*simnet.Second, func() bool {
+		return !w2.infras[1].Joining(serverOG) && !w2.infras[2].Joining(serverOG)
+	})
+	if !ok {
+		t.Fatal("survivors never went live after losing a reconciliation peer")
+	}
+	w2.c.RunFor(simnet.Second)
+	for _, p := range []ids.ProcessorID{1, 2} {
+		if got := w2.accounts[p].balance; got != wantBalance {
+			t.Errorf("replica %v balance = %d, want %d", p, got, wantBalance)
+		}
+	}
+
+	// The degraded group is live for new work.
+	post := false
+	err := w2.infras[4].Call(int64(w2.c.Net.Now()), conn, "deposit", amount(500), func(_ []byte, err error) {
+		if err == nil {
+			post = true
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w2.c.RunUntil(w2.c.Net.Now()+10*simnet.Second, func() bool { return post }) {
+		t.Fatal("post-degradation deposit never completed")
+	}
+	w2.c.RunFor(simnet.Second)
+	for _, p := range []ids.ProcessorID{1, 2} {
+		if got := w2.accounts[p].balance; got != wantBalance+500 {
+			t.Errorf("replica %v post-degradation balance = %d", p, got)
+		}
+	}
+}
+
 // TestRejoinWithWALDelta: a single replica crashes mid-stream and its
 // replacement restarts from the crashed replica's WAL. It replays the
 // log locally, rejoins under a fresh processor id, and fetches only the

@@ -35,6 +35,18 @@ func (f *Infra) OnViewChange(v core.ViewChange, now int64) {
 	// Every installed view is a durable membership epoch: cold start
 	// recreates the group at the last logged one (core.CreateGroupAt).
 	f.walEpoch(v.Group, v.ViewTS, v.Members)
+	// Departures shrink the set of announcements reconciliation waits
+	// for: re-evaluate, so a peer that never returns (disk gone, never
+	// announces) only blocks durable joiners until the failure detector
+	// convicts it, instead of forever. The detector's timeout is the
+	// recovery deadline.
+	if len(v.Left) > 0 {
+		for _, conn := range f.node.ConnectionsOn(v.Group) {
+			if sg, ok := f.servedGroups[conn.ServerGroup]; ok && sg.joining && sg.durable {
+				f.maybeReconcile(now, conn, sg)
+			}
+		}
+	}
 	if len(v.Joined) == 0 {
 		return
 	}

@@ -125,34 +125,55 @@ func (f *Infra) onSetState(now int64, d core.Delivery, req *giop.Request) {
 		return
 	}
 	// The sender's processed watermark rides along (absent only in logs
-	// written by older encodings).
+	// written by older encodings, so a short read is not an error).
 	var upTo ids.RequestNum
-	if len(dec.Remaining()) >= 8 {
-		upTo = ids.RequestNum(dec.ULongLong())
+	if v := dec.ULongLong(); dec.Err() == nil {
+		upTo = ids.RequestNum(v)
 	}
+	var rc *reconState
 	if sg.durable {
 		// A WAL-recovered joiner reconciles via delta; the only snapshot
 		// it accepts is the delta fallback, cut at its own get-delta
 		// marker. Anything else (a survivor's automatic transfer racing
 		// the announce) would discard the locally replayed history.
-		rc := sg.reconFor(d.Conn)
+		rc = sg.reconFor(d.Conn)
 		if rc.deltaMarkerTS == 0 || markerTS != rc.deltaMarkerTS {
 			return
 		}
-		rc.deltaOutstanding = false
-		rc.done = true
 	}
 	st, ok := sg.servant.(Stateful)
 	if !ok {
 		return
 	}
 	if err := st.RestoreState(snap); err != nil {
+		if rc != nil {
+			// Reconciliation is NOT done; release the outstanding delta
+			// (and its cut) so maybeReconcile can retry on the next
+			// announce instead of wedging the group in joining forever.
+			rc.deltaOutstanding = false
+			rc.deltaMarkerTS = 0
+		}
 		return
 	}
 	f.stats.StateTransfers++
+	// Persist the snapshot itself before the watermark jump it
+	// justifies: a recovered watermark without the state below it would
+	// silently drop the snapshot's history after a whole-group crash.
+	snapDurable := f.walSnapshot(d.Conn, markerTS, upTo, snap)
 	if upTo > f.watermark(d.Conn) {
 		f.advanceProcessed(d.Conn, upTo)
-		f.walMark(wal.MarkProcessedUpTo, d.Conn, upTo)
+		if snapDurable {
+			f.walMark(wal.MarkProcessedUpTo, d.Conn, upTo)
+		}
+	}
+	if rc != nil {
+		rc.deltaOutstanding = false
+		rc.done = true
+		// Go-live must wait for every reconciling connection, not just
+		// this one; maybeGoLive replays the whole buffer through the
+		// duplicate filter, which now covers the snapshot's history.
+		f.maybeGoLive(now, sg)
+		return
 	}
 	sg.joining = false
 	// Replay buffered requests ordered after the snapshot cut.

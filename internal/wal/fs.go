@@ -61,9 +61,33 @@ func NewDirFS(dir string) (*DirFS, error) {
 // Dir returns the root directory.
 func (d *DirFS) Dir() string { return d.dir }
 
+// syncDir fsyncs the directory itself, forcing directory-entry changes
+// (a created or removed file) to stable storage. Without it a freshly
+// rotated segment can vanish entirely on power loss — its bytes synced
+// but its name never durable — even under fsync=always.
+func (d *DirFS) syncDir() error {
+	f, err := os.Open(d.dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // Create implements FS.
 func (d *DirFS) Create(name string) (File, error) {
-	return os.OpenFile(filepath.Join(d.dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(filepath.Join(d.dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.syncDir(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
 }
 
 // ReadFile implements FS.
@@ -86,14 +110,32 @@ func (d *DirFS) List() ([]string, error) {
 	return out, nil
 }
 
-// Truncate implements FS.
+// Truncate implements FS. The shortened length is fsynced before
+// success is reported, so a torn-tail repair cannot itself be lost to a
+// second crash.
 func (d *DirFS) Truncate(name string, size int64) error {
-	return os.Truncate(filepath.Join(d.dir, name), size)
+	path := filepath.Join(d.dir, name)
+	if err := os.Truncate(path, size); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
-// Remove implements FS.
+// Remove implements FS. The directory is fsynced so a removed
+// post-corruption segment cannot resurrect after a second crash.
 func (d *DirFS) Remove(name string) error {
-	return os.Remove(filepath.Join(d.dir, name))
+	if err := os.Remove(filepath.Join(d.dir, name)); err != nil {
+		return err
+	}
+	return d.syncDir()
 }
 
 // MemFS is an in-memory FS for deterministic tests. It models the

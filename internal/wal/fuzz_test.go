@@ -21,6 +21,7 @@ func FuzzWAL(f *testing.F) {
 		{Type: RecOp, Op: &OpRecord{Conn: c, ReqNum: 4, Request: true, TS: ids.MakeTimestamp(9, 2), Payload: []byte("pay")}},
 		{Type: RecMark, Mark: &MarkRecord{Kind: MarkReplied, Conn: c, ReqNum: 4}},
 		{Type: RecEpoch, Epoch: &EpochRecord{Group: 7, ViewTS: ids.MakeTimestamp(3, 1), Members: ids.NewMembership(1, 2, 3)}},
+		{Type: RecSnapshot, Snap: &SnapshotRecord{Conn: c, MarkerTS: ids.MakeTimestamp(11, 2), UpTo: 4, State: []byte("state")}},
 	}
 	seg := SegmentHeader()
 	for _, r := range recs {

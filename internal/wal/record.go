@@ -53,6 +53,12 @@ const (
 	RecMark RecordType = 2
 	// RecEpoch is an installed membership epoch.
 	RecEpoch RecordType = 3
+	// RecSnapshot is a state snapshot applied at this replica (state
+	// transfer, or the delta fallback): the servant state at the cut,
+	// with the processed watermark that history embodies. It is written
+	// BEFORE the MarkProcessedUpTo watermark jump it justifies, so
+	// recovery never sees "processed up to N" without the state below N.
+	RecSnapshot RecordType = 4
 )
 
 // String implements fmt.Stringer.
@@ -64,6 +70,8 @@ func (t RecordType) String() string {
 		return "Mark"
 	case RecEpoch:
 		return "Epoch"
+	case RecSnapshot:
+		return "Snapshot"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(t))
 	}
@@ -120,12 +128,23 @@ type EpochRecord struct {
 	Members ids.Membership
 }
 
+// SnapshotRecord is one applied state snapshot: the servant state of
+// Conn's server object group at the cut MarkerTS, embodying every
+// request up to UpTo.
+type SnapshotRecord struct {
+	Conn     ids.ConnectionID
+	MarkerTS ids.Timestamp
+	UpTo     ids.RequestNum
+	State    []byte
+}
+
 // Record is the tagged union persisted per frame.
 type Record struct {
 	Type  RecordType
 	Op    *OpRecord
 	Mark  *MarkRecord
 	Epoch *EpochRecord
+	Snap  *SnapshotRecord
 }
 
 func appendConn(b []byte, c ids.ConnectionID) []byte {
@@ -171,8 +190,22 @@ func EncodeRecord(r Record) ([]byte, error) {
 		for _, p := range r.Epoch.Members {
 			b = binary.BigEndian.AppendUint32(b, uint32(p))
 		}
+	case RecSnapshot:
+		if r.Snap == nil {
+			return nil, fmt.Errorf("%w: nil Snap", ErrBadRecord)
+		}
+		b = appendConn(b, r.Snap.Conn)
+		b = binary.BigEndian.AppendUint64(b, uint64(r.Snap.MarkerTS))
+		b = binary.BigEndian.AppendUint64(b, uint64(r.Snap.UpTo))
+		b = binary.BigEndian.AppendUint32(b, uint32(len(r.Snap.State)))
+		b = append(b, r.Snap.State...)
 	default:
 		return nil, fmt.Errorf("%w: unknown type %v", ErrBadRecord, r.Type)
+	}
+	if len(b) > MaxRecord {
+		// The scanner treats larger frames as corruption; refusing here
+		// fails the append loudly instead of poisoning the segment.
+		return nil, fmt.Errorf("%w: %d-byte record exceeds MaxRecord", ErrBadRecord, len(b))
 	}
 	return b, nil
 }
@@ -234,6 +267,9 @@ func DecodeRecord(payload []byte) (Record, error) {
 	if len(payload) == 0 {
 		return Record{}, fmt.Errorf("%w: empty payload", ErrBadRecord)
 	}
+	if len(payload) > MaxRecord {
+		return Record{}, fmt.Errorf("%w: %d-byte payload exceeds MaxRecord", ErrBadRecord, len(payload))
+	}
 	r := &recReader{buf: payload, pos: 1}
 	rec := Record{Type: RecordType(payload[0])}
 	switch rec.Type {
@@ -278,6 +314,19 @@ func DecodeRecord(payload []byte) (Record, error) {
 			ep.Members = append(ep.Members, ids.ProcessorID(r.u32()))
 		}
 		rec.Epoch = ep
+	case RecSnapshot:
+		sn := &SnapshotRecord{}
+		sn.Conn = r.conn()
+		sn.MarkerTS = ids.Timestamp(r.u64())
+		sn.UpTo = ids.RequestNum(r.u64())
+		n := r.u32()
+		if r.err == nil && int(n) > len(payload)-r.pos {
+			r.err = fmt.Errorf("%w: state length %d", ErrBadRecord, n)
+		}
+		if b := r.take(int(n)); r.err == nil {
+			sn.State = append([]byte(nil), b...)
+		}
+		rec.Snap = sn
 	default:
 		return Record{}, fmt.Errorf("%w: unknown type %d", ErrBadRecord, payload[0])
 	}

@@ -189,6 +189,124 @@ func TestCorruptionDropsLaterSegments(t *testing.T) {
 	}
 }
 
+// opLogFS wraps an FS, recording the mutating repair calls and
+// optionally failing Truncate — enough to verify the torn-tail repair's
+// ordering and its crash-atomicity.
+type opLogFS struct {
+	FS
+	ops      []string
+	truncErr error
+}
+
+func (o *opLogFS) Truncate(name string, size int64) error {
+	if o.truncErr != nil {
+		return o.truncErr
+	}
+	o.ops = append(o.ops, "truncate "+name)
+	return o.FS.Truncate(name, size)
+}
+
+func (o *opLogFS) Remove(name string) error {
+	o.ops = append(o.ops, "remove "+name)
+	return o.FS.Remove(name)
+}
+
+// corruptedMultiSegment builds a log spread over several segments and
+// corrupts the first segment's last record, returning the fs, the first
+// segment's name, and the sorted later segment sequence numbers.
+func corruptedMultiSegment(t *testing.T) (*MemFS, string, []uint64) {
+	t.Helper()
+	fs := NewMemFS()
+	l, _, err := Open(Config{FS: fs, Policy: SyncAlways, SegmentSize: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstSeg := segmentName(l.seq)
+	for i := uint64(1); i <= 12; i++ {
+		if err := l.Append(opRec(i, "spread-across-segments")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.ReadFile(firstSeg)
+	data[len(data)-1] ^= 0xFF
+	fs.files[firstSeg].buf = data
+
+	var later []uint64
+	names, _ := fs.List()
+	first, _ := parseSegmentName(firstSeg)
+	for _, name := range names {
+		if seq, ok := parseSegmentName(name); ok && seq > first {
+			later = append(later, seq)
+		}
+	}
+	if len(later) < 2 {
+		t.Fatalf("need >= 2 later segments, got %v", names)
+	}
+	return fs, firstSeg, later
+}
+
+func TestRepairRemovesLaterSegmentsBeforeTruncating(t *testing.T) {
+	fs, firstSeg, later := corruptedMultiSegment(t)
+	o := &opLogFS{FS: fs}
+	if _, _, err := Open(Config{FS: o}); err != nil {
+		t.Fatal(err)
+	}
+	// Expected order: later segments removed newest to oldest, then the
+	// corrupt segment truncated last — so a crash anywhere mid-repair
+	// leaves the corruption detectable and the next Open re-converges.
+	var want []string
+	for j := len(later) - 1; j >= 0; j-- {
+		want = append(want, "remove "+segmentName(later[j]))
+	}
+	want = append(want, "truncate "+firstSeg)
+	if len(o.ops) != len(want) {
+		t.Fatalf("repair ops = %v, want %v", o.ops, want)
+	}
+	for i := range want {
+		if o.ops[i] != want[i] {
+			t.Fatalf("repair op %d = %q, want %q (full: %v)", i, o.ops[i], want[i], o.ops)
+		}
+	}
+}
+
+func TestInterruptedRepairConverges(t *testing.T) {
+	// Reference: an uninterrupted repair of the same corruption.
+	ref, _, _ := corruptedMultiSegment(t)
+	_, want, err := Open(Config{FS: ref})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash mid-repair: every later segment already removed, but the
+	// truncation of the corrupt segment never happens.
+	fs, _, _ := corruptedMultiSegment(t)
+	o := &opLogFS{FS: fs, truncErr: errors.New("injected: crash before truncate")}
+	if _, _, err := Open(Config{FS: o}); err == nil {
+		t.Fatal("Open succeeded despite failed truncation")
+	}
+
+	// The next Open must re-detect the corruption and converge on the
+	// same strict prefix — no hole, no resurrected records.
+	_, got, err := Open(Config{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TornTail == nil {
+		t.Fatal("interrupted repair left the corruption undetected")
+	}
+	if len(got.Records) != len(want.Records) {
+		t.Fatalf("recovered %d records after interrupted repair, want %d", len(got.Records), len(want.Records))
+	}
+	for i := range want.Records {
+		if got.Records[i].Op.ReqNum != want.Records[i].Op.ReqNum {
+			t.Fatalf("record %d: req %d, want %d", i, got.Records[i].Op.ReqNum, want.Records[i].Op.ReqNum)
+		}
+	}
+}
+
 func TestDuplicateSegmentReplay(t *testing.T) {
 	// A crash between "copy segment" and "remove original" in an ad-hoc
 	// backup/restore can leave the same records in two segment files.

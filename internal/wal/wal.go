@@ -152,24 +152,35 @@ func Open(cfg Config) (*Log, *Recovery, error) {
 		if corrupt == nil {
 			continue
 		}
-		// First corruption ends the recoverable prefix: truncate this
-		// segment to its last valid record and remove every later
-		// segment — they were written after the corruption point and a
-		// consistent prefix cannot skip over a hole.
+		// First corruption ends the recoverable prefix: every later
+		// segment is removed (they were written after the corruption
+		// point, and a consistent prefix cannot skip over a hole) and
+		// this segment is truncated to its last valid record.
 		rec.TornTail = fmt.Errorf("%s: %w", name, corrupt)
 		rec.TruncatedSegment = name
 		rec.TruncatedAt = valid
+		// Repair order is crash-atomic: later segments go first, newest
+		// to oldest, and the corrupt segment is truncated last. A crash
+		// anywhere in between leaves the corruption in place, so the
+		// next Open re-runs the same repair and converges to the same
+		// strict prefix. Truncating first would make this segment scan
+		// clean, silently accepting surviving later segments across the
+		// hole.
+		for j := len(seqs) - 1; j > i; j-- {
+			if err := cfg.FS.Remove(segmentName(seqs[j])); err != nil {
+				return nil, nil, fmt.Errorf("wal: remove %s: %w", segmentName(seqs[j]), err)
+			}
+			trace.Inc("wal.tail_truncations")
+		}
+		// Appends still resume past the highest sequence number ever
+		// used, removed or not, keeping segment order monotonic.
+		if last := seqs[len(seqs)-1]; last > lastSeq {
+			lastSeq = last
+		}
 		if err := cfg.FS.Truncate(name, valid); err != nil {
 			return nil, nil, fmt.Errorf("wal: truncate %s: %w", name, err)
 		}
 		trace.Inc("wal.tail_truncations")
-		for _, later := range seqs[i+1:] {
-			if err := cfg.FS.Remove(segmentName(later)); err != nil {
-				return nil, nil, fmt.Errorf("wal: remove %s: %w", segmentName(later), err)
-			}
-			lastSeq = later
-			trace.Inc("wal.tail_truncations")
-		}
 		break
 	}
 	if rec.Segments > 0 {

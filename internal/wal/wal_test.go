@@ -34,6 +34,15 @@ func epochRec(viewCounter uint64, members ...ids.ProcessorID) Record {
 	}}
 }
 
+func snapRec(upTo uint64, state string) Record {
+	return Record{Type: RecSnapshot, Snap: &SnapshotRecord{
+		Conn:     testConn(),
+		MarkerTS: ids.MakeTimestamp(50+upTo, 2),
+		UpTo:     ids.RequestNum(upTo),
+		State:    []byte(state),
+	}}
+}
+
 func TestRecordRoundTrip(t *testing.T) {
 	recs := []Record{
 		opRec(1, "hello"),
@@ -43,6 +52,8 @@ func TestRecordRoundTrip(t *testing.T) {
 		markRec(MarkReplied, 2),
 		epochRec(5, 1, 2, 3),
 		epochRec(6), // empty membership
+		snapRec(7, "snapshot-bytes"),
+		snapRec(8, ""), // empty state
 	}
 	for i, r := range recs {
 		b, err := EncodeRecord(r)
@@ -71,6 +82,11 @@ func normalize(r Record) Record {
 		ep.Members = nil
 		r.Epoch = &ep
 	}
+	if r.Snap != nil && len(r.Snap.State) == 0 {
+		sn := *r.Snap
+		sn.State = nil
+		r.Snap = &sn
+	}
 	return r
 }
 
@@ -88,6 +104,12 @@ func TestDecodeRejectsBadPayloads(t *testing.T) {
 			b[len(b)-7] = 0xFF
 			return b
 		}(),
+		"huge snapshot len": func() []byte {
+			b, _ := EncodeRecord(snapRec(1, "abc"))
+			b[len(b)-7] = 0xFF
+			return b
+		}(),
+		"short snapshot body": {byte(RecSnapshot), 1, 2, 3},
 	}
 	for name, payload := range cases {
 		if _, err := DecodeRecord(payload); err == nil {
