@@ -1,18 +1,23 @@
 // Command ftmpbench regenerates every table and figure recorded in
-// EXPERIMENTS.md: the paper's structural figures (2 and 3) and the
-// performance characterization experiments E1-E11 (see DESIGN.md for the
-// experiment index).
+// EXPERIMENTS.md: the paper's structural figures (2 and 3), the
+// performance characterization experiments E1-E12 (see DESIGN.md for the
+// experiment index) and the wire-codec microbenchmarks.
 //
 // Usage:
 //
 //	ftmpbench                 # run everything at full size
 //	ftmpbench -exp e3,e4      # run a subset
 //	ftmpbench -quick          # reduced sizes (CI smoke)
+//	ftmpbench -json           # machine-readable output (see EXPERIMENTS.md)
+//	ftmpbench -pprof :6060    # serve net/http/pprof while running
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
@@ -21,14 +26,47 @@ import (
 	"ftmp/internal/trace"
 )
 
+// jsonTable is one experiment table in the -json document: the trace
+// table's title, headers and pre-formatted cells, plus the experiment
+// name it ran under.
+type jsonTable struct {
+	Name    string     `json:"name"`
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// jsonDoc is the -json output document. The schema string names the
+// layout so consumers can reject an incompatible future format; fields
+// are emitted in declaration order, making the output diffable run to
+// run (cell values vary only where the measurement does).
+type jsonDoc struct {
+	Schema     string      `json:"schema"`
+	SeedOffset int64       `json:"seed_offset"`
+	Quick      bool        `json:"quick"`
+	Tables     []jsonTable `json:"tables"`
+}
+
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiments: fig2,fig3,e1..e11,a1,a2,a3 or all")
-		quick   = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
-		seed    = flag.Int64("seed", 0, "offset added to every experiment seed (0 reproduces EXPERIMENTS.md)")
+		expFlag   = flag.String("exp", "all", "comma-separated experiments: fig2,fig3,e1..e12,a1,a2,a3,bench or all")
+		quick     = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
+		seed      = flag.Int64("seed", 0, "offset added to every experiment seed (0 reproduces EXPERIMENTS.md)")
+		jsonFlag  = flag.Bool("json", false, "emit one JSON document instead of text tables")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address while the suite runs")
 	)
 	flag.Parse()
 	harness.SeedOffset = *seed
+
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the /debug/pprof handlers.
+			fmt.Fprintf(os.Stderr, "ftmpbench: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "ftmpbench: pprof: %v\n", err)
+			}
+		}()
+	}
 
 	msgs := 50
 	e1Sizes := []int{2, 4, 8, 16}
@@ -46,6 +84,9 @@ func main() {
 	e10FCDur := 15 * simnet.Second
 	e11Sizes := []int{2000, 20000}
 	e11Payload := 256
+	e12Sizes := []int{64, 128, 256}
+	e12Msgs := 4000
+	e12IdleMaxes := []simnet.Time{0, 25, 100}
 	if *quick {
 		msgs = 10
 		e1Sizes = []int{2, 4}
@@ -62,6 +103,9 @@ func main() {
 		e10Gaps = []simnet.Time{10}
 		e10FCDur = 5 * simnet.Second
 		e11Sizes = []int{200, 2000}
+		e12Sizes = []int{64, 256}
+		e12Msgs = 1000
+		e12IdleMaxes = []simnet.Time{0, 25}
 	}
 	for i := range e10Gaps {
 		e10Gaps[i] *= simnet.Millisecond
@@ -75,6 +119,9 @@ func main() {
 	for i := range e5Hbs {
 		e5Hbs[i] *= simnet.Millisecond
 	}
+	for i := range e12IdleMaxes {
+		e12IdleMaxes[i] *= simnet.Millisecond
+	}
 
 	want := make(map[string]bool)
 	for _, e := range strings.Split(*expFlag, ",") {
@@ -84,45 +131,76 @@ func main() {
 
 	type exp struct {
 		name string
-		run  func() *trace.Table
+		run  func() []*trace.Table
+	}
+	one := func(f func() *trace.Table) func() []*trace.Table {
+		return func() []*trace.Table { return []*trace.Table{f()} }
 	}
 	experiments := []exp{
-		{"fig2", harness.Fig2Encapsulation},
-		{"fig3", harness.Fig3Matrix},
-		{"e1", func() *trace.Table { return harness.E1Latency(e1Sizes, msgs) }},
-		{"e2", func() *trace.Table { return harness.E2Throughput(e2Sizes, e2Msgs) }},
-		{"e3", func() *trace.Table { return harness.E3Heartbeat(hbs) }},
-		{"e4", func() *trace.Table { return harness.E4Failover(e4Sizes, e4Timeouts) }},
-		{"e5", func() *trace.Table { return harness.E5Buffer(e5Hbs) }},
-		{"e6", func() *trace.Table { return harness.E6Loss(e6Rates) }},
-		{"e7", func() *trace.Table { return harness.E7GIOP(e7Reps, e7Calls) }},
-		{"e8", func() *trace.Table { return harness.E8Duplicates(e8Calls) }},
-		{"e9", func() *trace.Table { return harness.E9PlannedChange() }},
-		{"e10", func() *trace.Table {
+		{"fig2", one(harness.Fig2Encapsulation)},
+		{"fig3", one(harness.Fig3Matrix)},
+		{"e1", one(func() *trace.Table { return harness.E1Latency(e1Sizes, msgs) })},
+		{"e2", one(func() *trace.Table { return harness.E2Throughput(e2Sizes, e2Msgs) })},
+		{"e3", one(func() *trace.Table { return harness.E3Heartbeat(hbs) })},
+		{"e4", one(func() *trace.Table { return harness.E4Failover(e4Sizes, e4Timeouts) })},
+		{"e5", one(func() *trace.Table { return harness.E5Buffer(e5Hbs) })},
+		{"e6", one(func() *trace.Table { return harness.E6Loss(e6Rates) })},
+		{"e7", one(func() *trace.Table { return harness.E7GIOP(e7Reps, e7Calls) })},
+		{"e8", one(func() *trace.Table { return harness.E8Duplicates(e8Calls) })},
+		{"e9", one(harness.E9PlannedChange)},
+		{"e10", func() []*trace.Table {
 			// E10 is about the robustness machinery, so it also reports
 			// the event counters the pipeline left behind.
 			trace.ResetCounters()
 			tb := harness.E10Recovery(e10Gaps, e10FCDur)
-			fmt.Println(tb.String())
-			return trace.CountersTable("e10 robustness counters")
+			return []*trace.Table{tb, trace.CountersTable("e10 robustness counters")}
 		}},
-		{"e11", func() *trace.Table { return harness.E11Durability(e11Sizes, e11Payload) }},
-		{"a1", func() *trace.Table { return harness.A1RepairPolicy(0.10) }},
-		{"a2", harness.A2ClockMode},
-		{"a3", harness.A3FlowControl},
+		{"e11", one(func() *trace.Table { return harness.E11Durability(e11Sizes, e11Payload) })},
+		{"e12", func() []*trace.Table {
+			return []*trace.Table{
+				harness.E12Packing(e12Sizes, e12Msgs),
+				harness.E12Suppression(e12IdleMaxes),
+			}
+		}},
+		{"a1", one(func() *trace.Table { return harness.A1RepairPolicy(0.10) })},
+		{"a2", one(harness.A2ClockMode)},
+		{"a3", one(harness.A3FlowControl)},
+		{"bench", one(microbenchTable)},
 	}
 
+	doc := jsonDoc{Schema: "ftmpbench/1", SeedOffset: *seed, Quick: *quick}
 	ran := 0
 	for _, e := range experiments {
 		if !sel(e.name) {
 			continue
 		}
-		fmt.Printf("=== %s ===\n", strings.ToUpper(e.name))
-		fmt.Println(e.run().String())
+		if !*jsonFlag {
+			fmt.Printf("=== %s ===\n", strings.ToUpper(e.name))
+		}
+		for _, tb := range e.run() {
+			if *jsonFlag {
+				doc.Tables = append(doc.Tables, jsonTable{
+					Name:    e.name,
+					Title:   tb.Title(),
+					Headers: tb.Headers(),
+					Rows:    tb.Rows(),
+				})
+			} else {
+				fmt.Println(tb.String())
+			}
+		}
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig2 fig3 e1..e11 a1 a2 a3 all\n", *expFlag)
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig2 fig3 e1..e12 a1 a2 a3 bench all\n", *expFlag)
 		os.Exit(2)
+	}
+	if *jsonFlag {
+		out, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftmpbench: json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
 	}
 }

@@ -1,0 +1,104 @@
+package main
+
+// The wire-codec microbenchmarks, runnable outside `go test` so the
+// ftmpbench -json document can carry them alongside the experiment
+// tables. They mirror internal/wire/codec_bench_test.go: the hot-path
+// claims they quantify are the zero-allocation Decoder scratch reuse and
+// the append-style encoder.
+
+import (
+	"fmt"
+	"testing"
+
+	"ftmp/internal/ids"
+	"ftmp/internal/trace"
+	"ftmp/internal/wire"
+)
+
+func benchConn() ids.ConnectionID {
+	return ids.ConnectionID{ClientDomain: 1, ClientGroup: 2, ServerDomain: 3, ServerGroup: 4}
+}
+
+func benchRegularFrame(size int) []byte {
+	raw, err := wire.Encode(wire.Header{
+		Source:    ids.ProcessorID(3),
+		DestGroup: ids.GroupID(9),
+		Seq:       12,
+		MsgTS:     ids.MakeTimestamp(345, 3),
+		AckTS:     ids.MakeTimestamp(340, 3),
+	}, &wire.Regular{Conn: benchConn(), RequestNum: 7, Payload: make([]byte, size)})
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}
+
+func benchPackedFrame(count, size int) []byte {
+	entries := make([]wire.PackedEntry, count)
+	for i := range entries {
+		entries[i] = wire.PackedEntry{
+			Seq:        ids.SeqNum(10 + i),
+			TS:         ids.MakeTimestamp(uint64(100+i), 3),
+			Conn:       benchConn(),
+			RequestNum: ids.RequestNum(i),
+			Payload:    make([]byte, size),
+		}
+	}
+	raw, err := wire.Encode(wire.Header{
+		Source:    ids.ProcessorID(3),
+		DestGroup: ids.GroupID(9),
+		Seq:       entries[count-1].Seq,
+		MsgTS:     entries[count-1].TS,
+	}, &wire.Packed{Entries: entries})
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}
+
+// microbenchTable runs each codec microbenchmark via testing.Benchmark
+// and reports ns/op, allocs/op and throughput.
+func microbenchTable() *trace.Table {
+	tb := trace.NewTable(
+		"BENCH: wire codec microbenchmarks (hot-path decode must be 0 allocs/op)",
+		"name", "ns/op", "allocs/op", "B/op", "MB/s")
+	decode := func(frame []byte) func(*testing.B) {
+		return func(b *testing.B) {
+			var d wire.Decoder
+			b.SetBytes(int64(len(frame)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Decode(frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"DecoderRegular256", decode(benchRegularFrame(256))},
+		{"DecoderPacked16x64", decode(benchPackedFrame(16, 64))},
+		{"AppendEncodeRegular256", func(b *testing.B) {
+			body := &wire.Regular{Conn: benchConn(), RequestNum: 7, Payload: make([]byte, 256)}
+			h := wire.Header{Source: 3, DestGroup: 9, Seq: 12, MsgTS: ids.MakeTimestamp(345, 3)}
+			scratch := make([]byte, 0, 4096)
+			b.SetBytes(int64(wire.HeaderSize + 16 + 8 + 4 + 256))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := wire.AppendEncode(scratch[:0], h, body); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.fn)
+		mbps := float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+		tb.AddRow(bench.name,
+			fmt.Sprintf("%.1f", float64(r.T.Nanoseconds())/float64(r.N)),
+			r.AllocsPerOp(), r.AllocedBytesPerOp(), fmt.Sprintf("%.1f", mbps))
+	}
+	return tb
+}

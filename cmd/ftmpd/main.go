@@ -28,6 +28,8 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -61,13 +63,28 @@ func main() {
 		quietFlag = flag.Bool("quiet", false, "suppress view-change and fault chatter")
 		walDir    = flag.String("wal-dir", "", "directory for the write-ahead log (empty: no durability)")
 		fsyncPol  = flag.String("fsync", "always", "WAL fsync policy: always, interval or never")
+		packFlag  = flag.Bool("pack", false, "pack small messages into FTMP 1.1 Packed containers")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the /debug/pprof handlers.
+			fmt.Fprintf(os.Stderr, "ftmpd: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "ftmpd: pprof: %v\n", err)
+			}
+		}()
+	}
 
 	self := ids.ProcessorID(*idFlag)
 	cfg := core.DefaultConfig(self)
 	cfg.HeartbeatInterval = int64(*hbMs) * 1_000_000
 	cfg.PGMP.SuspectTimeout = int64(*suspectMs) * 1_000_000
+	if *packFlag {
+		cfg.Pack = core.DefaultPackConfig()
+	}
 	switch *policy {
 	case "fixed":
 		// DefaultConfig's zero value.

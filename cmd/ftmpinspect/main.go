@@ -83,8 +83,12 @@ func inspect(w io.Writer, data []byte) error {
 		return fmt.Errorf("FTMP decode: %w", err)
 	}
 	h := m.Header
+	minor := wire.VersionMinor
+	if h.Type == wire.TypePacked {
+		minor = wire.VersionMinorPacked
+	}
 	fmt.Fprintf(w, "FTMP header (%d bytes)\n", wire.HeaderSize)
-	fmt.Fprintf(w, "  magic            FTMP, version %d.%d\n", wire.VersionMajor, wire.VersionMinor)
+	fmt.Fprintf(w, "  magic            FTMP, version %d.%d\n", wire.VersionMajor, minor)
 	fmt.Fprintf(w, "  byte order       little-endian=%v\n", h.LittleEndian)
 	fmt.Fprintf(w, "  retransmission   %v\n", h.Retransmission)
 	fmt.Fprintf(w, "  message type     %v\n", h.Type)
@@ -105,6 +109,19 @@ func inspect(w io.Writer, data []byte) error {
 			inspectGIOP(w, g)
 		} else {
 			fmt.Fprintf(w, "  (payload is not a GIOP message: %v)\n", err)
+		}
+	case *wire.Packed:
+		fmt.Fprintf(w, "Packed body: %d entries (header Seq/MsgTS are the last entry's)\n", len(b.Entries))
+		for i, e := range b.Entries {
+			fmt.Fprintf(w, "  entry %d\n", i)
+			fmt.Fprintf(w, "    sequence number %d\n", e.Seq)
+			fmt.Fprintf(w, "    message ts      %v\n", e.TS)
+			fmt.Fprintf(w, "    connection id   %v\n", e.Conn)
+			fmt.Fprintf(w, "    request number  %d\n", e.RequestNum)
+			fmt.Fprintf(w, "    payload         %d bytes\n", len(e.Payload))
+			if g, err := giop.Decode(e.Payload); err == nil {
+				inspectGIOP(w, g)
+			}
 		}
 	case *wire.RetransmitRequest:
 		fmt.Fprintf(w, "RetransmitRequest body: proc=%v seqs=[%d..%d]\n", b.Proc, b.StartSeq, b.StopSeq)

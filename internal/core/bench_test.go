@@ -15,7 +15,7 @@ import (
 
 // pipe wires two nodes directly: each node's transmissions are handed to
 // the other synchronously.
-func pipe(b *testing.B, payload int) (send func(i int), delivered *int) {
+func pipe(b *testing.B, payload int, configure func(*core.Config)) (send func(i int), delivered *int) {
 	b.Helper()
 	const group = ids.GroupID(9)
 	members := ids.NewMembership(1, 2)
@@ -23,7 +23,11 @@ func pipe(b *testing.B, payload int) (send func(i int), delivered *int) {
 	var clock int64 // shared virtual time for the synchronous "network"
 	count := 0
 	mk := func(self ids.ProcessorID, peer **core.Node) *core.Node {
-		return core.NewNode(core.DefaultConfig(self), core.Callbacks{
+		cfg := core.DefaultConfig(self)
+		if configure != nil {
+			configure(&cfg)
+		}
+		return core.NewNode(cfg, core.Callbacks{
 			Transmit: func(addr wire.MulticastAddr, data []byte) {
 				if *peer != nil {
 					(*peer).HandlePacket(data, addr, clock)
@@ -59,7 +63,7 @@ func pipe(b *testing.B, payload int) (send func(i int), delivered *int) {
 // BenchmarkNodePipeline256 measures end-to-end protocol CPU per message
 // (256-byte payload) across two directly-wired nodes.
 func BenchmarkNodePipeline256(b *testing.B) {
-	send, delivered := pipe(b, 256)
+	send, delivered := pipe(b, 256, nil)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -73,7 +77,26 @@ func BenchmarkNodePipeline256(b *testing.B) {
 
 // BenchmarkNodePipeline4K is the same with 4 KiB payloads.
 func BenchmarkNodePipeline4K(b *testing.B) {
-	send, delivered := pipe(b, 4096)
+	send, delivered := pipe(b, 4096, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		send(i)
+	}
+	b.StopTimer()
+	if *delivered == 0 {
+		b.Fatal("nothing delivered")
+	}
+}
+
+// BenchmarkNodePipelinePacked256 runs the 256-byte pipeline through the
+// packed datapath (each message buffers, the tick flushes the container);
+// the synchronous Transmit also exercises the decoder-scratch ownership
+// contract under immediate reentrant handling.
+func BenchmarkNodePipelinePacked256(b *testing.B) {
+	send, delivered := pipe(b, 256, func(cfg *core.Config) {
+		cfg.Pack = core.DefaultPackConfig()
+	})
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

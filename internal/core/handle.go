@@ -10,8 +10,11 @@ import (
 
 // HandlePacket processes one datagram received at time now on multicast
 // address addr. It is the node's network input.
+// The node takes ownership of data: payloads of reliable messages alias
+// it while they are buffered, so the driver must hand over a buffer it
+// will not reuse.
 func (n *Node) HandlePacket(data []byte, addr wire.MulticastAddr, now int64) {
-	msg, err := wire.Decode(data)
+	msg, err := n.dec.Decode(data)
 	if err != nil {
 		n.stats.DecodeErrors++
 		return
@@ -61,6 +64,8 @@ func (n *Node) HandlePacket(data []byte, addr wire.MulticastAddr, now int64) {
 		n.onHeartbeat(now, gs, h)
 	case *wire.RetransmitRequest:
 		n.onRetransmitRequest(now, gs, body)
+	case *wire.Packed:
+		n.onPacked(now, gs, h, body)
 	default:
 		n.onReliable(now, gs, msg, data)
 	}
@@ -109,6 +114,11 @@ func (n *Node) onReliable(now int64, gs *groupState, msg wire.Message, raw []byt
 	if !gs.mem.Members().Contains(msg.Header.Source) {
 		return
 	}
+	gs.lastActivity = now
+	// RMP retains the message; hot-path bodies are Decoder scratch and
+	// must be copied out before the next datagram overwrites them (the
+	// raw buffer they alias is retained alongside).
+	msg.Body = wire.CloneBody(msg.Body)
 	for _, held := range gs.rmp.Receive(msg, raw, now) {
 		h := held.Msg.Header
 		if h.Type.TotallyOrdered() {
@@ -175,7 +185,7 @@ func (n *Node) drainFlowControl(gs *groupState, now int64, stable ids.Timestamp)
 		q := gs.sendQueue[0]
 		gs.sendQueue = gs.sendQueue[1:]
 		body := &wire.Regular{Conn: q.conn, RequestNum: q.reqNum, Payload: q.payload}
-		if _, _, err := n.sendReliable(now, gs, body); err != nil {
+		if err := n.sendRegular(now, gs, body); err != nil {
 			continue
 		}
 	}
@@ -371,6 +381,7 @@ func (n *Node) restartRejoins(now int64, gs *groupState, viewTS ids.Timestamp) {
 		return
 	}
 	delete(n.groups, gs.id)
+	n.groupsDirty = true
 	n.expelled[gs.id] = viewTS
 	// The group address was unsubscribed with the expulsion; forget that
 	// it was ever a learned listen address so the next Connect
@@ -673,6 +684,12 @@ func deriveGroupID(c ids.ConnectionID) ids.GroupID {
 // timestamp (paper section 5).
 func (n *Node) sendHeartbeat(now int64, gs *groupState) {
 	if !gs.joined {
+		return
+	}
+	// A pending pack is itself heartbeat-equivalent traffic; flushing it
+	// updates lastSent and usually makes the heartbeat unnecessary.
+	n.flushPack(now, gs)
+	if now == gs.lastSent {
 		return
 	}
 	ts := n.clk.Next(now)

@@ -44,6 +44,21 @@ type Config struct {
 	// message latency and network traffic; experiment E3).
 	HeartbeatInterval int64
 
+	// HeartbeatIdleMax, when larger than HeartbeatInterval, stretches
+	// the heartbeat period toward it on groups with no reliable traffic:
+	// after a grace of two base intervals past the last reliable send or
+	// receive (long enough for loss-tail gap detection and stability
+	// convergence at the base rate), heartbeats slow to this period.
+	// Every ack a peer needs promptly rides on data or on the base-rate
+	// grace window, so only true quiescence is slowed. It must stay well
+	// below the PGMP suspicion timeout or idle members convict each
+	// other. Zero disables stretching (the paper's fixed-period policy).
+	HeartbeatIdleMax int64
+
+	// Pack configures send-side batching of small Regular messages into
+	// wire.Packed containers (see PackConfig). Disabled by default.
+	Pack PackConfig
+
 	// RMP, Membership and Connection policies.
 	RMP  rmp.Config
 	PGMP pgmp.Config
@@ -206,6 +221,17 @@ type groupState struct {
 	// lastSent is when this processor last multicast anything to the
 	// group; the heartbeat timer compares against it.
 	lastSent int64
+	// lastActivity is when reliable traffic (sent or received) last
+	// flowed in this group; heartbeat stretching (HeartbeatIdleMax)
+	// compares against it.
+	lastActivity int64
+
+	// packEntries buffers messages awaiting a pack flush (PackConfig);
+	// packBytes is the pack's encoded size so far and packSince when its
+	// oldest entry was buffered.
+	packEntries []wire.PackedEntry
+	packBytes   int
+	packSince   int64
 
 	// gateTS, when non-nil(>0), blocks ordered transmission until a
 	// message with a higher timestamp has been received from every
@@ -254,6 +280,11 @@ type Stats struct {
 	PacketsIn uint64
 	// DecodeErrors counts undecodable packets.
 	DecodeErrors uint64
+	// PacksSent counts Packed containers transmitted; PackedMsgs counts
+	// the Regular messages that traveled inside them (a subset of
+	// MessagesSent).
+	PacksSent  uint64
+	PackedMsgs uint64
 }
 
 // Node is one processor's FTMP protocol stack.
@@ -289,6 +320,12 @@ type Node struct {
 	// restartRejoins).
 	expelled map[ids.GroupID]ids.Timestamp
 	stats    Stats
+	// dec decodes incoming datagrams without allocating; its scratch
+	// bodies are cloned (wire.CloneBody) before anything retains them.
+	dec wire.Decoder
+	// groupList caches sortedGroups' result; groupsDirty marks it stale.
+	groupList   []*groupState
+	groupsDirty bool
 }
 
 type learnedConn struct {
@@ -465,17 +502,21 @@ func (n *Node) unsubscribe(a wire.MulticastAddr) {
 	}
 }
 
+// sortedGroups returns the groups in ascending id order. The slice is
+// cached and rebuilt only when the group set changes (every Tick and
+// Stats call iterates it); a rebuild allocates a fresh slice, so a
+// caller mid-iteration keeps a consistent snapshot.
 func (n *Node) sortedGroups() []*groupState {
-	keys := make([]ids.GroupID, 0, len(n.groups))
-	for k := range n.groups {
-		keys = append(keys, k)
+	if n.groupsDirty || len(n.groupList) != len(n.groups) {
+		list := make([]*groupState, 0, len(n.groups))
+		for _, gs := range n.groups {
+			list = append(list, gs)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].id < list[j].id })
+		n.groupList = list
+		n.groupsDirty = false
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	out := make([]*groupState, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, n.groups[k])
-	}
-	return out
+	return n.groupList
 }
 
 // newGroupState creates protocol state for group id at address addr.
@@ -488,6 +529,7 @@ func (n *Node) newGroupState(id ids.GroupID, addr wire.MulticastAddr) *groupStat
 		mem:   pgmp.NewGroup(n.cfg.Self, id, n.cfg.PGMP),
 	}
 	n.groups[id] = gs
+	n.groupsDirty = true
 	return gs
 }
 
@@ -589,22 +631,23 @@ func (n *Node) header(gs *groupState, seq ids.SeqNum, ts ids.Timestamp) wire.Hea
 // sendReliable allocates a sequence number and timestamp, encodes body,
 // records it in RMP for retransmission, submits ordered types to ROMP
 // for self-delivery, and transmits. It returns the encoded message.
+// The body is retained by reference until the message becomes stable;
+// callers hand over ownership.
 func (n *Node) sendReliable(now int64, gs *groupState, body wire.Body) ([]byte, wire.Message, error) {
+	// Buffered pack entries hold earlier sequence numbers; flush them so
+	// the wire carries this sender's reliable messages in source order.
+	n.flushPack(now, gs)
 	gs.nextSeq++
 	seq := gs.nextSeq
 	ts := n.clk.Next(now)
 	h := n.header(gs, seq, ts)
-	raw, err := wire.Encode(h, body)
+	raw, msg, err := wire.EncodeMessage(h, body)
 	if err != nil {
 		gs.nextSeq--
 		return nil, wire.Message{}, err
 	}
-	msg, err := wire.Decode(raw)
-	if err != nil {
-		gs.nextSeq--
-		return nil, wire.Message{}, fmt.Errorf("core: self-decode: %w", err)
-	}
 	gs.rmp.NoteSent(seq, ts, raw, msg)
+	gs.lastActivity = now
 	if n.cfg.MaxUnstable > 0 && msg.Header.Type == wire.TypeRegular {
 		gs.unstable = append(gs.unstable, ts)
 	}
@@ -624,6 +667,10 @@ func (n *Node) sendReliable(now int64, gs *groupState, body wire.Body) ([]byte, 
 // logical connection and request number for duplicate detection. If the
 // group's transmission gate is closed (a Connect was recently processed)
 // the message is queued and sent when the gate opens.
+//
+// Ownership of payload transfers to the node: it is referenced (not
+// copied) until the message becomes stable, so the caller must not
+// modify the slice after the call.
 func (n *Node) Multicast(now int64, g ids.GroupID, conn ids.ConnectionID, reqNum ids.RequestNum, payload []byte) error {
 	gs, ok := n.groups[g]
 	if !ok {
@@ -645,7 +692,7 @@ func (n *Node) Multicast(now int64, g ids.GroupID, conn ids.ConnectionID, reqNum
 		return nil
 	}
 	body := &wire.Regular{Conn: conn, RequestNum: reqNum, Payload: payload}
-	if _, _, err := n.sendReliable(now, gs, body); err != nil {
+	if err := n.sendRegular(now, gs, body); err != nil {
 		return err
 	}
 	n.pump(gs, now)
@@ -685,7 +732,7 @@ func (n *Node) maybeReleaseGate(gs *groupState, now int64) {
 	gs.gateQueue = nil
 	for _, q := range queued {
 		body := &wire.Regular{Conn: q.conn, RequestNum: q.reqNum, Payload: q.payload}
-		if _, _, err := n.sendReliable(now, gs, body); err != nil {
+		if err := n.sendRegular(now, gs, body); err != nil {
 			// Encoding errors are deterministic; drop and continue.
 			continue
 		}

@@ -1,0 +1,330 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ftmp/internal/core"
+	"ftmp/internal/harness"
+	"ftmp/internal/ids"
+	"ftmp/internal/simnet"
+)
+
+// packedCluster builds a cluster with message packing enabled on every
+// node (it is off by default).
+func packedCluster(t *testing.T, seed int64, n int, net simnet.Config) (*harness.Cluster, ids.Membership) {
+	t.Helper()
+	procs := make([]ids.ProcessorID, n)
+	for i := range procs {
+		procs[i] = ids.ProcessorID(i + 1)
+	}
+	c := harness.NewCluster(harness.Options{
+		Seed: seed,
+		Net:  net,
+		Configure: func(p ids.ProcessorID, cfg *core.Config) {
+			cfg.Pack = core.DefaultPackConfig()
+		},
+	}, procs...)
+	m := ids.NewMembership(procs...)
+	c.CreateGroup(g1, m)
+	return c, m
+}
+
+func assertSameOrder(t *testing.T, c *harness.Cluster, procs []ids.ProcessorID) {
+	t.Helper()
+	want := c.Host(procs[0]).DeliveredPayloads(g1)
+	for _, p := range procs[1:] {
+		got := c.Host(p).DeliveredPayloads(g1)
+		if len(got) != len(want) {
+			t.Fatalf("%v delivered %d, %v delivered %d", p, len(got), procs[0], len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v order differs at %d: %q vs %q", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPackedTotalOrder(t *testing.T) {
+	// Bursts of small messages from every node: packing must preserve
+	// total order and actually coalesce messages into containers.
+	c, m := packedCluster(t, 31, 3, simnet.NewConfig())
+	const burst = 20
+	for i := 0; i < burst; i++ {
+		for _, p := range c.Procs() {
+			p, i := p, i
+			c.Net.At(simnet.Time(i)*100*simnet.Microsecond, func() {
+				_ = c.Multicast(p, g1, fmt.Sprintf("p%d-%v", i, p))
+			})
+		}
+	}
+	total := burst * 3
+	if !c.RunUntil(simnet.Second, c.AllDelivered(g1, m, total)) {
+		t.Fatalf("packed delivery incomplete: P1=%d/%d", len(c.Host(1).DeliveredPayloads(g1)), total)
+	}
+	assertSameOrder(t, c, c.Procs())
+	st := c.Host(1).Node.Stats()
+	if st.PacksSent == 0 || st.PackedMsgs == 0 {
+		t.Fatalf("packing never engaged: %+v", st)
+	}
+	// Coalescing must be real: fewer containers than packed messages.
+	if st.PacksSent >= st.PackedMsgs {
+		t.Errorf("no coalescing: %d packs for %d messages", st.PacksSent, st.PackedMsgs)
+	}
+}
+
+func TestPackedLatencyBoundedByMaxDelay(t *testing.T) {
+	// A lone small message must not sit in the pack buffer: the tick
+	// flushes it after MaxDelay, so end-to-end latency stays bounded.
+	c, m := packedCluster(t, 33, 3, simnet.NewConfig())
+	c.RunFor(50 * simnet.Millisecond) // settle
+	var deliveredAt int64
+	c.Host(2).OnDeliver = func(d core.Delivery, now int64) { deliveredAt = now }
+	sentAt := int64(c.Net.Now())
+	if err := c.Multicast(1, g1, "lone"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntil(simnet.Second, c.AllDelivered(g1, m, 1)) {
+		t.Fatal("lone packed message never delivered")
+	}
+	lat := deliveredAt - sentAt
+	// MaxDelay (1ms) + tick cadence (1ms) + heartbeat horizon advance
+	// (5ms interval) + propagation: well under 50ms.
+	if lat <= 0 || lat > int64(50*simnet.Millisecond) {
+		t.Errorf("packed lone-message latency = %dns, want < 50ms", lat)
+	}
+}
+
+func TestPackedUnderLoss(t *testing.T) {
+	// Lost containers are repaired per entry through the normal NACK
+	// path (the source re-encodes each entry as a standalone Regular).
+	cfg := simnet.NewConfig()
+	cfg.LossRate = 0.10
+	c, m := packedCluster(t, 37, 4, cfg)
+	const burst = 25
+	for i := 0; i < burst; i++ {
+		for _, p := range c.Procs() {
+			p, i := p, i
+			c.Net.At(simnet.Time(i)*2*simnet.Millisecond, func() {
+				_ = c.Multicast(p, g1, fmt.Sprintf("%v#%d", p, i))
+			})
+		}
+	}
+	total := burst * 4
+	if !c.RunUntil(10*simnet.Second, c.AllDelivered(g1, m, total)) {
+		for _, p := range c.Procs() {
+			t.Logf("%v delivered %d/%d", p, len(c.Host(p).DeliveredPayloads(g1)), total)
+		}
+		t.Fatal("packed delivery under 10% loss failed")
+	}
+	assertSameOrder(t, c, c.Procs())
+	var repairs uint64
+	for _, p := range c.Procs() {
+		repairs += c.Host(p).Node.Stats().RMP.Retransmissions
+	}
+	if repairs == 0 {
+		t.Log("warning: no retransmissions under 10% loss (suspicious but not fatal)")
+	}
+}
+
+func TestPackedUnderDuplication(t *testing.T) {
+	// Duplicated containers re-present every entry; RMP duplicate
+	// detection must absorb them without double delivery.
+	cfg := simnet.NewConfig()
+	cfg.DupRate = 0.25
+	c, m := packedCluster(t, 41, 3, cfg)
+	const burst = 20
+	for i := 0; i < burst; i++ {
+		for _, p := range c.Procs() {
+			p, i := p, i
+			c.Net.At(simnet.Time(i)*simnet.Millisecond, func() {
+				_ = c.Multicast(p, g1, fmt.Sprintf("dup%d-%v", i, p))
+			})
+		}
+	}
+	total := burst * 3
+	if !c.RunUntil(5*simnet.Second, c.AllDelivered(g1, m, total)) {
+		t.Fatal("delivery under duplication failed")
+	}
+	c.RunFor(200 * simnet.Millisecond) // absorb straggling duplicates
+	for _, p := range c.Procs() {
+		if got := len(c.Host(p).DeliveredPayloads(g1)); got != total {
+			t.Fatalf("%v delivered %d, want exactly %d (duplicate leaked)", p, got, total)
+		}
+	}
+	assertSameOrder(t, c, c.Procs())
+}
+
+func TestPackedVirtualSynchronyUnderCrash(t *testing.T) {
+	// A packing sender crashes mid-burst, possibly with entries still
+	// buffered and containers in flight: survivors must agree exactly on
+	// which of its messages made it into the total order.
+	for seed := int64(0); seed < 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg := simnet.NewConfig()
+			cfg.LossRate = 0.05
+			c, _ := packedCluster(t, 300+seed, 4, cfg)
+			for i := 0; i < 30; i++ {
+				i := i
+				c.Net.At(simnet.Time(i)*simnet.Millisecond, func() {
+					_ = c.Multicast(4, g1, fmt.Sprintf("v%d", i))
+				})
+			}
+			c.Net.At(15*simnet.Millisecond+simnet.Time(seed)*simnet.Millisecond/2, func() { c.Crash(4) })
+			survivors := ids.NewMembership(1, 2, 3)
+			ok := c.RunUntil(10*simnet.Second, func() bool {
+				for _, p := range survivors {
+					v, found := c.Host(p).LastView(g1)
+					if !found || !v.Members.Equal(survivors) {
+						return false
+					}
+				}
+				return true
+			})
+			if !ok {
+				t.Fatal("no recovery from packing sender's crash")
+			}
+			c.RunFor(simnet.Second) // drain
+			assertSameOrder(t, c, []ids.ProcessorID{1, 2, 3})
+		})
+	}
+}
+
+func TestPackedInteropWithUnpackedNodes(t *testing.T) {
+	// Only node 1 packs; 2 and 3 run the plain 1.0 datapath. Mixed
+	// traffic must still reach a single total order, and the unpacked
+	// nodes' wire output stays pure 1.0 (PacksSent == 0).
+	procs := []ids.ProcessorID{1, 2, 3}
+	c := harness.NewCluster(harness.Options{
+		Seed: 43,
+		Net:  simnet.NewConfig(),
+		Configure: func(p ids.ProcessorID, cfg *core.Config) {
+			if p == 1 {
+				cfg.Pack = core.DefaultPackConfig()
+			}
+		},
+	}, procs...)
+	m := ids.NewMembership(procs...)
+	c.CreateGroup(g1, m)
+	const burst = 15
+	for i := 0; i < burst; i++ {
+		for _, p := range procs {
+			p, i := p, i
+			c.Net.At(simnet.Time(i)*simnet.Millisecond, func() {
+				_ = c.Multicast(p, g1, fmt.Sprintf("mix%d-%v", i, p))
+			})
+		}
+	}
+	total := burst * 3
+	if !c.RunUntil(5*simnet.Second, c.AllDelivered(g1, m, total)) {
+		t.Fatal("mixed packed/unpacked delivery incomplete")
+	}
+	assertSameOrder(t, c, procs)
+	if c.Host(1).Node.Stats().PacksSent == 0 {
+		t.Error("packing node sent no containers")
+	}
+	for _, p := range procs[1:] {
+		if st := c.Host(p).Node.Stats(); st.PacksSent != 0 {
+			t.Errorf("non-packing node %v sent %d containers", p, st.PacksSent)
+		}
+	}
+}
+
+func TestPackingReducesDatagrams(t *testing.T) {
+	// The point of the exercise: the same send pattern must cost
+	// measurably fewer datagrams with packing on.
+	run := func(pack bool) uint64 {
+		procs := []ids.ProcessorID{1, 2, 3}
+		c := harness.NewCluster(harness.Options{
+			Seed: 47,
+			Net:  simnet.NewConfig(),
+			Configure: func(p ids.ProcessorID, cfg *core.Config) {
+				if pack {
+					cfg.Pack = core.DefaultPackConfig()
+				}
+			},
+		}, procs...)
+		m := ids.NewMembership(procs...)
+		c.CreateGroup(g1, m)
+		const burst = 50
+		for i := 0; i < burst; i++ {
+			for _, p := range procs {
+				p, i := p, i
+				// 10 sends per tick per node: plenty to coalesce.
+				c.Net.At(simnet.Time(i)*100*simnet.Microsecond, func() {
+					_ = c.Multicast(p, g1, fmt.Sprintf("b%d-%v", i, p))
+				})
+			}
+		}
+		if !c.RunUntil(5*simnet.Second, c.AllDelivered(g1, m, burst*3)) {
+			t.Fatal("burst not delivered")
+		}
+		return c.Net.Stats().PacketsSent
+	}
+	packed, plain := run(true), run(false)
+	if packed >= plain {
+		t.Fatalf("packing sent %d datagrams, plain sent %d — no reduction", packed, plain)
+	}
+	t.Logf("datagrams: packed=%d plain=%d (%.1f%%)", packed, plain, 100*float64(packed)/float64(plain))
+}
+
+func TestHeartbeatSuppressionWhenIdle(t *testing.T) {
+	// With HeartbeatIdleMax set, a long-idle group stretches its
+	// heartbeat cadence; the packet rate drops accordingly.
+	run := func(idleMax int64) uint64 {
+		procs := []ids.ProcessorID{1, 2, 3}
+		c := harness.NewCluster(harness.Options{
+			Seed: 53,
+			Net:  simnet.NewConfig(),
+			Configure: func(p ids.ProcessorID, cfg *core.Config) {
+				cfg.HeartbeatIdleMax = idleMax
+			},
+		}, procs...)
+		m := ids.NewMembership(procs...)
+		c.CreateGroup(g1, m)
+		c.RunFor(2 * simnet.Second)
+		var hb uint64
+		for _, p := range procs {
+			hb += c.Host(p).Node.Stats().HeartbeatsSent
+		}
+		return hb
+	}
+	suppressed := run(25_000_000) // 25ms idle cadence vs 5ms base
+	baseline := run(0)
+	if suppressed*2 >= baseline {
+		t.Fatalf("idle suppression ineffective: %d heartbeats vs %d baseline", suppressed, baseline)
+	}
+	t.Logf("heartbeats over 2s idle: suppressed=%d baseline=%d", suppressed, baseline)
+}
+
+func TestHeartbeatSuppressionKeepsFailureDetection(t *testing.T) {
+	// The stretched cadence must stay compatible with fault suspicion:
+	// a crash in a long-idle suppressed group is still detected.
+	procs := []ids.ProcessorID{1, 2, 3}
+	c := harness.NewCluster(harness.Options{
+		Seed: 59,
+		Net:  simnet.NewConfig(),
+		Configure: func(p ids.ProcessorID, cfg *core.Config) {
+			cfg.HeartbeatIdleMax = 20_000_000 // 20ms, below the 50ms suspicion timeout
+		},
+	}, procs...)
+	m := ids.NewMembership(procs...)
+	c.CreateGroup(g1, m)
+	c.RunFor(simnet.Second) // deep idle: suppression active everywhere
+	c.Crash(3)
+	survivors := ids.NewMembership(1, 2)
+	ok := c.RunUntil(c.Net.Now()+5*simnet.Second, func() bool {
+		for _, p := range survivors {
+			v, found := c.Host(p).LastView(g1)
+			if !found || !v.Members.Equal(survivors) {
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("crash in suppressed-heartbeat group never detected")
+	}
+}

@@ -16,8 +16,24 @@ func (n *Node) Tick(now int64) {
 			continue
 		}
 		if gs.joined {
-			// Heartbeat when idle (paper section 5).
-			if now-gs.lastSent >= n.cfg.HeartbeatInterval {
+			// Flush a pack whose oldest entry has waited past MaxDelay.
+			if len(gs.packEntries) > 0 && now-gs.packSince >= n.cfg.Pack.maxDelay() {
+				n.flushPack(now, gs)
+			}
+			// Heartbeat when idle (paper section 5). While reliable
+			// traffic flows, every outbound message piggybacks the
+			// sender's latest sequence and ack timestamp, so standalone
+			// heartbeats are suppressed implicitly (lastSent stays fresh).
+			// Once the whole group has been quiet for two base intervals,
+			// nothing is pending delivery and heartbeats serve only
+			// liveness: stretch the cadence to HeartbeatIdleMax. The first
+			// received message resets lastActivity and restores the base
+			// cadence, so delivery latency under load is unaffected.
+			hb := n.cfg.HeartbeatInterval
+			if n.cfg.HeartbeatIdleMax > hb && now-gs.lastActivity >= 2*n.cfg.HeartbeatInterval {
+				hb = n.cfg.HeartbeatIdleMax
+			}
+			if now-gs.lastSent >= hb {
 				n.sendHeartbeat(now, gs)
 			}
 			// Fault suspicion (paper section 7.2).

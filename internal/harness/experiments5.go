@@ -1,0 +1,162 @@
+package harness
+
+// Experiment E12: the datapath cost of small messages, and what message
+// packing (wire.Packed, FTMP 1.1) buys back. A fixed per-datagram
+// overhead — interrupt, syscall and framing cost on a real NIC — makes
+// many small datagrams far more expensive than their payload bytes;
+// packing amortizes that overhead (and the 40-byte FTMP header) across a
+// burst. The companion measurement shows heartbeat suppression
+// (HeartbeatIdleMax) cutting the idle-group packet rate the same way the
+// E3 sweep trades heartbeat cadence against traffic.
+
+import (
+	"ftmp/internal/core"
+	"ftmp/internal/ids"
+	"ftmp/internal/simnet"
+	"ftmp/internal/trace"
+)
+
+// E12Result is one packing-throughput measurement.
+type E12Result struct {
+	Size     int
+	Packing  bool
+	MsgsPerS float64
+	MBPerS   float64
+	// PacketsSent is the network-level datagram count for the whole run,
+	// the quantity packing actually reduces.
+	PacketsSent uint64
+}
+
+// e12Net is the E12 network model: LAN defaults plus a 100 microsecond
+// per-datagram overhead — the per-packet interrupt and UDP processing
+// cost of the paper's era of workstation hardware, and the reason its
+// protocol family cared about packing small messages. E1-E11 keep the
+// zero-overhead model they were recorded with.
+func e12Net() simnet.Config {
+	cfg := simnet.NewConfig()
+	cfg.PerPacketOverhead = 100 * simnet.Microsecond
+	return cfg
+}
+
+// RunE12Packing measures aggregate ordered throughput for a bursty
+// small-message workload with packing on or off: every member sends
+// msgs/n messages of the given size in bursts of fifty per half
+// millisecond — an offered rate well past what one datagram per message
+// can carry through the per-packet overhead, so the unpacked datapath is
+// link-bound — and the run ends when every member has delivered all of
+// them.
+func RunE12Packing(seed int64, n, msgs, size int, packing bool) E12Result {
+	procs := make([]ids.ProcessorID, n)
+	for i := range procs {
+		procs[i] = ids.ProcessorID(i + 1)
+	}
+	c := NewCluster(Options{
+		Seed: seed,
+		Net:  e12Net(),
+		Configure: func(p ids.ProcessorID, cfg *core.Config) {
+			if packing {
+				cfg.Pack = core.DefaultPackConfig()
+			}
+		},
+	}, procs...)
+	m := ids.NewMembership(procs...)
+	c.CreateGroup(expGroup, m)
+	delivered := make(map[ids.ProcessorID]int)
+	for _, p := range procs {
+		p := p
+		c.Host(p).OnDeliver = func(d core.Delivery, now int64) { delivered[p]++ }
+	}
+	c.RunFor(100 * simnet.Millisecond)
+	start := c.Net.Now()
+	startPkts := c.Net.Stats().PacketsSent
+	per := msgs / n
+	const burst = 50
+	const burstGap = 500 * simnet.Microsecond
+	for pi, p := range procs {
+		p, pi := p, pi
+		var send func(i int)
+		send = func(i int) {
+			for k := 0; k < burst && i < per; k++ {
+				_ = c.Host(p).Node.Multicast(int64(c.Net.Now()), expGroup, ids.ConnectionID{}, 0, payload(pi*per+i, size))
+				i++
+			}
+			if i < per {
+				c.Net.At(c.Net.Now()+burstGap, func() { send(i) })
+			}
+		}
+		c.Net.At(start, func() { send(0) })
+	}
+	total := per * n
+	c.RunUntil(start+10*simnet.Second*simnet.Time(1+msgs/1000), func() bool {
+		for _, p := range procs {
+			if delivered[p] < total {
+				return false
+			}
+		}
+		return true
+	})
+	dur := c.Net.Now() - start
+	if dur <= 0 {
+		dur = 1
+	}
+	secs := float64(dur) / float64(simnet.Second)
+	return E12Result{
+		Size:        size,
+		Packing:     packing,
+		MsgsPerS:    float64(total) / secs,
+		MBPerS:      float64(total) * float64(size) / secs / 1e6,
+		PacketsSent: c.Net.Stats().PacketsSent - startPkts,
+	}
+}
+
+// E12Packing regenerates the packing half of experiment E12: small-
+// message throughput with packing off (the FTMP 1.0 datapath) and on,
+// per payload size.
+func E12Packing(sizes []int, msgs int) *trace.Table {
+	tb := trace.NewTable(
+		"E12: message packing vs small-message throughput (n=4, all sending, 100us per-datagram overhead)",
+		"payload B", "plain msg/s", "packed msg/s", "speedup", "plain pkts", "packed pkts")
+	for i, size := range sizes {
+		seed := SeedOffset + 1200 + int64(i)
+		plain := RunE12Packing(seed, 4, msgs, size, false)
+		packed := RunE12Packing(seed, 4, msgs, size, true)
+		tb.AddRow(size, plain.MsgsPerS, packed.MsgsPerS,
+			packed.MsgsPerS/plain.MsgsPerS,
+			plain.PacketsSent, packed.PacketsSent)
+	}
+	return tb
+}
+
+// RunE12Suppression measures the idle-group packet rate with and without
+// heartbeat suppression: idleMax == 0 is the fixed 5ms cadence every
+// earlier experiment uses; a positive idleMax stretches the cadence once
+// the group has been quiet for two base intervals.
+func RunE12Suppression(idleMax simnet.Time, seed int64) float64 {
+	procs := []ids.ProcessorID{1, 2, 3, 4}
+	c := NewCluster(Options{
+		Seed: seed,
+		Net:  simnet.NewConfig(),
+		Configure: func(p ids.ProcessorID, cfg *core.Config) {
+			cfg.HeartbeatIdleMax = int64(idleMax)
+		},
+	}, procs...)
+	m := ids.NewMembership(procs...)
+	c.CreateGroup(expGroup, m)
+	c.RunFor(200 * simnet.Millisecond) // settle, then measure pure idle
+	startPkts := c.Net.Stats().PacketsSent
+	start := c.Net.Now()
+	c.RunFor(2 * simnet.Second)
+	dur := float64(c.Net.Now()-start) / float64(simnet.Second)
+	return float64(c.Net.Stats().PacketsSent-startPkts) / dur
+}
+
+// E12Suppression regenerates the heartbeat-suppression half of E12.
+func E12Suppression(idleMaxes []simnet.Time) *trace.Table {
+	tb := trace.NewTable(
+		"E12b: idle-group packet rate vs HeartbeatIdleMax (n=4, 5ms base heartbeat)",
+		"idle max ms", "pkts/s")
+	for i, im := range idleMaxes {
+		tb.AddRow(float64(im)/1e6, RunE12Suppression(im, SeedOffset+1250+int64(i)))
+	}
+	return tb
+}

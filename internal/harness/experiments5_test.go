@@ -1,0 +1,33 @@
+package harness
+
+import (
+	"testing"
+
+	"ftmp/internal/simnet"
+)
+
+func TestE12PackingSpeedup(t *testing.T) {
+	// The acceptance bar for the packing datapath: at least 2x ordered
+	// msgs/s for small payloads under the E12 per-datagram cost model,
+	// and a large reduction in datagrams actually sent.
+	for _, size := range []int{64, 256} {
+		plain := RunE12Packing(1200, 4, 2000, size, false)
+		packed := RunE12Packing(1200, 4, 2000, size, true)
+		if speedup := packed.MsgsPerS / plain.MsgsPerS; speedup < 2.0 {
+			t.Errorf("size %d: packing speedup = %.2fx (plain %.0f, packed %.0f msg/s), want >= 2x",
+				size, speedup, plain.MsgsPerS, packed.MsgsPerS)
+		}
+		if packed.PacketsSent*2 >= plain.PacketsSent {
+			t.Errorf("size %d: packed sent %d datagrams vs plain %d, want < half",
+				size, packed.PacketsSent, plain.PacketsSent)
+		}
+	}
+}
+
+func TestE12SuppressionReducesIdleTraffic(t *testing.T) {
+	base := RunE12Suppression(0, 1250)
+	suppressed := RunE12Suppression(25*simnet.Millisecond, 1250)
+	if suppressed*2 >= base {
+		t.Errorf("idle pkts/s: suppressed=%.0f base=%.0f, want < half", suppressed, base)
+	}
+}

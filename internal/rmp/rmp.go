@@ -11,7 +11,7 @@ package rmp
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"ftmp/internal/ids"
 	"ftmp/internal/wire"
@@ -23,8 +23,26 @@ import (
 type Held struct {
 	Seq ids.SeqNum
 	TS  ids.Timestamp
-	Raw []byte // complete encoded FTMP message, retransmitted verbatim
+	// Raw is the complete encoded FTMP message, retransmitted verbatim.
+	// It may be nil for messages this processor originated inside a
+	// Packed container (which has no standalone encoding); encoding() then
+	// produces and memoizes a standalone frame on first retransmission.
+	Raw []byte
 	Msg wire.Message
+}
+
+// encoding returns the bytes to retransmit for h, lazily producing a
+// standalone encoding when the message was first sent inside a Packed
+// container. The result is memoized, so repeated repairs pay once.
+func (h *Held) encoding() []byte {
+	if h.Raw == nil && h.Msg.Body != nil {
+		raw, err := wire.Encode(h.Msg.Header, h.Msg.Body)
+		if err != nil {
+			return nil // unencodable retained message; skip repair
+		}
+		h.Raw = raw
+	}
+	return h.Raw
 }
 
 // Config holds the RMP policy knobs, in the driver's time unit
@@ -77,6 +95,21 @@ type sourceState struct {
 	nackAt int64
 	// nackEvery is the current backoff interval.
 	nackEvery int64
+	// retMinTS is a lower bound on the timestamps in retained (exact
+	// after each DiscardStable pass); it lets DiscardStable skip sources
+	// with nothing old enough without scanning their buffers.
+	retMinTS ids.Timestamp
+	// retMinValid is false when retained is empty or retMinTS is stale.
+	retMinValid bool
+}
+
+// retain moves h into the retained buffer, maintaining the retMinTS
+// lower bound DiscardStable prunes by.
+func (s *sourceState) retain(h *Held) {
+	s.retained[h.Seq] = h
+	if !s.retMinValid || h.TS < s.retMinTS {
+		s.retMinTS, s.retMinValid = h.TS, true
+	}
 }
 
 func newSourceState() *sourceState {
@@ -93,7 +126,13 @@ type Layer struct {
 	group   ids.GroupID
 	cfg     Config
 	sources map[ids.ProcessorID]*sourceState
-	stats   Stats
+	// procs mirrors the keys of sources in ascending order, maintained on
+	// insert, so the per-tick NacksDue scan never sorts.
+	procs []ids.ProcessorID
+	// nackScratch backs the slice NacksDue returns; its contents are
+	// valid until the next NacksDue call.
+	nackScratch []wire.RetransmitRequest
+	stats       Stats
 }
 
 // New creates the RMP layer for group at processor self.
@@ -114,6 +153,9 @@ func (l *Layer) source(p ids.ProcessorID) *sourceState {
 	if !ok {
 		s = newSourceState()
 		l.sources[p] = s
+		if i, found := slices.BinarySearch(l.procs, p); !found {
+			l.procs = slices.Insert(l.procs, i, p)
+		}
 	}
 	return s
 }
@@ -149,10 +191,12 @@ func (l *Layer) DropSource(p ids.ProcessorID) {
 
 // NoteSent records a message this processor originated, so it can answer
 // RetransmitRequests for its own messages. Sequence numbers must be
-// allocated contiguously by the caller.
+// allocated contiguously by the caller. raw may be nil for messages sent
+// inside a Packed container; a standalone encoding is produced lazily
+// from msg if the message ever needs to be retransmitted.
 func (l *Layer) NoteSent(seq ids.SeqNum, ts ids.Timestamp, raw []byte, msg wire.Message) {
 	s := l.source(l.self)
-	s.retained[seq] = &Held{Seq: seq, TS: ts, Raw: raw, Msg: msg}
+	s.retain(&Held{Seq: seq, TS: ts, Raw: raw, Msg: msg})
 	if seq > s.highestSeen {
 		s.highestSeen = seq
 	}
@@ -196,7 +240,7 @@ func (l *Layer) Receive(msg wire.Message, raw []byte, now int64) []*Held {
 			break
 		}
 		delete(s.pending, s.nextDeliver)
-		s.retained[s.nextDeliver] = next
+		s.retain(next)
 		s.nextDeliver++
 		out = append(out, next)
 	}
@@ -256,10 +300,9 @@ func (l *Layer) updateNack(s *sourceState, now int64) {
 	}
 }
 
-// missingRanges returns the gaps for source p as inclusive [start, stop]
-// ranges, bounded by highestSeen.
-func (s *sourceState) missingRanges() []wire.RetransmitRequest {
-	var out []wire.RetransmitRequest
+// missingRanges appends the gaps for source s as inclusive [start, stop]
+// ranges, bounded by highestSeen, to out (a reused scratch slice).
+func (s *sourceState) missingRanges(out []wire.RetransmitRequest) []wire.RetransmitRequest {
 	start := ids.SeqNum(0)
 	inGap := false
 	for q := s.nextDeliver; q <= s.highestSeen; q++ {
@@ -280,21 +323,20 @@ func (s *sourceState) missingRanges() []wire.RetransmitRequest {
 
 // NacksDue returns the RetransmitRequest bodies that should be multicast
 // at time now, applying exponential backoff per source. The caller wraps
-// them in headers and transmits them.
+// them in headers and transmits them. The returned slice is reused: its
+// contents are valid only until the next NacksDue call on this layer.
 func (l *Layer) NacksDue(now int64) []wire.RetransmitRequest {
-	var out []wire.RetransmitRequest
-	// Deterministic iteration order for reproducible simulation.
-	procs := make([]ids.ProcessorID, 0, len(l.sources))
-	for p := range l.sources {
-		procs = append(procs, p)
-	}
-	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
-	for _, p := range procs {
+	out := l.nackScratch[:0]
+	// l.procs keeps sources in ascending id order: deterministic iteration
+	// for reproducible simulation, with no per-call sort.
+	for _, p := range l.procs {
 		s := l.sources[p]
 		if s.nackAt == 0 || now < s.nackAt {
 			continue
 		}
-		ranges := s.missingRanges()
+		mark := len(out)
+		out = s.missingRanges(out)
+		ranges := out[mark:]
 		if len(ranges) == 0 {
 			s.nackAt = 0
 			continue
@@ -303,7 +345,6 @@ func (l *Layer) NacksDue(now int64) []wire.RetransmitRequest {
 			ranges[i].Proc = p
 			l.stats.NacksSent++
 		}
-		out = append(out, ranges...)
 		s.nackAt = now + s.nackEvery
 		if s.nackEvery < l.cfg.NackMaxInterval {
 			s.nackEvery *= 2
@@ -311,6 +352,10 @@ func (l *Layer) NacksDue(now int64) []wire.RetransmitRequest {
 				s.nackEvery = l.cfg.NackMaxInterval
 			}
 		}
+	}
+	l.nackScratch = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
@@ -338,12 +383,15 @@ func (l *Layer) Answer(req *wire.RetransmitRequest, mayAnswerForSource func(ids.
 	}
 	var out [][]byte
 	for q := req.StartSeq; q <= req.StopSeq; q++ {
-		if h, ok := s.retained[q]; ok {
-			out = append(out, h.Raw)
-			l.stats.Retransmissions++
-		} else if h, ok := s.pending[q]; ok {
-			out = append(out, h.Raw)
-			l.stats.Retransmissions++
+		h, ok := s.retained[q]
+		if !ok {
+			h, ok = s.pending[q]
+		}
+		if ok {
+			if raw := h.encoding(); raw != nil {
+				out = append(out, raw)
+				l.stats.Retransmissions++
+			}
 		}
 		if q == req.StopSeq { // guard uint32 wrap on StopSeq == MaxUint32
 			break
@@ -369,12 +417,24 @@ func MarkRetransmission(raw []byte) []byte {
 // no RetransmitRequest for them can arrive (paper sections 3.2 and 6).
 func (l *Layer) DiscardStable(stable ids.Timestamp) {
 	for _, s := range l.sources {
+		// retMinTS lower-bounds every retained timestamp, so a source
+		// whose oldest message is still unstable is skipped without
+		// scanning its buffer — the common case on a healthy group, where
+		// this turns the per-pump full scan into a handful of compares.
+		if !s.retMinValid || s.retMinTS > stable {
+			continue
+		}
+		newMin := ids.Timestamp(0)
+		newMinValid := false
 		for q, h := range s.retained {
 			if h.TS <= stable {
 				delete(s.retained, q)
 				l.stats.DiscardedStable++
+			} else if !newMinValid || h.TS < newMin {
+				newMin, newMinValid = h.TS, true
 			}
 		}
+		s.retMinTS, s.retMinValid = newMin, newMinValid
 	}
 }
 

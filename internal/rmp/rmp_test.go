@@ -218,6 +218,36 @@ func TestAnswerOwnMessages(t *testing.T) {
 	}
 }
 
+func TestAnswerLazilyEncodesPackedSends(t *testing.T) {
+	// Messages sent inside a Packed container are noted with Raw == nil;
+	// Answer must synthesize (and memoize) the standalone encoding so a
+	// repair delivers a normal Regular that any 1.0 receiver can decode.
+	l := newLayer()
+	m, _ := mk(t, self, 3, "packed-entry")
+	l.NoteSent(3, m.Header.MsgTS, nil, m)
+	req := &wire.RetransmitRequest{Proc: self, StartSeq: 3, StopSeq: 3}
+	out := l.Answer(req, nil)
+	if len(out) != 1 {
+		t.Fatalf("lazy Answer = %d msgs, want 1", len(out))
+	}
+	dec, err := wire.Decode(out[0])
+	if err != nil {
+		t.Fatalf("lazy encoding undecodable: %v", err)
+	}
+	reg, ok := dec.Body.(*wire.Regular)
+	if !ok || string(reg.Payload) != "packed-entry" {
+		t.Fatalf("lazy encoding = %T %v", dec.Body, dec.Body)
+	}
+	if dec.Header.Seq != 3 || dec.Header.MsgTS != m.Header.MsgTS {
+		t.Fatalf("lazy encoding header = %+v", dec.Header)
+	}
+	// Second answer reuses the memoized bytes.
+	out2 := l.Answer(req, nil)
+	if len(out2) != 1 || &out2[0][0] != &out[0][0] {
+		t.Error("second Answer re-encoded instead of reusing the memoized raw")
+	}
+}
+
 func TestAnswerFromPendingBuffer(t *testing.T) {
 	l := newLayer()
 	// seq 2 held in pending (gap at 1); a peer that got 2 but lost

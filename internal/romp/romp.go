@@ -77,7 +77,10 @@ type Order struct {
 	// lastDelivered is the timestamp of the most recently delivered
 	// entry; delivery never goes backwards.
 	lastDelivered ids.Timestamp
-	stats         Stats
+	// deliverScratch backs the slice Deliverable and FlushThrough return;
+	// its contents are valid only until the next drain call.
+	deliverScratch []Entry
+	stats          Stats
 }
 
 // New creates the ordering state for one group. The membership is empty
@@ -211,14 +214,27 @@ func (o *Order) Horizon() ids.Timestamp {
 // <= AckTS from all members of the group.
 func (o *Order) AckTS() ids.Timestamp { return o.Horizon() }
 
-// Deliverable removes and returns, in timestamp order, every pending
-// entry at or below the horizon. The caller delivers them to PGMP and
-// the application.
-func (o *Order) Deliverable() []Entry {
-	horizon := o.Horizon()
-	var out []Entry
-	for len(o.pending) > 0 && o.pending[0].TS <= horizon {
-		e := heap.Pop(&o.pending).(Entry)
+// popPending removes and returns the minimum-timestamp pending entry
+// without the interface boxing of heap.Pop (an Entry is larger than a
+// word, so heap.Pop would heap-allocate every delivery).
+func (o *Order) popPending() Entry {
+	n := len(o.pending) - 1
+	o.pending.Swap(0, n)
+	e := o.pending[n]
+	o.pending[n] = Entry{} // release the Msg reference
+	o.pending = o.pending[:n]
+	if n > 0 {
+		heap.Fix(&o.pending, 0)
+	}
+	return e
+}
+
+// drainThrough removes and returns, in timestamp order, every pending
+// entry with timestamp <= limit, reusing the layer's scratch slice.
+func (o *Order) drainThrough(limit ids.Timestamp) []Entry {
+	out := o.deliverScratch[:0]
+	for len(o.pending) > 0 && o.pending[0].TS <= limit {
+		e := o.popPending()
 		if e.TS <= o.lastDelivered {
 			continue // duplicate admitted before lastDelivered advanced
 		}
@@ -226,26 +242,29 @@ func (o *Order) Deliverable() []Entry {
 		o.stats.Delivered++
 		out = append(out, e)
 	}
+	o.deliverScratch = out
+	if len(out) == 0 {
+		return nil
+	}
 	return out
+}
+
+// Deliverable removes and returns, in timestamp order, every pending
+// entry at or below the horizon. The caller delivers them to PGMP and
+// the application. The returned slice is reused: its contents are valid
+// only until the next Deliverable or FlushThrough call on this layer.
+func (o *Order) Deliverable() []Entry {
+	return o.drainThrough(o.Horizon())
 }
 
 // FlushThrough removes and returns, in timestamp order, every pending
 // entry with timestamp <= limit regardless of the horizon. PGMP uses it
 // when installing a new membership after a fault: the survivors have
 // equalized their message sets, so everything recovered from the old
-// view is delivered before the new view begins.
+// view is delivered before the new view begins. The returned slice is
+// valid only until the next Deliverable or FlushThrough call.
 func (o *Order) FlushThrough(limit ids.Timestamp) []Entry {
-	var out []Entry
-	for len(o.pending) > 0 && o.pending[0].TS <= limit {
-		e := heap.Pop(&o.pending).(Entry)
-		if e.TS <= o.lastDelivered {
-			continue
-		}
-		o.lastDelivered = e.TS
-		o.stats.Delivered++
-		out = append(out, e)
-	}
-	return out
+	return o.drainThrough(limit)
 }
 
 // MaxPendingTS returns the largest timestamp currently pending, or nil

@@ -83,6 +83,13 @@ type Config struct {
 	// occupying the link for size/Bandwidth. Zero disables the model
 	// (infinite bandwidth).
 	Bandwidth float64
+	// PerPacketOverhead is a fixed link occupancy charged per datagram on
+	// top of its size/Bandwidth serialization time — the interrupt,
+	// syscall and framing cost that makes many small datagrams slower
+	// than one large one, and thus what message packing amortizes. Zero
+	// (the default, and what every pre-existing experiment uses) leaves
+	// the bandwidth model exactly as before.
+	PerPacketOverhead Time
 }
 
 // NewConfig returns LAN-like defaults: 200 microseconds one-way latency
@@ -281,11 +288,14 @@ func (n *Net) Send(from NodeID, addr Addr, data []byte) {
 	// Link serialization: this packet departs when the sender's link is
 	// free and occupies it for size/bandwidth.
 	depart := n.now
-	if n.cfg.Bandwidth > 0 {
+	if n.cfg.Bandwidth > 0 || n.cfg.PerPacketOverhead > 0 {
 		if sender.txFree > depart {
 			depart = sender.txFree
 		}
-		depart += Time(float64(len(data)) / n.cfg.Bandwidth * float64(Second))
+		depart += n.cfg.PerPacketOverhead
+		if n.cfg.Bandwidth > 0 {
+			depart += Time(float64(len(data)) / n.cfg.Bandwidth * float64(Second))
+		}
 		sender.txFree = depart
 	}
 	// Copy once; deliveries share the immutable buffer.

@@ -47,6 +47,24 @@ func TestBasicMulticastDelivery(t *testing.T) {
 	}
 }
 
+func TestPerPacketOverheadSerializes(t *testing.T) {
+	// Each datagram occupies the sender's link for the fixed overhead, so
+	// back-to-back sends depart (and arrive) overhead apart.
+	n := New(1, Config{PerPacketOverhead: Millisecond})
+	r := &recorder{}
+	n.AddNode(1, r, 0)
+	n.Subscribe(1, 7)
+	n.Send(1, 7, []byte("a"))
+	n.Send(1, 7, []byte("b"))
+	n.Run(Second)
+	if len(r.times) != 2 {
+		t.Fatalf("got %d deliveries, want 2", len(r.times))
+	}
+	if got := r.times[1] - r.times[0]; got != int64(Millisecond) {
+		t.Errorf("inter-arrival = %d, want %d (per-packet overhead)", got, Millisecond)
+	}
+}
+
 func TestSenderBufferIsolation(t *testing.T) {
 	n := New(1, Config{})
 	r := &recorder{}

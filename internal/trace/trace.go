@@ -129,6 +129,17 @@ func (t *Table) AddRow(cells ...any) {
 	t.rows = append(t.rows, row)
 }
 
+// Title returns the table title.
+func (t *Table) Title() string { return t.title }
+
+// Headers returns the column headers (shared; do not modify).
+func (t *Table) Headers() []string { return t.headers }
+
+// Rows returns the formatted rows (shared; do not modify). Together with
+// Title and Headers it lets consumers re-render a table in another
+// format, e.g. the JSON document ftmpbench -json emits.
+func (t *Table) Rows() [][]string { return t.rows }
+
 // String renders the table.
 func (t *Table) String() string {
 	widths := make([]int, len(t.headers))

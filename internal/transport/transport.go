@@ -46,6 +46,11 @@ type UDPMulticast struct {
 	errHook func(error)
 	closed  bool
 	wg      sync.WaitGroup
+
+	// sendConns caches one connected send socket per destination so the
+	// datapath does not dial (socket + bind + connect) per datagram.
+	sendMu    sync.Mutex
+	sendConns map[wire.MulticastAddr]*net.UDPConn
 }
 
 // SetErrorHook registers fn to receive fatal receive-loop errors (a
@@ -69,8 +74,9 @@ func (t *UDPMulticast) fatal(err error) {
 // NewUDPMulticast creates a multicast transport delivering to handler.
 func NewUDPMulticast(handler Handler) *UDPMulticast {
 	return &UDPMulticast{
-		handler: handler,
-		conns:   make(map[wire.MulticastAddr]*net.UDPConn),
+		handler:   handler,
+		conns:     make(map[wire.MulticastAddr]*net.UDPConn),
+		sendConns: make(map[wire.MulticastAddr]*net.UDPConn),
 	}
 }
 
@@ -139,12 +145,19 @@ func (t *UDPMulticast) Send(addr wire.MulticastAddr, data []byte) error {
 		return ErrClosed
 	}
 	t.mu.Unlock()
-	conn, err := net.DialUDP("udp4", nil, toUDPAddr(addr))
-	if err != nil {
-		return err
+	t.sendMu.Lock()
+	conn, ok := t.sendConns[addr]
+	if !ok {
+		var err error
+		conn, err = net.DialUDP("udp4", nil, toUDPAddr(addr))
+		if err != nil {
+			t.sendMu.Unlock()
+			return err
+		}
+		t.sendConns[addr] = conn
 	}
-	defer conn.Close()
-	_, err = conn.Write(data)
+	t.sendMu.Unlock()
+	_, err := conn.Write(data)
 	return err
 }
 
@@ -158,6 +171,12 @@ func (t *UDPMulticast) Close() error {
 	}
 	t.conns = make(map[wire.MulticastAddr]*net.UDPConn)
 	t.mu.Unlock()
+	t.sendMu.Lock()
+	for _, c := range t.sendConns {
+		conns = append(conns, c)
+	}
+	t.sendConns = make(map[wire.MulticastAddr]*net.UDPConn)
+	t.sendMu.Unlock()
 	for _, c := range conns {
 		c.Close()
 	}
@@ -247,7 +266,10 @@ func (m *UDPMesh) AddPeer(addr string) error {
 			return nil
 		}
 	}
-	m.peers = append(m.peers, ua)
+	// Copy-on-write: Send holds the old slice outside the lock.
+	peers := make([]*net.UDPAddr, len(m.peers), len(m.peers)+1)
+	copy(peers, m.peers)
+	m.peers = append(peers, ua)
 	return nil
 }
 
@@ -301,6 +323,16 @@ func (m *UDPMesh) Leave(addr wire.MulticastAddr) error {
 	return nil
 }
 
+// framePool recycles mesh send frames. WriteToUDP copies the buffer
+// into the kernel synchronously, so a frame can be pooled as soon as the
+// send loop is done with it.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 2048)
+		return &b
+	},
+}
+
 // Send implements Transport.
 func (m *UDPMesh) Send(addr wire.MulticastAddr, data []byte) error {
 	m.mu.Lock()
@@ -308,21 +340,23 @@ func (m *UDPMesh) Send(addr wire.MulticastAddr, data []byte) error {
 		m.mu.Unlock()
 		return ErrClosed
 	}
-	peers := make([]*net.UDPAddr, len(m.peers))
-	copy(peers, m.peers)
+	// AddPeer replaces the slice rather than appending in place, so the
+	// reference is a stable snapshot once the lock is released.
+	peers := m.peers
 	m.mu.Unlock()
 
-	frame := make([]byte, meshFrameHeader+len(data))
-	copy(frame[0:4], addr.IP[:])
-	frame[4] = byte(addr.Port >> 8)
-	frame[5] = byte(addr.Port)
-	copy(frame[meshFrameHeader:], data)
+	bp := framePool.Get().(*[]byte)
+	frame := append((*bp)[:0], addr.IP[0], addr.IP[1], addr.IP[2], addr.IP[3],
+		byte(addr.Port>>8), byte(addr.Port))
+	frame = append(frame, data...)
 	var firstErr error
 	for _, p := range peers {
 		if _, err := m.conn.WriteToUDP(frame, p); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
+	*bp = frame
+	framePool.Put(bp)
 	return firstErr
 }
 

@@ -14,12 +14,16 @@ type writer struct {
 	bo  binary.AppendByteOrder
 }
 
-func newWriter(little bool, sizeHint int) *writer {
-	var bo binary.AppendByteOrder = binary.BigEndian
+// appendOrder returns the append-flavoured byte order for the flag.
+func appendOrder(little bool) binary.AppendByteOrder {
 	if little {
-		bo = binary.LittleEndian
+		return binary.LittleEndian
 	}
-	return &writer{buf: make([]byte, 0, sizeHint), bo: bo}
+	return binary.BigEndian
+}
+
+func newWriter(little bool, sizeHint int) *writer {
+	return &writer{buf: make([]byte, 0, sizeHint), bo: appendOrder(little)}
 }
 
 func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
@@ -69,11 +73,21 @@ type reader struct {
 }
 
 func newReader(little bool, buf []byte) *reader {
-	var bo binary.ByteOrder = binary.BigEndian
+	var r reader
+	r.reset(little, buf)
+	return &r
+}
+
+// reset re-arms r over buf, letting a long-lived Decoder reuse one
+// reader value across messages without allocating.
+func (r *reader) reset(little bool, buf []byte) {
+	r.bo = binary.ByteOrder(binary.BigEndian)
 	if little {
-		bo = binary.LittleEndian
+		r.bo = binary.LittleEndian
 	}
-	return &reader{buf: buf, bo: bo}
+	r.buf = buf
+	r.pos = 0
+	r.fail = nil
 }
 
 func (r *reader) err() error { return r.fail }
@@ -129,6 +143,9 @@ func (r *reader) u64() uint64 {
 	return r.bo.Uint64(b)
 }
 
+// bytes reads a length-prefixed byte string. The returned slice ALIASES
+// the input buffer (zero-copy): it is valid for as long as the buffer
+// is, and callers that outlive it must copy (see Message.Retain).
 func (r *reader) bytes() []byte {
 	n := r.u32()
 	if r.fail != nil {
@@ -138,9 +155,7 @@ func (r *reader) bytes() []byte {
 		r.setErr(ErrShort)
 		return nil
 	}
-	out := make([]byte, n)
-	copy(out, r.take(int(n)))
-	return out
+	return r.take(int(n))
 }
 
 func (r *reader) proc() ids.ProcessorID { return ids.ProcessorID(r.u32()) }
@@ -171,6 +186,35 @@ func (r *reader) membershipList() ids.Membership {
 		m = append(m, r.proc())
 	}
 	return m
+}
+
+// packedEntries decodes the entry list of a Packed body, appending into
+// scratch (pass scratch[:0] to reuse a Decoder's entry slice). Entry
+// payloads alias the input buffer.
+func (r *reader) packedEntries(scratch []PackedEntry) []PackedEntry {
+	n := r.u32()
+	if r.fail != nil {
+		return nil
+	}
+	if int(n)*packedEntryMinSize > r.remaining() {
+		r.setErr(ErrShort)
+		return nil
+	}
+	out := scratch
+	for i := uint32(0); i < n; i++ {
+		e := PackedEntry{
+			Seq:        r.seqnum(),
+			TS:         r.ts(),
+			Conn:       r.connID(),
+			RequestNum: ids.RequestNum(r.u64()),
+			Payload:    r.bytes(),
+		}
+		if r.fail != nil {
+			return nil
+		}
+		out = append(out, e)
+	}
+	return out
 }
 
 func (r *reader) seqVector() SeqVector {

@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"testing"
+
+	"ftmp/internal/ids"
+)
+
+// benchRegular builds an encoded Regular message with an n-byte payload.
+func benchRegular(tb testing.TB, n int) []byte {
+	tb.Helper()
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	buf, err := Encode(hdr(TypeRegular), &Regular{
+		Conn:       ids.ConnectionID{ClientDomain: 1, ClientGroup: 2, ServerDomain: 3, ServerGroup: 4},
+		RequestNum: 7,
+		Payload:    payload,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return buf
+}
+
+// benchPacked builds an encoded Packed container with count entries of
+// n-byte payloads each.
+func benchPacked(tb testing.TB, count, n int) []byte {
+	tb.Helper()
+	p := &Packed{}
+	for i := 0; i < count; i++ {
+		payload := make([]byte, n)
+		p.Entries = append(p.Entries, PackedEntry{
+			Seq:     ids.SeqNum(i + 1),
+			TS:      ids.MakeTimestamp(uint64(i+1), 7),
+			Payload: payload,
+		})
+	}
+	buf, err := Encode(hdr(TypePacked), p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return buf
+}
+
+// TestDecoderZeroAllocs pins the zero-copy contract: decoding a
+// payload-bearing Regular (or a warm Packed) through a Decoder performs
+// no heap allocation at all.
+func TestDecoderZeroAllocs(t *testing.T) {
+	var d Decoder
+
+	reg := benchRegular(t, 256)
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := d.Decode(reg); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("Regular decode allocates %.1f allocs/op, want 0", avg)
+	}
+
+	pk := benchPacked(t, 16, 64)
+	if _, err := d.Decode(pk); err != nil { // warm the entry scratch slice
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := d.Decode(pk); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("Packed decode allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestAppendEncodeZeroAllocs pins the send-side contract: encoding into a
+// caller-owned buffer with sufficient capacity performs no allocation.
+func TestAppendEncodeZeroAllocs(t *testing.T) {
+	h := hdr(TypeRegular)
+	body := &Regular{RequestNum: 3, Payload: make([]byte, 256)}
+	scratch := make([]byte, 0, HeaderSize+body.encodedSize())
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := AppendEncode(scratch[:0], h, body); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("AppendEncode allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+func BenchmarkDecoderRegular256(b *testing.B) {
+	buf := benchRegular(b, 256)
+	var d Decoder
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecoderPacked16x64(b *testing.B) {
+	buf := benchPacked(b, 16, 64)
+	var d Decoder
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendEncodeRegular256(b *testing.B) {
+	h := hdr(TypeRegular)
+	body := &Regular{RequestNum: 3, Payload: make([]byte, 256)}
+	scratch := make([]byte, 0, HeaderSize+body.encodedSize())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := AppendEncode(scratch[:0], h, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodePacked16x64(b *testing.B) {
+	p := &Packed{}
+	for i := 0; i < 16; i++ {
+		p.Entries = append(p.Entries, PackedEntry{Seq: ids.SeqNum(i + 1), Payload: make([]byte, 64)})
+	}
+	h := hdr(TypePacked)
+	scratch := make([]byte, 0, HeaderSize+p.encodedSize())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := AppendEncode(scratch[:0], h, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package wire
+
+import "fmt"
+
+// Decoder decodes FTMP messages without allocating on the hot path. The
+// body values for the datapath types (Regular, Heartbeat,
+// RetransmitRequest, Packed) are scratch fields reused across calls, and
+// byte-slice fields alias the input buffer, so:
+//
+//   - the Message returned by Decode is valid only until the next Decode
+//     call on the same Decoder;
+//   - a caller that retains the message (RMP does, for retransmission)
+//     must replace its body with CloneBody(m.Body) and keep the input
+//     buffer alive alongside.
+//
+// Bodies of the remaining (membership/connection) types are freshly
+// allocated per call, exactly like package-level Decode, since they are
+// rare and carry slices that would otherwise need deep cloning.
+//
+// The zero value is ready to use. A Decoder is not safe for concurrent
+// use; each protocol node owns one.
+type Decoder struct {
+	r          reader
+	regular    Regular
+	heartbeat  Heartbeat
+	retransmit RetransmitRequest
+	packed     Packed
+}
+
+// Decode parses a complete FTMP message from buf (datagram framing).
+// See the Decoder type comment for the lifetime of the result.
+func (d *Decoder) Decode(buf []byte) (Message, error) {
+	var m Message
+	h, err := DecodeHeader(buf)
+	if err != nil {
+		return m, err
+	}
+	if int(h.Size) != len(buf) {
+		return m, fmt.Errorf("%w: size %d, datagram %d", ErrBadSize, h.Size, len(buf))
+	}
+	d.r.reset(h.LittleEndian, buf[HeaderSize:])
+	body, err := decodeBody(h, &d.r, d)
+	if err != nil {
+		return m, err
+	}
+	m.Header = h
+	m.Body = body
+	return m, nil
+}

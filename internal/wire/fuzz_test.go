@@ -23,6 +23,10 @@ func FuzzDecode(f *testing.F) {
 		&RemoveProcessor{Member: 1},
 		&Suspect{Suspects: ids.NewMembership(2)},
 		&MembershipMsg{CurrentMembership: ids.NewMembership(1, 2), NewMembership: ids.NewMembership(1)},
+		&Packed{Entries: []PackedEntry{
+			{Seq: 1, TS: ids.MakeTimestamp(5, 3), Payload: []byte("p1")},
+			{Seq: 2, TS: ids.MakeTimestamp(6, 3), RequestNum: 4, Payload: []byte("p2")},
+		}},
 	}
 	for _, b := range bodies {
 		if enc, err := Encode(h, b); err == nil {
@@ -52,6 +56,15 @@ func FuzzDecode(f *testing.F) {
 		}
 		if !reflect.DeepEqual(m, m2) {
 			t.Fatalf("roundtrip mismatch:\n first %+v\nsecond %+v", m, m2)
+		}
+		// The zero-alloc Decoder must agree with package-level Decode.
+		var d Decoder
+		md, err := d.Decode(data)
+		if err != nil {
+			t.Fatalf("Decoder rejects input Decode accepted: %v", err)
+		}
+		if !reflect.DeepEqual(m, md) {
+			t.Fatalf("Decoder disagrees with Decode:\n pkg %+v\n dec %+v", m, md)
 		}
 	})
 }

@@ -17,10 +17,18 @@ import (
 // ("magic is set to FTMP", paper section 3.2).
 var Magic = [4]byte{'F', 'T', 'M', 'P'}
 
-// Protocol version ("FTMP version is set to 1.0").
+// Protocol version ("FTMP version is set to 1.0"). Minor version 1 adds
+// the Packed container type; messages of the original nine types are
+// still emitted as 1.0, so a non-packing peer sees wire-identical
+// traffic. Decoders accept any minor version up to VersionMinorMax.
 const (
 	VersionMajor = 1
 	VersionMinor = 0
+	// VersionMinorPacked is the minor version stamped on Packed frames,
+	// the only type introduced after 1.0.
+	VersionMinorPacked = 1
+	// VersionMinorMax is the highest minor version this decoder accepts.
+	VersionMinorMax = VersionMinorPacked
 )
 
 // HeaderSize is the encoded size of the FTMP header in bytes.
@@ -65,6 +73,12 @@ const (
 	// TypeMembership proposes a new membership excluding convicted
 	// processors. Reliable, source-ordered, not totally ordered.
 	TypeMembership
+	// TypePacked is a container carrying several small Regular messages
+	// in one datagram (FTMP 1.1). Each entry keeps its own sequence
+	// number and timestamp, so reliability and ordering are those of the
+	// Regular messages inside; the container itself is never
+	// retransmitted (lost entries are repaired individually).
+	TypePacked
 
 	numTypes
 )
@@ -90,6 +104,8 @@ func (t MsgType) String() string {
 		return "Suspect"
 	case TypeMembership:
 		return "Membership"
+	case TypePacked:
+		return "Packed"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -106,6 +122,9 @@ func (t MsgType) Reliable() bool {
 	switch t {
 	case TypeRegular, TypeConnect, TypeAddProcessor, TypeRemoveProcessor, TypeSuspect, TypeMembership:
 		return true
+	case TypePacked:
+		// The entries are Regular messages; each is delivered reliably.
+		return true
 	default:
 		return false
 	}
@@ -116,6 +135,9 @@ func (t MsgType) Reliable() bool {
 func (t MsgType) TotallyOrdered() bool {
 	switch t {
 	case TypeRegular, TypeConnect, TypeAddProcessor, TypeRemoveProcessor:
+		return true
+	case TypePacked:
+		// As the entries are: Regular messages are totally ordered.
 		return true
 	default:
 		return false
@@ -168,12 +190,22 @@ func (h *Header) order() binary.ByteOrder {
 	return binary.BigEndian
 }
 
+// versionMinor returns the minor protocol version a message of h's type
+// is emitted under: 1.1 for Packed, 1.0 for everything else, keeping
+// non-packed traffic byte-identical to a 1.0 sender.
+func (h *Header) versionMinor() byte {
+	if h.Type == TypePacked {
+		return VersionMinorPacked
+	}
+	return VersionMinor
+}
+
 // encode writes the header into buf, which must be at least HeaderSize
 // bytes. The Size field must already be set.
 func (h *Header) encode(buf []byte) {
 	copy(buf[0:4], Magic[:])
 	buf[4] = VersionMajor
-	buf[5] = VersionMinor
+	buf[5] = h.versionMinor()
 	var flags byte
 	if h.LittleEndian {
 		flags |= 0x01
@@ -201,7 +233,7 @@ func DecodeHeader(buf []byte) (Header, error) {
 	if [4]byte(buf[0:4]) != Magic {
 		return h, ErrBadMagic
 	}
-	if buf[4] != VersionMajor || buf[5] != VersionMinor {
+	if buf[4] != VersionMajor || buf[5] > VersionMinorMax {
 		return h, fmt.Errorf("%w: %d.%d", ErrBadVersion, buf[4], buf[5])
 	}
 	flags := buf[6]
@@ -210,6 +242,12 @@ func DecodeHeader(buf []byte) (Header, error) {
 	h.Type = MsgType(buf[7])
 	if !h.Type.Valid() {
 		return h, fmt.Errorf("%w: %d", ErrBadType, buf[7])
+	}
+	if h.Type == TypePacked && buf[5] < VersionMinorPacked {
+		// Packed did not exist before 1.1; a 1.0 frame claiming the type
+		// is corrupt.
+		return h, fmt.Errorf("%w: Packed requires 1.%d, got 1.%d",
+			ErrBadVersion, VersionMinorPacked, buf[5])
 	}
 	bo := h.order()
 	h.Size = bo.Uint32(buf[8:12])

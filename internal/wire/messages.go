@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"ftmp/internal/ids"
@@ -60,6 +61,9 @@ type Body interface {
 	Type() MsgType
 	// encodeBody appends the body encoding to w.
 	encodeBody(w *writer)
+	// encodedSize returns the exact encoded body length in bytes, so
+	// encoders can allocate once with no growth.
+	encodedSize() int
 }
 
 // Message is a complete decoded FTMP message.
@@ -88,6 +92,8 @@ func (m *Regular) encodeBody(w *writer) {
 	w.bytes(m.Payload)
 }
 
+func (m *Regular) encodedSize() int { return 16 + 8 + 4 + len(m.Payload) }
+
 // RetransmitRequest negatively acknowledges a block of missing messages
 // with consecutive sequence numbers from one processor (paper section 5).
 type RetransmitRequest struct {
@@ -108,6 +114,8 @@ func (m *RetransmitRequest) encodeBody(w *writer) {
 	w.seq(m.StopSeq)
 }
 
+func (m *RetransmitRequest) encodedSize() int { return 12 }
+
 // Heartbeat is the null message a processor multicasts when it has been
 // idle; its value is entirely in the header (sequence number, message
 // timestamp, ack timestamp), so the body is empty (paper section 5).
@@ -117,6 +125,8 @@ type Heartbeat struct{}
 func (*Heartbeat) Type() MsgType { return TypeHeartbeat }
 
 func (m *Heartbeat) encodeBody(*writer) {}
+
+func (m *Heartbeat) encodedSize() int { return 0 }
 
 // ConnectRequest asks the fault tolerance infrastructure of a server
 // object group to establish a connection (paper section 7). Addressed to
@@ -135,6 +145,8 @@ func (m *ConnectRequest) encodeBody(w *writer) {
 	w.connID(m.Conn)
 	w.membership(m.Procs)
 }
+
+func (m *ConnectRequest) encodedSize() int { return 16 + 4 + 4*len(m.Procs) }
 
 // Connect establishes a new logical connection, or changes the multicast
 // address or processor group of an existing one (paper section 7).
@@ -163,6 +175,10 @@ func (m *Connect) encodeBody(w *writer) {
 	w.membership(m.CurrentMembership)
 }
 
+func (m *Connect) encodedSize() int {
+	return 16 + 4 + 4 + 2 + 8 + 4 + 4*len(m.CurrentMembership)
+}
+
 // AddProcessor adds a non-faulty processor to a processor group
 // (paper section 7.1).
 type AddProcessor struct {
@@ -185,6 +201,10 @@ func (m *AddProcessor) encodeBody(w *writer) {
 	w.proc(m.NewMember)
 }
 
+func (m *AddProcessor) encodedSize() int {
+	return 8 + 4 + 4*len(m.CurrentMembership) + 4 + 8*len(m.CurrentSeqs) + 4
+}
+
 // RemoveProcessor removes a non-faulty processor from a processor group;
 // the removal takes effect when the message is ordered (paper section 7.1).
 type RemoveProcessor struct {
@@ -197,6 +217,8 @@ func (*RemoveProcessor) Type() MsgType { return TypeRemoveProcessor }
 func (m *RemoveProcessor) encodeBody(w *writer) {
 	w.proc(m.Member)
 }
+
+func (m *RemoveProcessor) encodedSize() int { return 4 }
 
 // Suspect reports the processors its sender suspects of being faulty
 // (paper section 7.2).
@@ -212,6 +234,8 @@ func (m *Suspect) encodeBody(w *writer) {
 	w.ts(m.MembershipTS)
 	w.membership(m.Suspects)
 }
+
+func (m *Suspect) encodedSize() int { return 8 + 4 + 4*len(m.Suspects) }
 
 // MembershipMsg proposes a new membership that excludes convicted
 // processors (paper section 7.2). Named MembershipMsg to avoid colliding
@@ -236,44 +260,205 @@ func (m *MembershipMsg) encodeBody(w *writer) {
 	w.membership(m.NewMembership)
 }
 
-// Encode serializes the message. The header's Type and Size fields are
-// set from the body; all other header fields are taken as given.
+func (m *MembershipMsg) encodedSize() int {
+	return 8 + 4 + 4*len(m.CurrentMembership) + 4 + 8*len(m.CurrentSeqs) +
+		4 + 4*len(m.NewMembership)
+}
+
+// PackedEntry is one Regular message riding inside a Packed container:
+// the per-message header fields that differ between entries (sequence
+// number and timestamp) plus the Regular body fields. Source, group,
+// byte order and ack timestamp are shared and live in the container's
+// header.
+type PackedEntry struct {
+	Seq        ids.SeqNum
+	TS         ids.Timestamp
+	Conn       ids.ConnectionID
+	RequestNum ids.RequestNum
+	Payload    []byte
+}
+
+// PackedEntryOverhead is the encoded size of a Packed entry with an
+// empty payload. Senders use it to budget pack flushes; the decoder
+// uses it to bound the entry count before allocating.
+const PackedEntryOverhead = 4 + 8 + 16 + 8 + 4
+
+const packedEntryMinSize = PackedEntryOverhead
+
+// Packed carries several small Regular messages in one datagram
+// (FTMP 1.1), amortizing the 40-byte header and the per-packet network
+// cost across a burst. Each entry keeps the sequence number and
+// timestamp RMP/ROMP assigned it, so loss, duplication and ordering are
+// handled per entry exactly as for standalone Regular messages; a lost
+// container is repaired by retransmitting its entries individually
+// (possibly re-packed differently). The container's header carries the
+// last entry's Seq and MsgTS plus the sender's current AckTS, making the
+// frame a heartbeat-equivalent for gap detection and ack piggybacking.
+type Packed struct {
+	Entries []PackedEntry
+}
+
+// Type implements Body.
+func (*Packed) Type() MsgType { return TypePacked }
+
+func (m *Packed) encodeBody(w *writer) {
+	w.u32(uint32(len(m.Entries)))
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		w.seq(e.Seq)
+		w.ts(e.TS)
+		w.connID(e.Conn)
+		w.u64(uint64(e.RequestNum))
+		w.bytes(e.Payload)
+	}
+}
+
+func (m *Packed) encodedSize() int {
+	n := 4
+	for i := range m.Entries {
+		n += packedEntryMinSize + len(m.Entries[i].Payload)
+	}
+	return n
+}
+
+// zeroHeader reserves header space in encode buffers.
+var zeroHeader [HeaderSize]byte
+
+// AppendEncode serializes the message, appending it to dst (which may be
+// nil, or a pooled/reused buffer whose capacity is recycled). The
+// header's Type and Size fields are set from the body; all other header
+// fields are taken as given. On error dst is returned unchanged.
+func AppendEncode(dst []byte, h Header, body Body) ([]byte, error) {
+	if body == nil {
+		return dst, fmt.Errorf("wire: nil body")
+	}
+	h.Type = body.Type()
+	size := HeaderSize + body.encodedSize()
+	if size > MaxMessageSize {
+		return dst, fmt.Errorf("%w: %d bytes", ErrOversize, size)
+	}
+	start := len(dst)
+	w := writer{buf: dst, bo: appendOrder(h.LittleEndian)}
+	w.buf = append(w.buf, zeroHeader[:]...)
+	// Hot-path bodies are dispatched on their concrete type so the writer
+	// stays on the stack; the interface call for the cold types lives in
+	// a separate function so its escape does not leak into this one.
+	switch b := body.(type) {
+	case *Regular:
+		b.encodeBody(&w)
+	case *Packed:
+		b.encodeBody(&w)
+	case *Heartbeat:
+		b.encodeBody(&w)
+	case *RetransmitRequest:
+		b.encodeBody(&w)
+	default:
+		w.buf = encodeColdBody(w.buf, w.bo, body)
+	}
+	h.Size = uint32(len(w.buf) - start)
+	h.encode(w.buf[start : start+HeaderSize])
+	return w.buf, nil
+}
+
+// encodeColdBody appends the encoding of a cold-path (membership or
+// connection family) body through the Body interface. Kept out of
+// AppendEncode so the writer escaping through the interface call does
+// not force the hot path's writer onto the heap.
+func encodeColdBody(buf []byte, bo binary.AppendByteOrder, body Body) []byte {
+	w := writer{buf: buf, bo: bo}
+	body.encodeBody(&w)
+	return w.buf
+}
+
+// Encode serializes the message into a freshly allocated, exact-size
+// buffer. The header's Type and Size fields are set from the body; all
+// other header fields are taken as given.
 func Encode(h Header, body Body) ([]byte, error) {
 	if body == nil {
 		return nil, fmt.Errorf("wire: nil body")
 	}
-	h.Type = body.Type()
-	w := newWriter(h.LittleEndian, HeaderSize+64)
-	w.buf = append(w.buf, make([]byte, HeaderSize)...)
-	body.encodeBody(w)
-	if len(w.buf) > MaxMessageSize {
-		return nil, fmt.Errorf("%w: %d bytes", ErrOversize, len(w.buf))
-	}
-	h.Size = uint32(len(w.buf))
-	h.encode(w.buf[:HeaderSize])
-	return w.buf, nil
+	return AppendEncode(make([]byte, 0, HeaderSize+body.encodedSize()), h, body)
 }
 
-// Decode parses a complete FTMP message from buf. buf must contain
-// exactly one message (datagram framing).
-func Decode(buf []byte) (Message, error) {
-	var m Message
-	h, err := DecodeHeader(buf)
+// EncodeMessage is Encode plus the finalized Message: the returned
+// header matches what a receiver would decode (Type and Size filled in)
+// and the body is the caller's, retained by reference. Senders that
+// must remember their own transmissions (RMP retention, ROMP
+// self-submission) use it to skip decoding their own bytes.
+func EncodeMessage(h Header, body Body) ([]byte, Message, error) {
+	raw, err := Encode(h, body)
 	if err != nil {
-		return m, err
+		return nil, Message{}, err
 	}
-	if int(h.Size) != len(buf) {
-		return m, fmt.Errorf("%w: size %d, datagram %d", ErrBadSize, h.Size, len(buf))
+	h.Type = body.Type()
+	h.Size = uint32(len(raw))
+	return raw, Message{Header: h, Body: body}, nil
+}
+
+// CloneBody returns a copy of b that stays valid after the Decoder that
+// produced b decodes its next message. Only the body value itself is
+// copied: byte-slice fields still alias the datagram they were decoded
+// from, so a caller retaining the clone must retain that buffer too
+// (RMP retains the raw datagram alongside, so the invariant holds).
+// Bodies of the cold types are freshly allocated per decode and are
+// returned unchanged.
+func CloneBody(b Body) Body {
+	switch v := b.(type) {
+	case *Regular:
+		c := *v
+		return &c
+	case *Heartbeat:
+		return &Heartbeat{}
+	case *RetransmitRequest:
+		c := *v
+		return &c
+	case *Packed:
+		c := Packed{Entries: append([]PackedEntry(nil), v.Entries...)}
+		return &c
+	default:
+		return b
 	}
-	r := newReader(h.LittleEndian, buf[HeaderSize:])
+}
+
+// decodeBody parses the body for h from r. When d is non-nil the
+// hot-path types decode into d's scratch values (zero allocations);
+// otherwise each body is freshly allocated.
+func decodeBody(h Header, r *reader, d *Decoder) (Body, error) {
 	var body Body
 	switch h.Type {
 	case TypeRegular:
-		body = &Regular{Conn: r.connID(), RequestNum: ids.RequestNum(r.u64()), Payload: r.bytes()}
+		var reg *Regular
+		if d != nil {
+			reg = &d.regular
+		} else {
+			reg = new(Regular)
+		}
+		*reg = Regular{Conn: r.connID(), RequestNum: ids.RequestNum(r.u64()), Payload: r.bytes()}
+		body = reg
 	case TypeRetransmitRequest:
-		body = &RetransmitRequest{Proc: r.proc(), StartSeq: r.seqnum(), StopSeq: r.seqnum()}
+		var rr *RetransmitRequest
+		if d != nil {
+			rr = &d.retransmit
+		} else {
+			rr = new(RetransmitRequest)
+		}
+		*rr = RetransmitRequest{Proc: r.proc(), StartSeq: r.seqnum(), StopSeq: r.seqnum()}
+		body = rr
 	case TypeHeartbeat:
-		body = &Heartbeat{}
+		if d != nil {
+			body = &d.heartbeat
+		} else {
+			body = &Heartbeat{}
+		}
+	case TypePacked:
+		var p *Packed
+		if d != nil {
+			p = &d.packed
+		} else {
+			p = new(Packed)
+		}
+		p.Entries = r.packedEntries(p.Entries[:0])
+		body = p
 	case TypeConnectRequest:
 		body = &ConnectRequest{Conn: r.connID(), Procs: r.membershipList()}
 	case TypeConnect:
@@ -302,11 +487,33 @@ func Decode(buf []byte) (Message, error) {
 			NewMembership:     r.membershipList(),
 		}
 	default:
-		return m, fmt.Errorf("%w: %v", ErrBadType, h.Type)
+		return nil, fmt.Errorf("%w: %v", ErrBadType, h.Type)
 	}
 	r.done()
 	if err := r.err(); err != nil {
-		return m, fmt.Errorf("wire: decoding %v body: %w", h.Type, err)
+		return nil, fmt.Errorf("wire: decoding %v body: %w", h.Type, err)
+	}
+	return body, nil
+}
+
+// Decode parses a complete FTMP message from buf. buf must contain
+// exactly one message (datagram framing). Byte-slice fields of the
+// result (Regular payloads, Packed entry payloads) alias buf; callers
+// that outlive buf must copy them. For an allocation-free hot path use
+// a Decoder.
+func Decode(buf []byte) (Message, error) {
+	var m Message
+	h, err := DecodeHeader(buf)
+	if err != nil {
+		return m, err
+	}
+	if int(h.Size) != len(buf) {
+		return m, fmt.Errorf("%w: size %d, datagram %d", ErrBadSize, h.Size, len(buf))
+	}
+	r := newReader(h.LittleEndian, buf[HeaderSize:])
+	body, err := decodeBody(h, r, nil)
+	if err != nil {
+		return m, err
 	}
 	m.Header = h
 	m.Body = body

@@ -49,6 +49,10 @@ func allBodies() []Body {
 			CurrentSeqs:       SeqVector{{1, 1}, {2, 2}, {3, 3}, {4, 4}},
 			NewMembership:     ids.NewMembership(1, 3, 4),
 		},
+		&Packed{Entries: []PackedEntry{
+			{Seq: 42, TS: ids.MakeTimestamp(99, 7), Conn: conn, RequestNum: 9, Payload: []byte("first")},
+			{Seq: 43, TS: ids.MakeTimestamp(100, 7), Conn: conn, RequestNum: 10, Payload: []byte("second")},
+		}},
 	}
 }
 
@@ -232,6 +236,7 @@ func TestMsgTypeTable(t *testing.T) {
 		{TypeRemoveProcessor, true, true},
 		{TypeSuspect, true, false},
 		{TypeMembership, true, false},
+		{TypePacked, true, true},
 	}
 	for _, c := range cases {
 		if c.t.Reliable() != c.reliable {
@@ -354,6 +359,133 @@ func TestMutatedRoundTripProperty(t *testing.T) {
 			mut[i] ^= x
 			_, _ = Decode(mut)
 		}
+	}
+}
+
+func TestVersionByte(t *testing.T) {
+	// Packed frames carry minor version 1; every other type must still be
+	// emitted as 1.0 so that non-packed traffic is byte-identical to a 1.0
+	// sender.
+	for _, body := range allBodies() {
+		buf, err := Encode(hdr(body.Type()), body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := byte(VersionMinor)
+		if body.Type() == TypePacked {
+			want = VersionMinorPacked
+		}
+		if buf[5] != want {
+			t.Errorf("%v: minor version byte = %d, want %d", body.Type(), buf[5], want)
+		}
+	}
+}
+
+func TestPackedRejectedAsVersion10(t *testing.T) {
+	packed := &Packed{Entries: []PackedEntry{{Seq: 1, TS: 5, Payload: []byte("x")}}}
+	buf, err := Encode(hdr(TypePacked), packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[5] = VersionMinor // forge a 1.0 frame claiming the Packed type
+	if _, err := Decode(buf); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestDecoderReuseAndClone(t *testing.T) {
+	// A Decoder's scratch bodies are reused across calls: the message from
+	// one Decode is invalidated by the next unless the caller clones.
+	var d Decoder
+	h := hdr(TypeRegular)
+	buf1, err := Encode(h, &Regular{RequestNum: 1, Payload: []byte("one")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf2, err := Encode(h, &Regular{RequestNum: 2, Payload: []byte("two!")})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m1, err := d.Decode(buf1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := m1
+	kept.Body = CloneBody(m1.Body)
+
+	m2, err := d.Decode(buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Body != m2.Body {
+		t.Error("Decoder did not reuse the Regular scratch body")
+	}
+	r1, r2 := kept.Body.(*Regular), m2.Body.(*Regular)
+	if r1.RequestNum != 1 || string(r1.Payload) != "one" {
+		t.Errorf("cloned body clobbered by later decode: %+v", r1)
+	}
+	if r2.RequestNum != 2 || string(r2.Payload) != "two!" {
+		t.Errorf("second decode wrong: %+v", r2)
+	}
+
+	// Payloads alias the input buffer — the documented zero-copy contract.
+	if &r2.Payload[0] != &buf2[len(buf2)-4] {
+		t.Error("decoded payload does not alias the input buffer")
+	}
+}
+
+func TestDecoderPackedReuse(t *testing.T) {
+	var d Decoder
+	mk := func(payloads ...string) []byte {
+		p := &Packed{}
+		for i, s := range payloads {
+			p.Entries = append(p.Entries, PackedEntry{Seq: ids.SeqNum(i + 1), TS: ids.Timestamp(i + 1), Payload: []byte(s)})
+		}
+		buf, err := Encode(hdr(TypePacked), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	buf1 := mk("aa", "bb", "cc")
+	buf2 := mk("dd")
+
+	m1, err := d.Decode(buf1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := m1.Body.(*Packed)
+	if len(p1.Entries) != 3 || string(p1.Entries[2].Payload) != "cc" {
+		t.Fatalf("first packed decode: %+v", p1)
+	}
+	first := &p1.Entries[0]
+
+	m2, err := d.Decode(buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := m2.Body.(*Packed)
+	if len(p2.Entries) != 1 || string(p2.Entries[0].Payload) != "dd" {
+		t.Fatalf("second packed decode: %+v", p2)
+	}
+	if &p2.Entries[0] != first {
+		t.Error("Decoder did not reuse the packed entry scratch slice")
+	}
+}
+
+func TestCloneBodyIndependence(t *testing.T) {
+	p := &Packed{Entries: []PackedEntry{{Seq: 1, Payload: []byte("x")}}}
+	c := CloneBody(p).(*Packed)
+	p.Entries[0].Seq = 99
+	if c.Entries[0].Seq != 1 {
+		t.Error("CloneBody(Packed) shares the entries slice")
+	}
+	r := &Regular{RequestNum: 5, Payload: []byte("y")}
+	cr := CloneBody(r).(*Regular)
+	r.RequestNum = 6
+	if cr.RequestNum != 5 {
+		t.Error("CloneBody(Regular) not a copy")
 	}
 }
 
