@@ -1,6 +1,6 @@
 // Command ftmpbench regenerates every table and figure recorded in
 // EXPERIMENTS.md: the paper's structural figures (2 and 3), the
-// performance characterization experiments E1-E12 (see DESIGN.md for the
+// performance characterization experiments E1-E13 (see DESIGN.md for the
 // experiment index) and the wire-codec microbenchmarks.
 //
 // Usage:
@@ -49,7 +49,7 @@ type jsonDoc struct {
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiments: fig2,fig3,e1..e12,a1,a2,a3,bench or all")
+		expFlag   = flag.String("exp", "all", "comma-separated experiments: fig2,fig3,e1..e13,a1,a2,a3,bench or all")
 		quick     = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 		seed      = flag.Int64("seed", 0, "offset added to every experiment seed (0 reproduces EXPERIMENTS.md)")
 		jsonFlag  = flag.Bool("json", false, "emit one JSON document instead of text tables")
@@ -87,6 +87,7 @@ func main() {
 	e12Sizes := []int{64, 128, 256}
 	e12Msgs := 4000
 	e12IdleMaxes := []simnet.Time{0, 25, 100}
+	e13Runs, e13Ops := 3, 10
 	if *quick {
 		msgs = 10
 		e1Sizes = []int{2, 4}
@@ -106,6 +107,7 @@ func main() {
 		e12Sizes = []int{64, 256}
 		e12Msgs = 1000
 		e12IdleMaxes = []simnet.Time{0, 25}
+		e13Runs, e13Ops = 1, 5
 	}
 	for i := range e10Gaps {
 		e10Gaps[i] *= simnet.Millisecond
@@ -162,6 +164,13 @@ func main() {
 				harness.E12Suppression(e12IdleMaxes),
 			}
 		}},
+		{"e13", func() []*trace.Table {
+			// Like E10, E13 exercises robustness machinery and reports the
+			// event counters the wedge/heal pipeline left behind.
+			trace.ResetCounters()
+			tb := harness.E13Partition(e13Runs, e13Ops)
+			return []*trace.Table{tb, trace.CountersTable("e13 partition counters")}
+		}},
 		{"a1", one(func() *trace.Table { return harness.A1RepairPolicy(0.10) })},
 		{"a2", one(harness.A2ClockMode)},
 		{"a3", one(harness.A3FlowControl)},
@@ -192,7 +201,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig2 fig3 e1..e12 a1 a2 a3 bench all\n", *expFlag)
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig2 fig3 e1..e13 a1 a2 a3 bench all\n", *expFlag)
 		os.Exit(2)
 	}
 	if *jsonFlag {

@@ -64,6 +64,8 @@ func main() {
 		walDir    = flag.String("wal-dir", "", "directory for the write-ahead log (empty: no durability)")
 		fsyncPol  = flag.String("fsync", "always", "WAL fsync policy: always, interval or never")
 		packFlag  = flag.Bool("pack", false, "pack small messages into FTMP 1.1 Packed containers")
+		quorum    = flag.Bool("quorum", false,
+			"primary-partition membership: only install views containing a quorum of the previous view; a minority component wedges instead of splitting the brain")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -85,6 +87,7 @@ func main() {
 	if *packFlag {
 		cfg.Pack = core.DefaultPackConfig()
 	}
+	cfg.PGMP.PrimaryPartition = *quorum
 	switch *policy {
 	case "fixed":
 		// DefaultConfig's zero value.
@@ -210,6 +213,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ftmpd: resuming group %v at recovered view %v %v\n",
 			group, ep.ViewTS, ep.Members)
 	}
+	if wr, ok := replay.Wedged[group]; ok {
+		fmt.Fprintf(os.Stderr,
+			"ftmpd: wal: group %v was WEDGED at crash (epoch %d, view %v %v): log tail predates a rejoin; this replica is not authoritative\n",
+			group, wr.Epoch, wr.ViewTS, wr.Members)
+	}
 	fmt.Fprintf(os.Stderr, "ftmpd: processor %v in group %v %v; type lines to multicast\n",
 		self, group, membership)
 
@@ -245,8 +253,8 @@ func main() {
 				}
 				s := node.Stats()
 				fmt.Fprintf(os.Stderr,
-					"ftmpd: members=%v horizon=%v stable=%v buffered=%d+%d queue=%d sent=%d hb=%d nacks=%d retrans=%d\n",
-					st.Members, st.Horizon, st.Stable, st.RMPHeld, st.ROMPPending, st.SendQueue,
+					"ftmpd: members=%v epoch=%d wedged=%v horizon=%v stable=%v buffered=%d+%d queue=%d sent=%d hb=%d nacks=%d retrans=%d\n",
+					st.Members, st.Epoch, st.Wedged, st.Horizon, st.Stable, st.RMPHeld, st.ROMPPending, st.SendQueue,
 					s.MessagesSent, s.HeartbeatsSent, s.RMP.NacksSent, s.RMP.Retransmissions)
 			})
 		case line == "/leave":

@@ -84,8 +84,11 @@ func inspect(w io.Writer, data []byte) error {
 	}
 	h := m.Header
 	minor := wire.VersionMinor
-	if h.Type == wire.TypePacked {
+	switch h.Type {
+	case wire.TypePacked:
 		minor = wire.VersionMinorPacked
+	case wire.TypeMembership:
+		minor = wire.VersionMinorLineage
 	}
 	fmt.Fprintf(w, "FTMP header (%d bytes)\n", wire.HeaderSize)
 	fmt.Fprintf(w, "  magic            FTMP, version %d.%d\n", wire.VersionMajor, minor)
@@ -142,6 +145,7 @@ func inspect(w io.Writer, data []byte) error {
 	case *wire.MembershipMsg:
 		fmt.Fprintf(w, "Membership body: current=%v@%v proposed=%v seqs=%v\n",
 			b.CurrentMembership, b.MembershipTS, b.NewMembership, b.CurrentSeqs)
+		fmt.Fprintf(w, "  view lineage     epoch=%d predecessor=%v\n", b.Epoch, b.PredecessorTS)
 	}
 	return nil
 }
@@ -301,6 +305,10 @@ func printRecord(w io.Writer, off int64, n int, rec wal.Record) {
 		e := rec.Epoch
 		fmt.Fprintf(w, "  %6d  record %d: epoch group=%v viewTS=%v members=%v\n",
 			off, n, e.Group, e.ViewTS, e.Members)
+	case wal.RecWedge:
+		wr := rec.Wedge
+		fmt.Fprintf(w, "  %6d  record %d: wedge group=%v epoch=%d viewTS=%v members=%v\n",
+			off, n, wr.Group, wr.Epoch, wr.ViewTS, wr.Members)
 	case wal.RecSnapshot:
 		s := rec.Snap
 		fmt.Fprintf(w, "  %6d  record %d: snapshot conn=%v markerTS=%v upTo=%d state=%dB\n",

@@ -59,6 +59,15 @@ func (n *Node) HandlePacket(data []byte, addr wire.MulticastAddr, now int64) {
 
 	gs.mem.Heard(h.Source, now)
 
+	// Partition heal: a wedged minority hearing one of the processors it
+	// convicted means the primary component is reachable again — tear
+	// down and rejoin it rather than process anything further here.
+	if gs.mem.Wedged() && gs.mem.Convicted().Contains(h.Source) {
+		if n.healFromWedge(now, gs) {
+			return
+		}
+	}
+
 	switch body := msg.Body.(type) {
 	case *wire.Heartbeat:
 		n.onHeartbeat(now, gs, h)
@@ -181,7 +190,7 @@ func (n *Node) drainFlowControl(gs *groupState, now int64, stable ids.Timestamp)
 		gs.unstable = append(gs.unstable[:0], gs.unstable[i:]...)
 	}
 	for len(gs.sendQueue) > 0 && len(gs.unstable) < n.cfg.MaxUnstable &&
-		gs.joined && !gs.leaving && gs.gateTS == ids.NilTimestamp {
+		gs.joined && !gs.leaving && !gs.mem.Wedged() && gs.gateTS == ids.NilTimestamp {
 		q := gs.sendQueue[0]
 		gs.sendQueue = gs.sendQueue[1:]
 		body := &wire.Regular{Conn: q.conn, RequestNum: q.reqNum, Payload: q.payload}
@@ -326,6 +335,14 @@ func (n *Node) checkRecovery(gs *groupState, now int64) {
 	}
 	newM, _ := gs.mem.RoundResult()
 	prev := gs.mem.Members().Clone()
+	if n.cfg.PGMP.PrimaryPartition && !gs.mem.HasQuorum(newM) {
+		// Minority component: the surviving members do not carry a
+		// quorum of the current view, so this round's view must not be
+		// installed anywhere — the majority (or the tiebreak winner)
+		// installs its own and stays primary. Wedge instead.
+		n.wedgeGroup(gs, now)
+		return
+	}
 	viewTS := n.clk.Next(now)
 	gs.mem.Install(newM, viewTS, now)
 	for _, p := range prev {
@@ -358,6 +375,60 @@ func (n *Node) checkRecovery(gs *groupState, now int64) {
 	if expelled && !gs.leaving && !gs.leaveWanted {
 		n.restartRejoins(now, gs, viewTS)
 	}
+}
+
+// wedgeGroup puts gs into the wedged state: no new view is installed,
+// ROMP delivery freezes at the current cut, fault detection and
+// recovery rounds stop (pgmp.Wedge), application sends are refused
+// (Multicast returns ErrWedged) and the flow-control backlog is
+// truncated to Config.WedgedQueueMax so a long partition cannot grow
+// memory without bound. The node keeps heartbeating — harmless, and it
+// lets the primary side see the minority as merely expelled — while
+// heal detection (healFromWedge) waits to hear a convicted processor
+// again.
+func (n *Node) wedgeGroup(gs *groupState, now int64) {
+	if gs.mem.Wedged() {
+		return
+	}
+	gs.mem.Wedge()
+	gs.order.Freeze()
+	max := n.cfg.WedgedQueueMax
+	if max == 0 {
+		max = 64
+	} else if max < 0 {
+		max = 0
+	}
+	if drop := len(gs.sendQueue) - max; drop > 0 {
+		gs.sendQueue = append(gs.sendQueue[:0], gs.sendQueue[drop:]...)
+		trace.Count("core.wedged_queue_drops", uint64(drop))
+	}
+	trace.Inc("core.wedges")
+	n.emitView(gs, ViewWedge, gs.mem.Members().Clone(), nil, gs.mem.ViewTS())
+}
+
+// healFromWedge ends a wedge once traffic from the primary side is
+// heard again: the minority member discards its group state — and with
+// it every uncommitted speculative message past the last shared cut —
+// and re-enters through the standard rejoin pipeline (ConnectRequest
+// probing, sponsored AddProcessor, replication-layer state transfer),
+// which restores it to the primary's exact state. Groups carrying no
+// connections have no probe to rejoin on and stay wedged; re-entry
+// there is the application's decision. Returns whether the teardown
+// happened (the caller must then stop touching gs).
+func (n *Node) healFromWedge(now int64, gs *groupState) bool {
+	if len(n.ConnectionsOn(gs.id)) == 0 {
+		return false
+	}
+	trace.Inc("core.wedge_heals")
+	// Announce the heal BEFORE the teardown so the replication layer can
+	// put its served replicas back into joining (discarding speculative
+	// state) while the group's connections are still enumerable.
+	n.emitView(gs, ViewHeal, gs.mem.Members().Clone(), nil, gs.mem.ViewTS())
+	gs.joined = false
+	gs.left = true
+	n.unsubscribe(gs.addr)
+	n.restartRejoins(now, gs, gs.mem.ViewTS())
+	return true
 }
 
 // restartRejoins re-arms the automated rejoin pipeline after a

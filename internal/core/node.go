@@ -73,6 +73,15 @@ type Config struct {
 	// the implementation). Zero disables the bound.
 	MaxUnstable int
 
+	// WedgedQueueMax bounds the flow-control sendQueue retained while a
+	// group is wedged (PGMP PrimaryPartition): at the moment of wedging
+	// the backlog is truncated to its newest WedgedQueueMax entries
+	// (oldest dropped, counted by core.wedged_queue_drops), so an
+	// arbitrarily long partition cannot grow a minority node's memory
+	// without bound. Zero selects the default of 64; negative drops the
+	// whole backlog.
+	WedgedQueueMax int
+
 	// PromiscuousRepair makes every holder of a requested message answer
 	// RetransmitRequests, instead of the default policy (the source
 	// answers; others only when the source is suspected, convicted or
@@ -145,6 +154,17 @@ const (
 	ViewRemove
 	// ViewFault is a fault-driven change (Suspect/Membership protocol).
 	ViewFault
+	// ViewWedge reports that a fault-recovery round completed WITHOUT
+	// installing: the surviving component lacked a quorum of the previous
+	// view (PGMP PrimaryPartition) and the node wedged. Members and
+	// ViewTS are those of the still-current view; nothing was installed.
+	ViewWedge
+	// ViewHeal reports that a wedged minority member heard the primary
+	// component again and is tearing its group state down to rejoin; the
+	// replication layer must discard speculative state and re-enter
+	// joining so the post-heal state transfer applies. Members and ViewTS
+	// are those of the wedged (pre-heal) view; nothing was installed.
+	ViewHeal
 )
 
 // String implements fmt.Stringer.
@@ -160,12 +180,17 @@ func (r ViewReason) String() string {
 		return "remove"
 	case ViewFault:
 		return "fault"
+	case ViewWedge:
+		return "wedge"
+	case ViewHeal:
+		return "heal"
 	default:
 		return fmt.Sprintf("ViewReason(%d)", uint8(r))
 	}
 }
 
-// ViewChange reports an installed membership.
+// ViewChange reports an installed membership (or, for ViewWedge, a
+// refused one: Members and ViewTS remain those of the current view).
 type ViewChange struct {
 	Group   ids.GroupID
 	ViewTS  ids.Timestamp
@@ -173,6 +198,9 @@ type ViewChange struct {
 	Joined  ids.Membership
 	Left    ids.Membership
 	Reason  ViewReason
+	// Epoch is the installed-view count after this change: the view
+	// lineage (unchanged by a ViewWedge, which installs nothing).
+	Epoch uint64
 }
 
 // Callbacks are the node's outputs. Transmit and Deliver are required;
@@ -343,6 +371,13 @@ var (
 	ErrNotMember    = errors.New("core: not a member of the group")
 	ErrUnknownGroup = errors.New("core: unknown group")
 	ErrLeft         = errors.New("core: processor was removed from the group")
+	// ErrWedged is returned by Multicast while the group is wedged as a
+	// minority-partition survivor: the send is refused rather than
+	// queued, because healing tears the group state down for a rejoin
+	// and queued sends would vanish silently. Callers should retry
+	// against the primary component (the gateway maps this to a
+	// retryable "not primary" exception).
+	ErrWedged = errors.New("core: group is wedged (minority partition, not primary)")
 )
 
 // NewNode builds a node. Transmit and Deliver callbacks are required.
@@ -443,6 +478,10 @@ type GroupStatus struct {
 	Leaving    bool
 	Left       bool
 	Recovering bool
+	// Epoch is the installed-view count (the view lineage); Wedged
+	// reports minority-partition wedging (PGMP PrimaryPartition).
+	Epoch  uint64
+	Wedged bool
 	// Horizon is the delivery horizon; Stable the stability horizon.
 	Horizon ids.Timestamp
 	Stable  ids.Timestamp
@@ -468,6 +507,8 @@ func (n *Node) Status(g ids.GroupID) (GroupStatus, bool) {
 		Leaving:     gs.leaving,
 		Left:        gs.left,
 		Recovering:  gs.mem.InRecovery(),
+		Epoch:       gs.mem.Epoch(),
+		Wedged:      gs.mem.Wedged(),
 		Horizon:     gs.order.Horizon(),
 		Stable:      gs.order.StableTS(),
 		RMPHeld:     gs.rmp.Buffered(),
@@ -613,6 +654,7 @@ func (n *Node) emitView(gs *groupState, reason ViewReason, prev ids.Membership, 
 		Joined:  joined,
 		Left:    left,
 		Reason:  reason,
+		Epoch:   gs.mem.Epoch(),
 	})
 }
 
@@ -681,6 +723,13 @@ func (n *Node) Multicast(now int64, g ids.GroupID, conn ids.ConnectionID, reqNum
 	}
 	if !gs.joined {
 		return ErrNotMember
+	}
+	if gs.mem.Wedged() {
+		// A wedged minority must not commit (or promise to commit)
+		// anything: healing replaces this group state wholesale via the
+		// rejoin path, so a queued send would be silently lost.
+		trace.Inc("core.wedged_sends_refused")
+		return ErrWedged
 	}
 	if gs.gateTS != ids.NilTimestamp {
 		gs.gateQueue = append(gs.gateQueue, queuedSend{conn: conn, reqNum: reqNum, payload: payload})

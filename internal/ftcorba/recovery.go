@@ -34,6 +34,30 @@ import (
 func (f *Infra) OnViewChange(v core.ViewChange, now int64) {
 	// Every installed view is a durable membership epoch: cold start
 	// recreates the group at the last logged one (core.CreateGroupAt).
+	// A wedge is NOT an installed view — runtime.WrapDurable logs the
+	// wedge point instead, and logging an epoch here would clear it.
+	if v.Reason == core.ViewWedge {
+		return
+	}
+	if v.Reason == core.ViewHeal {
+		// The wedged minority member is tearing down to rejoin the
+		// primary component: put its served replicas back into joining so
+		// the post-heal state transfer (or delta reconciliation, for
+		// durable replicas) overwrites whatever the minority held, and
+		// drop stale transfer/reconciliation progress. Duplicate filters
+		// are kept — requests spanning the partition must still be
+		// suppressed exactly once.
+		for _, conn := range f.node.ConnectionsOn(v.Group) {
+			if sg, ok := f.servedGroups[conn.ServerGroup]; ok {
+				sg.joining = true
+				sg.markerTS = 0
+				sg.buffered = nil
+				delete(sg.recon, conn)
+				trace.Inc("ftcorba.wedge_rejoins")
+			}
+		}
+		return
+	}
 	f.walEpoch(v.Group, v.ViewTS, v.Members)
 	// Departures shrink the set of announcements reconciliation waits
 	// for: re-evaluate, so a peer that never returns (disk gone, never

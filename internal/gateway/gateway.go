@@ -248,8 +248,10 @@ func (g *Gateway) forward(msg giop.Message, write func([]byte) error) {
 	}
 	// Submission failures during a view change (the logical connection
 	// momentarily not established while membership reforms or a replica
-	// rejoins) degrade gracefully: retry with bounded backoff before
-	// surfacing an exception. Configuration errors fail immediately.
+	// rejoins) or while this replica sits in a wedged minority partition
+	// degrade gracefully: retry with bounded backoff before surfacing an
+	// exception — a short partition heals under the client's feet.
+	// Configuration errors fail immediately.
 	var callErr error
 	delay := g.CallRetryDelay
 retry:
@@ -257,7 +259,8 @@ retry:
 		g.runner.Do(func(_ *core.Node, now int64) {
 			callErr = g.infra.Call(now, g.conn, req.Operation, req.Body, cb)
 		})
-		if callErr == nil || attempt >= g.CallRetries || !errors.Is(callErr, ftcorba.ErrNotEstablished) {
+		if callErr == nil || attempt >= g.CallRetries ||
+			!(errors.Is(callErr, ftcorba.ErrNotEstablished) || errors.Is(callErr, core.ErrWedged)) {
 			break
 		}
 		trace.Inc("gateway.call_retries")
@@ -272,7 +275,16 @@ retry:
 	}
 	if callErr != nil {
 		if req.ResponseExpected {
-			respond(&giop.Reply{Status: giop.SystemException, Body: encodeGatewayExc(callErr)})
+			if errors.Is(callErr, core.ErrWedged) {
+				// Retryable by the client against another gateway: this
+				// replica is in a wedged minority, the primary component
+				// lives elsewhere.
+				trace.Inc("gateway.not_primary")
+				respond(&giop.Reply{Status: giop.SystemException, Body: encodeGatewayExc(
+					fmt.Errorf("not primary: %w", callErr))})
+			} else {
+				respond(&giop.Reply{Status: giop.SystemException, Body: encodeGatewayExc(callErr)})
+			}
 		}
 		return
 	}

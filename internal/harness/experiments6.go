@@ -1,0 +1,200 @@
+package harness
+
+// Experiment E13: primary-partition membership end to end.
+//
+// The paper's membership protocol (section 3) removes processors that a
+// majority convicts, but says nothing about what the removed side does;
+// left alone, both components of a network partition would install views
+// and keep ordering operations — a split brain. With
+// PGMP.PrimaryPartition enabled, a view installs only if it holds a
+// quorum of the previous installed view, the losing component wedges,
+// and on reconnection the wedged side discards its standing and rejoins
+// through the automated state-transfer pipeline.
+//
+// E13 drives that full arc under client load and measures it: how long
+// from the cut until the minority wedges and the majority installs the
+// shrunk view, how many operations each side commits during the
+// partition (the minority must commit zero), how long from the heal
+// until the rejoined replica serves again, and whether every replica
+// converges byte-identically with each deposit applied exactly once.
+
+import (
+	"bytes"
+	"errors"
+
+	"ftmp/internal/core"
+	"ftmp/internal/ftcorba"
+	"ftmp/internal/ids"
+	"ftmp/internal/pgmp"
+	"ftmp/internal/simnet"
+	"ftmp/internal/trace"
+)
+
+// E13Result is one partition/heal measurement. Times are relative to the
+// cut (WedgeMs, PrimaryMs) or to the heal (RecoverMs); -1 marks a stage
+// that was never observed.
+type E13Result struct {
+	WedgeMs     float64 // cut -> minority wedged
+	PrimaryMs   float64 // cut -> majority installed the shrunk view
+	MinorityOps int64   // operations the minority applied during the partition
+	PrimaryOps  int64   // operations the majority applied during the partition
+	Refused     bool    // direct send from the wedged side returned ErrWedged
+	RecoverMs   float64 // heal -> full view reinstalled and replica serving
+	Converged   bool    // byte-identical snapshots, exactly-once totals
+}
+
+// e13Deposits issues n sequential deposits of 1 from the client and runs
+// the cluster until each reply arrives. Returns false on any failure.
+func e13Deposits(c *Cluster, infra *ftcorba.Infra, econn ids.ConnectionID, n int) bool {
+	for i := 0; i < n; i++ {
+		done := false
+		err := infra.Call(int64(c.Net.Now()), econn, "add", e10Amount(1), func(_ []byte, e error) {
+			done = e == nil
+		})
+		if err != nil {
+			return false
+		}
+		if !c.RunUntil(c.Net.Now()+10*simnet.Second, func() bool { return done }) {
+			return false
+		}
+	}
+	return true
+}
+
+// RunE13Partition runs three server replicas and one client with
+// primary-partition membership on: a first batch of deposits lands
+// everywhere, then replica 3 is cut off. The majority {1,2,client}
+// installs the shrunk view and keeps committing `ops` deposits; replica 3
+// wedges and commits nothing. After the heal, replica 3 discards its
+// wedged standing, rejoins via state transfer, and a final batch checks
+// byte-identical convergence.
+func RunE13Partition(ops int, seed int64) E13Result {
+	servers := ids.NewMembership(1, 2, 3)
+	all := []ids.ProcessorID{1, 2, 3, 4}
+	c := NewCluster(Options{
+		Seed: seed, Net: simnet.NewConfig(),
+		Configure: func(p ids.ProcessorID, cfg *core.Config) {
+			cfg.ObjectGroups = map[ids.ObjectGroupID]ids.Membership{expServerOG: servers}
+			cfg.PGMP.PrimaryPartition = true
+			cfg.PGMP.SuspectPolicy = pgmp.SuspectAdaptive
+			cfg.Conn.RequestRetryMax = 320_000_000
+			cfg.Conn.RequestRetryJitter = 0.2
+			cfg.PGMP.AddResendMax = 160_000_000
+			cfg.PGMP.AddResendJitter = 0.2
+		},
+	}, all...)
+	econn := ids.ConnectionID{
+		ClientDomain: 1, ClientGroup: expClientOG,
+		ServerDomain: 1, ServerGroup: expServerOG,
+	}
+	infras := make(map[ids.ProcessorID]*ftcorba.Infra)
+	ledgers := make(map[ids.ProcessorID]*ledger)
+	for _, p := range all {
+		h := c.Host(p)
+		infra := ftcorba.New(p, 1, h.Node)
+		infras[p] = infra
+		h.OnDeliver = infra.OnDeliver
+		h.OnView = infra.OnViewChange
+		if servers.Contains(p) {
+			ledgers[p] = &ledger{}
+			infra.Serve(expServerOG, "ledger", ledgers[p])
+		} else {
+			infra.RegisterObjectKey(expServerOG, "ledger")
+		}
+	}
+	res := E13Result{WedgeMs: -1, PrimaryMs: -1, RecoverMs: -1}
+	infras[4].Connect(int64(c.Net.Now()), econn, core.DefaultConfig(4).DomainAddr, ids.NewMembership(4))
+	if !c.RunUntil(30*simnet.Second, func() bool {
+		for _, p := range all {
+			if !infras[p].Established(econn) {
+				return false
+			}
+		}
+		return true
+	}) {
+		return res
+	}
+	g := c.Host(4).Node.ConnectionState(econn).Group
+
+	// Phase 1: a healthy group applies a first batch everywhere.
+	if !e13Deposits(c, infras[4], econn, ops) {
+		return res
+	}
+	c.RunFor(simnet.Second)
+
+	// Phase 2: cut replica 3 off. Record when the minority wedges and
+	// when the majority has the shrunk view installed.
+	cutAt := c.Net.Now()
+	c.Net.Partition([]simnet.NodeID{1, 2, 4}, []simnet.NodeID{3})
+	majority := ids.NewMembership(1, 2, 4)
+	var wedgeAt, primaryAt simnet.Time
+	if !c.RunUntil(cutAt+30*simnet.Second, func() bool {
+		if st, ok := c.Host(3).Node.Status(g); wedgeAt == 0 && ok && st.Wedged {
+			wedgeAt = c.Net.Now()
+		}
+		if primaryAt == 0 &&
+			c.Host(1).Node.Members(g).Equal(majority) &&
+			c.Host(2).Node.Members(g).Equal(majority) {
+			primaryAt = c.Net.Now()
+		}
+		return wedgeAt != 0 && primaryAt != 0
+	}) {
+		return res
+	}
+	res.WedgeMs = float64(wedgeAt-cutAt) / 1e6
+	res.PrimaryMs = float64(primaryAt-cutAt) / 1e6
+
+	// The wedged side refuses sends outright and commits nothing while
+	// the primary component keeps going.
+	err := c.Host(3).Node.Multicast(int64(c.Net.Now()), g, econn, 999, []byte("x"))
+	res.Refused = errors.Is(err, core.ErrWedged)
+	minorityBefore, primaryBefore := ledgers[3].applied, ledgers[1].applied
+	if !e13Deposits(c, infras[4], econn, ops) {
+		return res
+	}
+	res.MinorityOps = ledgers[3].applied - minorityBefore
+	res.PrimaryOps = ledgers[1].applied - primaryBefore
+
+	// Phase 3: heal. Replica 3 hears the primary, tears down its wedged
+	// standing and rejoins through the automated state-transfer path.
+	healAt := c.Net.Now()
+	c.Net.Heal()
+	full := ids.NewMembership(1, 2, 3, 4)
+	if !c.RunUntil(healAt+120*simnet.Second, func() bool {
+		return c.Host(1).Node.Members(g).Equal(full) &&
+			c.Host(3).Node.Members(g).Equal(full) &&
+			!infras[3].Joining(expServerOG)
+	}) {
+		return res
+	}
+	res.RecoverMs = float64(c.Net.Now()-healAt) / 1e6
+
+	// Phase 4: post-heal traffic, then the convergence check: identical
+	// snapshots and exactly-once totals across the whole scenario.
+	if !e13Deposits(c, infras[4], econn, ops) {
+		return res
+	}
+	c.RunFor(2 * simnet.Second)
+	want := int64(3 * ops)
+	snap1, err1 := ledgers[1].SnapshotState()
+	snap2, err2 := ledgers[2].SnapshotState()
+	snap3, err3 := ledgers[3].SnapshotState()
+	res.Converged = err1 == nil && err2 == nil && err3 == nil &&
+		bytes.Equal(snap1, snap2) && bytes.Equal(snap1, snap3) &&
+		ledgers[1].total == want && ledgers[1].applied == want
+	return res
+}
+
+// E13Partition regenerates experiment E13: the split-brain regression as
+// a measurement, across several seeds.
+func E13Partition(runs, ops int) *trace.Table {
+	tb := trace.NewTable(
+		"E13: partition -> wedge (zero minority commits) -> heal -> convergence",
+		"seed", "wedge ms", "primary ms", "minority ops", "primary ops", "refused", "recover ms", "converged")
+	for i := 0; i < runs; i++ {
+		seed := SeedOffset + 1300 + int64(i)
+		r := RunE13Partition(ops, seed)
+		tb.AddRow(seed, r.WedgeMs, r.PrimaryMs, r.MinorityOps, r.PrimaryOps, r.Refused, r.RecoverMs, r.Converged)
+	}
+	return tb
+}

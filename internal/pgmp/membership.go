@@ -78,6 +78,15 @@ type Config struct {
 	// the default of 0.5 (majority). Lower values detect faster but
 	// convict more aggressively under transient silence.
 	ConvictionFraction float64
+	// PrimaryPartition gates fault-view installation on a quorum of the
+	// previous installed view (LLFT-style primary-partition membership):
+	// a recovery round whose proposed membership does not contain more
+	// than half of the current view — with the lowest member id breaking
+	// exact even splits — wedges this processor instead of installing,
+	// and proposals whose predecessor view disagrees with the local one
+	// are ignored. Off by default: a plain crash-tolerant deployment
+	// (e.g. 2 nodes losing one) must keep degrading below quorum.
+	PrimaryPartition bool
 }
 
 // DefaultConfig matches the experiment defaults: suspicion after 50ms of
@@ -122,6 +131,14 @@ type Group struct {
 	cfg     Config
 	members ids.Membership
 	viewTS  ids.Timestamp
+	// epoch counts installed views: the view lineage stamped on outgoing
+	// proposals. Merged by max with peers' proposals (a joiner starts
+	// behind the veterans), incremented on every install.
+	epoch uint64
+	// wedged marks a minority-partition survivor under PrimaryPartition:
+	// fault detection and recovery rounds are suspended until the node
+	// rejoins the primary component.
+	wedged bool
 	// lastHeard maps members to the last wall-clock time any traffic
 	// arrived from them; the basis of fault detection.
 	lastHeard map[ids.ProcessorID]int64
@@ -177,6 +194,56 @@ func (g *Group) ViewTS() ids.Timestamp { return g.viewTS }
 // InRecovery reports whether a fault-recovery round is in progress.
 func (g *Group) InRecovery() bool { return g.round != nil }
 
+// Epoch returns the number of views installed at this processor: the
+// lineage counter stamped on outgoing Membership proposals.
+func (g *Group) Epoch() uint64 { return g.epoch }
+
+// Wedged reports whether this processor has wedged as a minority
+// survivor (PrimaryPartition only).
+func (g *Group) Wedged() bool { return g.wedged }
+
+// QuorumOf reports whether the proposed membership contains a quorum of
+// prev: strictly more than half of prev's members, or — for an exact
+// even split — exactly half including prev's lowest member id, the
+// deterministic tiebreak that keeps at most one component primary.
+func QuorumOf(proposed, prev ids.Membership) bool {
+	if len(prev) == 0 {
+		return true
+	}
+	n := 0
+	for _, p := range prev {
+		if proposed.Contains(p) {
+			n++
+		}
+	}
+	if 2*n > len(prev) {
+		return true
+	}
+	// Membership is sorted, so prev[0] is the lowest id.
+	return 2*n == len(prev) && proposed.Contains(prev[0])
+}
+
+// HasQuorum reports whether proposed carries a quorum of the current
+// installed view.
+func (g *Group) HasQuorum(proposed ids.Membership) bool {
+	return QuorumOf(proposed, g.members)
+}
+
+// Wedge puts the group into the wedged state: the in-progress round is
+// abandoned and no further suspicions or rounds are raised until a view
+// installs (i.e. until the node rejoins the primary component). The
+// convicted set is retained — while wedged it names the unreachable
+// primary side, which heal detection watches for.
+func (g *Group) Wedge() {
+	if g.wedged {
+		return
+	}
+	g.wedged = true
+	g.round = nil
+	g.lastProposal = make(map[ids.ProcessorID]*wire.MembershipMsg)
+	trace.Inc("pgmp.wedges")
+}
+
 // Install installs a membership (bootstrap, planned change, or the
 // outcome of a recovery round) effective at viewTS. All suspicion and
 // round state involving departed processors is discarded.
@@ -214,6 +281,8 @@ func (g *Group) Install(m ids.Membership, viewTS ids.Timestamp, now int64) {
 	g.convicted = nil
 	g.round = nil
 	g.lastProposal = make(map[ids.ProcessorID]*wire.MembershipMsg)
+	g.epoch++
+	g.wedged = false
 	g.stats.ViewsInstalled++
 }
 
@@ -241,6 +310,11 @@ func (g *Group) Heard(p ids.ProcessorID, now int64) {
 // them (and feeds it back through RecordSuspicion upon delivery, like
 // any other member's Suspect).
 func (g *Group) DueSuspicions(now int64) ids.Membership {
+	if g.wedged {
+		// A wedged minority must not convict the unreachable primary
+		// side: its next view comes from rejoining, not from a round.
+		return nil
+	}
 	var due ids.Membership
 	for _, p := range g.members {
 		if p == g.self {
@@ -323,7 +397,7 @@ func (g *Group) Convicted() ids.Membership { return g.convicted }
 // NeedRound reports whether a (re)start of the recovery round is
 // required: there are convictions not reflected in the current round.
 func (g *Group) NeedRound() bool {
-	if len(g.convicted) == 0 {
+	if g.wedged || len(g.convicted) == 0 {
 		return false
 	}
 	target := g.members.RemoveAll(g.convicted)
@@ -361,6 +435,16 @@ func (g *Group) applyToRound(from ids.ProcessorID, msg *wire.MembershipMsg) {
 	if g.round == nil || !msg.NewMembership.Equal(g.round.Proposed) {
 		return
 	}
+	if g.cfg.PrimaryPartition && !msg.CurrentMembership.Equal(g.members) {
+		// Lineage disagreement: the proposal claims to succeed a view
+		// this processor never installed (the sender diverged across a
+		// partition). Its agreement cannot be counted toward ours.
+		// (The predecessor view *timestamp* is observational only: fault
+		// views are stamped with each member's local clock, so equality
+		// across members cannot be required.)
+		trace.Inc("pgmp.lineage_rejects")
+		return
+	}
 	g.round.proposals[from] = true
 	for _, e := range msg.CurrentSeqs {
 		if e.Seq > g.round.maxSeqs[e.Proc] {
@@ -375,6 +459,8 @@ func (g *Group) proposalBody(mySeqs wire.SeqVector) *wire.MembershipMsg {
 		CurrentMembership: g.members.Clone(),
 		CurrentSeqs:       mySeqs.Clone(),
 		NewMembership:     g.round.Proposed.Clone(),
+		Epoch:             g.epoch,
+		PredecessorTS:     g.viewTS,
 	}
 }
 
@@ -387,6 +473,12 @@ func (g *Group) proposalBody(mySeqs wire.SeqVector) *wire.MembershipMsg {
 func (g *Group) OnProposal(from ids.ProcessorID, msg *wire.MembershipMsg) ids.Membership {
 	if !g.members.Contains(from) {
 		return nil
+	}
+	if msg.Epoch > g.epoch {
+		// Lineage merge: the sender has installed more views than we
+		// have (we are behind or a joiner); adopt its count so our own
+		// proposals do not look ancestral.
+		g.epoch = msg.Epoch
 	}
 	g.lastProposal[from] = msg
 	implied := g.members.RemoveAll(msg.NewMembership)
@@ -508,8 +600,8 @@ func (g *Group) SuspectedOrConvicted(p ids.ProcessorID) bool {
 
 // String summarizes the group state for debugging.
 func (g *Group) String() string {
-	return fmt.Sprintf("pgmp(%v@%v, members %v, convicted %v, recovering %v)",
-		g.self, g.id, g.members, g.convicted, g.round != nil)
+	return fmt.Sprintf("pgmp(%v@%v, members %v, epoch %d, convicted %v, recovering %v, wedged %v)",
+		g.self, g.id, g.members, g.epoch, g.convicted, g.round != nil, g.wedged)
 }
 
 // ProposalForResend returns a fresh copy of the round's proposal body

@@ -1,0 +1,156 @@
+package pgmp
+
+import (
+	"testing"
+
+	"ftmp/internal/ids"
+	"ftmp/internal/wire"
+)
+
+func m(members ...int) ids.Membership {
+	var out ids.Membership
+	for _, p := range members {
+		out = out.Add(ids.ProcessorID(p))
+	}
+	return out
+}
+
+func TestQuorumOfMajority(t *testing.T) {
+	prev := m(1, 2, 3, 4, 5)
+	cases := []struct {
+		proposed ids.Membership
+		want     bool
+	}{
+		{m(1, 2, 3), true},        // 3/5 survivors
+		{m(3, 4, 5), true},        // majority without the lowest id
+		{m(4, 5), false},          // 2/5 minority
+		{m(1), false},             // singleton of 5
+		{m(1, 2, 3, 4, 5), true},  // unchanged
+		{m(2, 3, 6, 7, 8), false}, // 2 of prev + 3 strangers: still a minority of prev
+		{m(1, 2, 3, 9), true},     // majority of prev plus a joiner
+	}
+	for _, c := range cases {
+		if got := QuorumOf(c.proposed, prev); got != c.want {
+			t.Errorf("QuorumOf(%v, %v) = %v, want %v", c.proposed, prev, got, c.want)
+		}
+	}
+}
+
+func TestQuorumOfEvenSplitTiebreak(t *testing.T) {
+	// Exactly half of the previous view survives on each side: the side
+	// holding the lowest member id of the previous view wins, the other
+	// loses — deterministically, so exactly one side stays primary.
+	prev := m(1, 2, 3, 4)
+	if !QuorumOf(m(1, 2), prev) {
+		t.Error("side {1,2} holds the lowest member of {1,2,3,4}: should have quorum")
+	}
+	if QuorumOf(m(3, 4), prev) {
+		t.Error("side {3,4} lacks the lowest member of {1,2,3,4}: should NOT have quorum")
+	}
+	// 2-node group splitting 1/1: same rule.
+	prev2 := m(1, 2)
+	if !QuorumOf(m(1), prev2) {
+		t.Error("survivor {1} of {1,2} should win the tiebreak")
+	}
+	if QuorumOf(m(2), prev2) {
+		t.Error("survivor {2} of {1,2} should lose the tiebreak")
+	}
+}
+
+func TestQuorumOfEmptyPrev(t *testing.T) {
+	// No previous view (bootstrap): anything goes.
+	if !QuorumOf(m(7), nil) {
+		t.Error("bootstrap view should always have quorum")
+	}
+}
+
+func TestWedgeStopsDetectionAndRounds(t *testing.T) {
+	g := newGroup(1, 2, 3, 4)
+	// Convict 3 and 4 (self + 2 suspect both; voters {1,2}, threshold 2).
+	g.RecordSuspicion(self, ids.NewMembership(3, 4))
+	g.RecordSuspicion(2, ids.NewMembership(3, 4))
+	if !g.NeedRound() {
+		t.Fatal("NeedRound = false after conviction")
+	}
+	g.Wedge()
+	if !g.Wedged() {
+		t.Fatal("Wedged = false after Wedge")
+	}
+	if g.NeedRound() {
+		t.Error("wedged group wants a recovery round")
+	}
+	if due := g.DueSuspicions(1 << 40); due != nil {
+		t.Errorf("wedged group suspects: %v", due)
+	}
+	// Wedge is idempotent and sticky until an Install.
+	g.Wedge()
+	if !g.Wedged() {
+		t.Error("second Wedge cleared the state")
+	}
+	g.Install(ids.NewMembership(1, 2, 3, 4), ids.MakeTimestamp(100, 1), 0)
+	if g.Wedged() {
+		t.Error("Install did not clear the wedge")
+	}
+}
+
+func TestEpochAdvancesPerInstallAndMerges(t *testing.T) {
+	g := newGroup(1, 2, 3) // Install #1
+	if g.Epoch() != 1 {
+		t.Fatalf("epoch after first install = %d, want 1", g.Epoch())
+	}
+	g.Install(ids.NewMembership(1, 2), ids.MakeTimestamp(50, 1), 0)
+	if g.Epoch() != 2 {
+		t.Fatalf("epoch after second install = %d, want 2", g.Epoch())
+	}
+	// A proposal from a member further along merges its epoch (joiner
+	// catching up); a stale one does not regress ours.
+	msg := &wire.MembershipMsg{
+		CurrentMembership: ids.NewMembership(1, 2),
+		NewMembership:     ids.NewMembership(1, 2),
+		Epoch:             7,
+	}
+	g.OnProposal(2, msg)
+	if g.Epoch() != 7 {
+		t.Errorf("epoch after merge = %d, want 7", g.Epoch())
+	}
+	msg2 := &wire.MembershipMsg{
+		CurrentMembership: ids.NewMembership(1, 2),
+		NewMembership:     ids.NewMembership(1, 2),
+		Epoch:             3,
+	}
+	g.OnProposal(2, msg2)
+	if g.Epoch() != 7 {
+		t.Errorf("stale epoch regressed ours: %d", g.Epoch())
+	}
+}
+
+func TestLineageRejectUnderPrimaryPartition(t *testing.T) {
+	c := cfg()
+	c.PrimaryPartition = true
+	g := NewGroup(self, gid, c)
+	g.Install(ids.NewMembership(1, 2, 3, 4), ids.NilTimestamp, 0)
+	// Convict 3, 4 and start the round for {1,2}.
+	g.RecordSuspicion(self, ids.NewMembership(3, 4))
+	g.RecordSuspicion(2, ids.NewMembership(3, 4))
+	g.StartRound(nil, 0)
+	// A proposal for the same target but claiming a different current
+	// view (the sender installed views we never saw across a partition)
+	// must not count toward our round's agreement.
+	diverged := &wire.MembershipMsg{
+		CurrentMembership: ids.NewMembership(1, 2, 5),
+		NewMembership:     ids.NewMembership(1, 2),
+	}
+	g.OnProposal(2, diverged)
+	if g.round.proposals[ids.ProcessorID(2)] {
+		t.Error("diverged-lineage proposal counted toward the round")
+	}
+	// The same proposal with a matching current view does count.
+	ok := &wire.MembershipMsg{
+		CurrentMembership: ids.NewMembership(1, 2, 3, 4),
+		NewMembership:     ids.NewMembership(1, 2),
+	}
+	g.OnProposal(2, ok)
+	if !g.round.proposals[ids.ProcessorID(2)] {
+		t.Error("matching-lineage proposal not counted")
+	}
+}

@@ -80,7 +80,12 @@ type Order struct {
 	// deliverScratch backs the slice Deliverable and FlushThrough return;
 	// its contents are valid only until the next drain call.
 	deliverScratch []Entry
-	stats          Stats
+	// frozen pins the delivery cut: Deliverable and FlushThrough return
+	// nothing while set. A wedged minority (PGMP primary partition)
+	// freezes its order so no speculative delivery can advance the cut
+	// past the last state the primary component shares.
+	frozen bool
+	stats  Stats
 }
 
 // New creates the ordering state for one group. The membership is empty
@@ -229,9 +234,20 @@ func (o *Order) popPending() Entry {
 	return e
 }
 
+// Freeze pins the delivery cut: no entry is handed up until the order
+// is rebuilt (there is deliberately no thaw — a wedged group's state is
+// torn down wholesale when the partition heals).
+func (o *Order) Freeze() { o.frozen = true }
+
+// Frozen reports whether the delivery cut is pinned.
+func (o *Order) Frozen() bool { return o.frozen }
+
 // drainThrough removes and returns, in timestamp order, every pending
 // entry with timestamp <= limit, reusing the layer's scratch slice.
 func (o *Order) drainThrough(limit ids.Timestamp) []Entry {
+	if o.frozen {
+		return nil
+	}
 	out := o.deliverScratch[:0]
 	for len(o.pending) > 0 && o.pending[0].TS <= limit {
 		e := o.popPending()

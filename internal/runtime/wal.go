@@ -21,6 +21,12 @@ type Replay struct {
 	Deliveries []wal.OpRecord
 	// Epochs holds the last installed membership per group.
 	Epochs map[ids.GroupID]wal.EpochRecord
+	// Wedged holds, per group, the wedge record of a replica that was
+	// still wedged when it crashed (no later RecEpoch cleared it): its
+	// log tail precedes a state transfer that never completed, so the
+	// operator (and ftmpd's recovery report) knows the replica must
+	// rejoin the primary component rather than resume as authoritative.
+	Wedged map[ids.GroupID]wal.WedgeRecord
 	// MaxTS is the highest logical timestamp seen anywhere in the log;
 	// feed it to core.Node.RecoverClock so post-restart timestamps
 	// dominate the logged history.
@@ -32,7 +38,10 @@ type Replay struct {
 // disk repair) collapse: a delivery is kept once per (connection,
 // request number, direction, timestamp).
 func RecoverReplay(records []wal.Record) Replay {
-	rp := Replay{Epochs: make(map[ids.GroupID]wal.EpochRecord)}
+	rp := Replay{
+		Epochs: make(map[ids.GroupID]wal.EpochRecord),
+		Wedged: make(map[ids.GroupID]wal.WedgeRecord),
+	}
 	type key struct {
 		conn    ids.ConnectionID
 		req     ids.RequestNum
@@ -55,8 +64,16 @@ func RecoverReplay(records []wal.Record) Replay {
 			}
 		case wal.RecEpoch:
 			rp.Epochs[r.Epoch.Group] = *r.Epoch
+			// A later installed view means the wedge resolved (the
+			// replica rejoined the primary component before crashing).
+			delete(rp.Wedged, r.Epoch.Group)
 			if r.Epoch.ViewTS > rp.MaxTS {
 				rp.MaxTS = r.Epoch.ViewTS
+			}
+		case wal.RecWedge:
+			rp.Wedged[r.Wedge.Group] = *r.Wedge
+			if r.Wedge.ViewTS > rp.MaxTS {
+				rp.MaxTS = r.Wedge.ViewTS
 			}
 		}
 	}
@@ -91,11 +108,25 @@ func WrapDurable(w *wal.Log, cb core.Callbacks, onErr func(error)) core.Callback
 	}
 	innerView := cb.ViewChange
 	out.ViewChange = func(v core.ViewChange) {
-		report(w.Append(wal.Record{Type: wal.RecEpoch, Epoch: &wal.EpochRecord{
-			Group:   v.Group,
-			ViewTS:  v.ViewTS,
-			Members: v.Members.Clone(),
-		}}))
+		if v.Reason == core.ViewWedge {
+			// Nothing was installed: record the wedge point instead of a
+			// new epoch, so recovery knows the log tail is pre-rejoin.
+			report(w.Append(wal.Record{Type: wal.RecWedge, Wedge: &wal.WedgeRecord{
+				Group:   v.Group,
+				Epoch:   v.Epoch,
+				ViewTS:  v.ViewTS,
+				Members: v.Members.Clone(),
+			}}))
+		} else if v.Reason == core.ViewHeal {
+			// Teardown notice, not an installation; the wedge marker must
+			// survive until the rejoin installs a fresh epoch.
+		} else {
+			report(w.Append(wal.Record{Type: wal.RecEpoch, Epoch: &wal.EpochRecord{
+				Group:   v.Group,
+				ViewTS:  v.ViewTS,
+				Members: v.Members.Clone(),
+			}}))
+		}
 		if innerView != nil {
 			innerView(v)
 		}

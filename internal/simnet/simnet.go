@@ -181,6 +181,16 @@ type Net struct {
 	// partition maps a node to its partition component; nodes in
 	// different components cannot exchange packets. Empty = connected.
 	partition map[NodeID]int
+	// oneWay holds directed link cuts: oneWay[{from,to}] drops every
+	// packet from→to while the reverse direction still works (an
+	// asymmetric failure — a dead transmitter, a misprogrammed switch
+	// filter). Independent of the component-based partition.
+	oneWay map[linkKey]bool
+}
+
+// linkKey identifies one direction of a point-to-point link.
+type linkKey struct {
+	from, to NodeID
 }
 
 // New creates a network with the given seed and configuration.
@@ -190,6 +200,7 @@ func New(seed int64, cfg Config) *Net {
 		rng:       rand.New(rand.NewSource(seed)),
 		nodes:     make(map[NodeID]*node),
 		partition: make(map[NodeID]int),
+		oneWay:    make(map[linkKey]bool),
 	}
 }
 
@@ -258,8 +269,42 @@ func (n *Net) Partition(components ...[]NodeID) {
 	}
 }
 
-// Heal removes all partitions.
-func (n *Net) Heal() { n.partition = make(map[NodeID]int) }
+// PartitionOneWay cuts the directed link from→to: packets in that
+// direction are dropped, the reverse direction still delivers. Models
+// asymmetric failures (dead transmitter, one-sided switch filter).
+func (n *Net) PartitionOneWay(from, to NodeID) {
+	n.oneWay[linkKey{from, to}] = true
+}
+
+// HealOneWay restores the directed link from→to.
+func (n *Net) HealOneWay(from, to NodeID) {
+	delete(n.oneWay, linkKey{from, to})
+}
+
+// Heal removes all partitions, including one-way cuts.
+func (n *Net) Heal() {
+	n.partition = make(map[NodeID]int)
+	n.oneWay = make(map[linkKey]bool)
+}
+
+// FlapLink schedules the bidirectional link between a and b to flap:
+// starting at `start` it is cut for `down`, restored for `up`, and so
+// on, for `cycles` cycles. Flapping exercises failure-detector
+// robustness: suspicion, conviction, and rejoin race the link state.
+func (n *Net) FlapLink(a, b NodeID, start, down, up Time, cycles int) {
+	t := start
+	for i := 0; i < cycles; i++ {
+		n.At(t, func() {
+			n.PartitionOneWay(a, b)
+			n.PartitionOneWay(b, a)
+		})
+		n.At(t+down, func() {
+			n.HealOneWay(a, b)
+			n.HealOneWay(b, a)
+		})
+		t += down + up
+	}
+}
 
 // SetLoss changes the loss rate mid-run.
 func (n *Net) SetLoss(rate float64) { n.cfg.LossRate = rate }
@@ -307,6 +352,10 @@ func (n *Net) Send(from NodeID, addr Addr, data []byte) {
 			continue
 		}
 		if n.partition[from] != n.partition[id] {
+			continue
+		}
+		if len(n.oneWay) > 0 && n.oneWay[linkKey{from, id}] {
+			n.stats.PacketsDropped++
 			continue
 		}
 		if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {

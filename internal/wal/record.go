@@ -59,6 +59,13 @@ const (
 	// BEFORE the MarkProcessedUpTo watermark jump it justifies, so
 	// recovery never sees "processed up to N" without the state below N.
 	RecSnapshot RecordType = 4
+	// RecWedge records that this replica wedged as a minority-partition
+	// survivor (PGMP primary partition): nothing past this point was
+	// committed in the group. Cleared by a later RecEpoch for the same
+	// group (the replica rejoined the primary and installed its view),
+	// so a replica that crashes while still wedged recovers knowing its
+	// log tail precedes a pending state transfer.
+	RecWedge RecordType = 5
 )
 
 // String implements fmt.Stringer.
@@ -72,6 +79,8 @@ func (t RecordType) String() string {
 		return "Epoch"
 	case RecSnapshot:
 		return "Snapshot"
+	case RecWedge:
+		return "Wedge"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(t))
 	}
@@ -128,6 +137,16 @@ type EpochRecord struct {
 	Members ids.Membership
 }
 
+// WedgeRecord marks the wedge point: the group's view (epoch counter,
+// view timestamp, membership) at the moment this replica stopped
+// committing as a minority-partition survivor.
+type WedgeRecord struct {
+	Group   ids.GroupID
+	Epoch   uint64
+	ViewTS  ids.Timestamp
+	Members ids.Membership
+}
+
 // SnapshotRecord is one applied state snapshot: the servant state of
 // Conn's server object group at the cut MarkerTS, embodying every
 // request up to UpTo.
@@ -145,6 +164,7 @@ type Record struct {
 	Mark  *MarkRecord
 	Epoch *EpochRecord
 	Snap  *SnapshotRecord
+	Wedge *WedgeRecord
 }
 
 func appendConn(b []byte, c ids.ConnectionID) []byte {
@@ -199,6 +219,17 @@ func EncodeRecord(r Record) ([]byte, error) {
 		b = binary.BigEndian.AppendUint64(b, uint64(r.Snap.UpTo))
 		b = binary.BigEndian.AppendUint32(b, uint32(len(r.Snap.State)))
 		b = append(b, r.Snap.State...)
+	case RecWedge:
+		if r.Wedge == nil {
+			return nil, fmt.Errorf("%w: nil Wedge", ErrBadRecord)
+		}
+		b = binary.BigEndian.AppendUint32(b, uint32(r.Wedge.Group))
+		b = binary.BigEndian.AppendUint64(b, r.Wedge.Epoch)
+		b = binary.BigEndian.AppendUint64(b, uint64(r.Wedge.ViewTS))
+		b = binary.BigEndian.AppendUint32(b, uint32(len(r.Wedge.Members)))
+		for _, p := range r.Wedge.Members {
+			b = binary.BigEndian.AppendUint32(b, uint32(p))
+		}
 	default:
 		return nil, fmt.Errorf("%w: unknown type %v", ErrBadRecord, r.Type)
 	}
@@ -327,6 +358,19 @@ func DecodeRecord(payload []byte) (Record, error) {
 			sn.State = append([]byte(nil), b...)
 		}
 		rec.Snap = sn
+	case RecWedge:
+		wd := &WedgeRecord{}
+		wd.Group = ids.GroupID(r.u32())
+		wd.Epoch = r.u64()
+		wd.ViewTS = ids.Timestamp(r.u64())
+		n := r.u32()
+		if r.err == nil && int(n)*4 > len(payload)-r.pos {
+			r.err = fmt.Errorf("%w: member count %d", ErrBadRecord, n)
+		}
+		for i := uint32(0); i < n && r.err == nil; i++ {
+			wd.Members = append(wd.Members, ids.ProcessorID(r.u32()))
+		}
+		rec.Wedge = wd
 	default:
 		return Record{}, fmt.Errorf("%w: unknown type %d", ErrBadRecord, payload[0])
 	}

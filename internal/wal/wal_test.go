@@ -34,6 +34,15 @@ func epochRec(viewCounter uint64, members ...ids.ProcessorID) Record {
 	}}
 }
 
+func wedgeRec(epoch uint64, members ...ids.ProcessorID) Record {
+	return Record{Type: RecWedge, Wedge: &WedgeRecord{
+		Group:   7,
+		Epoch:   epoch,
+		ViewTS:  ids.MakeTimestamp(200+epoch, 1),
+		Members: ids.Membership(members),
+	}}
+}
+
 func snapRec(upTo uint64, state string) Record {
 	return Record{Type: RecSnapshot, Snap: &SnapshotRecord{
 		Conn:     testConn(),
@@ -52,6 +61,8 @@ func TestRecordRoundTrip(t *testing.T) {
 		markRec(MarkReplied, 2),
 		epochRec(5, 1, 2, 3),
 		epochRec(6), // empty membership
+		wedgeRec(4, 4, 5),
+		wedgeRec(9), // empty membership
 		snapRec(7, "snapshot-bytes"),
 		snapRec(8, ""), // empty state
 	}
@@ -82,6 +93,11 @@ func normalize(r Record) Record {
 		ep.Members = nil
 		r.Epoch = &ep
 	}
+	if r.Wedge != nil && len(r.Wedge.Members) == 0 {
+		wr := *r.Wedge
+		wr.Members = nil
+		r.Wedge = &wr
+	}
 	if r.Snap != nil && len(r.Snap.State) == 0 {
 		sn := *r.Snap
 		sn.State = nil
@@ -110,6 +126,14 @@ func TestDecodeRejectsBadPayloads(t *testing.T) {
 			return b
 		}(),
 		"short snapshot body": {byte(RecSnapshot), 1, 2, 3},
+		"short wedge body":    {byte(RecWedge), 1, 2},
+		"huge wedge members": func() []byte {
+			b, _ := EncodeRecord(wedgeRec(4, 4, 5))
+			// Member count field sits 12 bytes before the record end
+			// (two 4-byte member ids follow the 4-byte count).
+			b[len(b)-12] = 0xFF
+			return b
+		}(),
 	}
 	for name, payload := range cases {
 		if _, err := DecodeRecord(payload); err == nil {

@@ -25,10 +25,16 @@ const (
 	VersionMajor = 1
 	VersionMinor = 0
 	// VersionMinorPacked is the minor version stamped on Packed frames,
-	// the only type introduced after 1.0.
+	// the first type introduced after 1.0.
 	VersionMinorPacked = 1
+	// VersionMinorLineage is the minor version stamped on Membership
+	// frames, which carry a view lineage (epoch + predecessor view
+	// timestamp) since 1.2. Other types are still emitted as before, so
+	// traffic that never proposes a membership is byte-identical to a
+	// 1.0/1.1 sender.
+	VersionMinorLineage = 2
 	// VersionMinorMax is the highest minor version this decoder accepts.
-	VersionMinorMax = VersionMinorPacked
+	VersionMinorMax = VersionMinorLineage
 )
 
 // HeaderSize is the encoded size of the FTMP header in bytes.
@@ -191,13 +197,18 @@ func (h *Header) order() binary.ByteOrder {
 }
 
 // versionMinor returns the minor protocol version a message of h's type
-// is emitted under: 1.1 for Packed, 1.0 for everything else, keeping
-// non-packed traffic byte-identical to a 1.0 sender.
+// is emitted under: 1.1 for Packed, 1.2 for Membership (which carries
+// the view lineage since 1.2), 1.0 for everything else, keeping plain
+// traffic byte-identical to a 1.0 sender.
 func (h *Header) versionMinor() byte {
-	if h.Type == TypePacked {
+	switch h.Type {
+	case TypePacked:
 		return VersionMinorPacked
+	case TypeMembership:
+		return VersionMinorLineage
+	default:
+		return VersionMinor
 	}
-	return VersionMinor
 }
 
 // encode writes the header into buf, which must be at least HeaderSize
@@ -248,6 +259,12 @@ func DecodeHeader(buf []byte) (Header, error) {
 		// is corrupt.
 		return h, fmt.Errorf("%w: Packed requires 1.%d, got 1.%d",
 			ErrBadVersion, VersionMinorPacked, buf[5])
+	}
+	if h.Type == TypeMembership && buf[5] < VersionMinorLineage {
+		// Membership bodies carry the view lineage since 1.2; an older
+		// frame claiming the type would decode with garbage lineage.
+		return h, fmt.Errorf("%w: Membership requires 1.%d, got 1.%d",
+			ErrBadVersion, VersionMinorLineage, buf[5])
 	}
 	bo := h.order()
 	h.Size = bo.Uint32(buf[8:12])

@@ -248,6 +248,14 @@ type MembershipMsg struct {
 	// message and all messages with smaller sequence numbers.
 	CurrentSeqs   SeqVector
 	NewMembership ids.Membership
+	// Epoch counts installed views at the sender (FTMP 1.2): the view
+	// lineage primary-partition membership audits. Observational —
+	// receivers merge by max rather than demand equality, because a
+	// joiner bootstraps at a lower epoch than the veterans it joins.
+	Epoch uint64
+	// PredecessorTS is the timestamp of the sender's last installed view,
+	// the view this proposal claims to succeed (FTMP 1.2).
+	PredecessorTS ids.Timestamp
 }
 
 // Type implements Body.
@@ -258,11 +266,13 @@ func (m *MembershipMsg) encodeBody(w *writer) {
 	w.membership(m.CurrentMembership)
 	w.seqVector(m.CurrentSeqs)
 	w.membership(m.NewMembership)
+	w.u64(m.Epoch)
+	w.ts(m.PredecessorTS)
 }
 
 func (m *MembershipMsg) encodedSize() int {
 	return 8 + 4 + 4*len(m.CurrentMembership) + 4 + 8*len(m.CurrentSeqs) +
-		4 + 4*len(m.NewMembership)
+		4 + 4*len(m.NewMembership) + 8 + 8
 }
 
 // PackedEntry is one Regular message riding inside a Packed container:
@@ -485,6 +495,8 @@ func decodeBody(h Header, r *reader, d *Decoder) (Body, error) {
 			CurrentMembership: r.membershipList(),
 			CurrentSeqs:       r.seqVector(),
 			NewMembership:     r.membershipList(),
+			Epoch:             r.u64(),
+			PredecessorTS:     r.ts(),
 		}
 	default:
 		return nil, fmt.Errorf("%w: %v", ErrBadType, h.Type)

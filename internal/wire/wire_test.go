@@ -48,6 +48,8 @@ func allBodies() []Body {
 			CurrentMembership: ids.NewMembership(1, 2, 3, 4),
 			CurrentSeqs:       SeqVector{{1, 1}, {2, 2}, {3, 3}, {4, 4}},
 			NewMembership:     ids.NewMembership(1, 3, 4),
+			Epoch:             6,
+			PredecessorTS:     ids.MakeTimestamp(75, 2),
 		},
 		&Packed{Entries: []PackedEntry{
 			{Seq: 42, TS: ids.MakeTimestamp(99, 7), Conn: conn, RequestNum: 9, Payload: []byte("first")},
@@ -363,17 +365,20 @@ func TestMutatedRoundTripProperty(t *testing.T) {
 }
 
 func TestVersionByte(t *testing.T) {
-	// Packed frames carry minor version 1; every other type must still be
-	// emitted as 1.0 so that non-packed traffic is byte-identical to a 1.0
-	// sender.
+	// Packed frames carry minor version 1 and Membership frames minor
+	// version 2; every other type must still be emitted as 1.0 so that
+	// plain traffic is byte-identical to a 1.0 sender.
 	for _, body := range allBodies() {
 		buf, err := Encode(hdr(body.Type()), body)
 		if err != nil {
 			t.Fatal(err)
 		}
 		want := byte(VersionMinor)
-		if body.Type() == TypePacked {
+		switch body.Type() {
+		case TypePacked:
 			want = VersionMinorPacked
+		case TypeMembership:
+			want = VersionMinorLineage
 		}
 		if buf[5] != want {
 			t.Errorf("%v: minor version byte = %d, want %d", body.Type(), buf[5], want)
@@ -390,6 +395,25 @@ func TestPackedRejectedAsVersion10(t *testing.T) {
 	buf[5] = VersionMinor // forge a 1.0 frame claiming the Packed type
 	if _, err := Decode(buf); !errors.Is(err, ErrBadVersion) {
 		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestMembershipRejectedBelowLineageVersion(t *testing.T) {
+	body := &MembershipMsg{
+		MembershipTS:      ids.MakeTimestamp(80, 1),
+		CurrentMembership: ids.NewMembership(1, 2),
+		NewMembership:     ids.NewMembership(1),
+	}
+	buf, err := Encode(hdr(TypeMembership), body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, minor := range []byte{VersionMinor, VersionMinorPacked} {
+		mut := append([]byte(nil), buf...)
+		mut[5] = minor // forge a pre-1.2 frame claiming the Membership type
+		if _, err := Decode(mut); !errors.Is(err, ErrBadVersion) {
+			t.Errorf("minor %d: err = %v, want ErrBadVersion", minor, err)
+		}
 	}
 }
 
