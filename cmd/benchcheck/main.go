@@ -1,0 +1,127 @@
+// Command benchcheck is the CI guard for the pipelined runtime's
+// performance claim. It reads one or more ftmpbench -json documents
+// (for example a fresh `ftmpbench -exp e14 -quick -json` run, or the
+// committed BENCH_1.json baseline), validates the schema, and fails
+// unless the E14 pipelined throughput is at least -min-ratio times the
+// single-loop baseline measured in the same run. Comparing within one
+// run makes the check robust to how fast the machine itself is: a
+// regression that erases the pipeline's advantage fails everywhere,
+// while an overall slow CI box does not.
+//
+// Usage:
+//
+//	ftmpbench -exp e14 -quick -json > out.json && benchcheck out.json
+//	benchcheck -min-ratio 2.0 BENCH_1.json   # hold the committed claim
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type jsonTable struct {
+	Name    string     `json:"name"`
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+type jsonDoc struct {
+	Schema string      `json:"schema"`
+	Quick  bool        `json:"quick"`
+	Tables []jsonTable `json:"tables"`
+}
+
+func main() {
+	minRatio := flag.Float64("min-ratio", 0.7,
+		"fail if E14 pipelined msg/s is below this multiple of the same run's baseline")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-min-ratio r] file.json...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		if err := check(path, *minRatio); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+			failed = true
+		} else {
+			fmt.Printf("benchcheck: %s: ok\n", path)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func check(path string, minRatio float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc jsonDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	if doc.Schema != "ftmpbench/2" {
+		return fmt.Errorf("schema %q, want ftmpbench/2", doc.Schema)
+	}
+	throughput, err := e14Throughput(doc)
+	if err != nil {
+		return err
+	}
+	base, okB := throughput["baseline"]
+	pipe, okP := throughput["pipelined"]
+	if !okB || !okP {
+		return fmt.Errorf("e14 table missing baseline/pipelined rows (got %v)", throughput)
+	}
+	ratio := pipe / base
+	if ratio < minRatio {
+		return fmt.Errorf("e14 pipelined %.0f msg/s is %.2fx baseline %.0f msg/s (minimum %.2fx)",
+			pipe, ratio, base, minRatio)
+	}
+	fmt.Printf("benchcheck: %s: e14 pipelined %.0f msg/s = %.2fx baseline %.0f msg/s\n",
+		path, pipe, ratio, base)
+	return nil
+}
+
+// e14Throughput extracts mode -> msg/s from the document's e14 table.
+func e14Throughput(doc jsonDoc) (map[string]float64, error) {
+	for _, tb := range doc.Tables {
+		if tb.Name != "e14" {
+			continue
+		}
+		modeCol, rateCol := -1, -1
+		for i, h := range tb.Headers {
+			switch h {
+			case "mode":
+				modeCol = i
+			case "msg/s":
+				rateCol = i
+			}
+		}
+		if modeCol < 0 || rateCol < 0 {
+			return nil, fmt.Errorf("e14 table lacks mode/msg/s columns: %v", tb.Headers)
+		}
+		out := make(map[string]float64)
+		for _, row := range tb.Rows {
+			if len(row) <= modeCol || len(row) <= rateCol {
+				continue
+			}
+			if strings.Contains(strings.Join(row, " "), "FAILED") {
+				return nil, fmt.Errorf("e14 row marked FAILED: %v", row)
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(row[rateCol]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("e14 msg/s cell %q: %w", row[rateCol], err)
+			}
+			out[row[modeCol]] = v
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("no e14 table in document")
+}

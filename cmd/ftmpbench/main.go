@@ -49,7 +49,7 @@ type jsonDoc struct {
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiments: fig2,fig3,e1..e13,a1,a2,a3,bench or all")
+		expFlag   = flag.String("exp", "all", "comma-separated experiments: fig2,fig3,e1..e14,a1,a2,a3,bench or all")
 		quick     = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 		seed      = flag.Int64("seed", 0, "offset added to every experiment seed (0 reproduces EXPERIMENTS.md)")
 		jsonFlag  = flag.Bool("json", false, "emit one JSON document instead of text tables")
@@ -88,6 +88,7 @@ func main() {
 	e12Msgs := 4000
 	e12IdleMaxes := []simnet.Time{0, 25, 100}
 	e13Runs, e13Ops := 3, 10
+	e14Msgs := 4000
 	if *quick {
 		msgs = 10
 		e1Sizes = []int{2, 4}
@@ -108,6 +109,7 @@ func main() {
 		e12Msgs = 1000
 		e12IdleMaxes = []simnet.Time{0, 25}
 		e13Runs, e13Ops = 1, 5
+		e14Msgs = 300
 	}
 	for i := range e10Gaps {
 		e10Gaps[i] *= simnet.Millisecond
@@ -171,13 +173,18 @@ func main() {
 			tb := harness.E13Partition(e13Runs, e13Ops)
 			return []*trace.Table{tb, trace.CountersTable("e13 partition counters")}
 		}},
+		{"e14", func() []*trace.Table {
+			// E14 measures the real runtime (UDP loopback + fsync), so it
+			// resets the global counters around each mode itself.
+			return []*trace.Table{harness.E14Pipeline(e14Msgs)}
+		}},
 		{"a1", one(func() *trace.Table { return harness.A1RepairPolicy(0.10) })},
 		{"a2", one(harness.A2ClockMode)},
 		{"a3", one(harness.A3FlowControl)},
 		{"bench", one(microbenchTable)},
 	}
 
-	doc := jsonDoc{Schema: "ftmpbench/1", SeedOffset: *seed, Quick: *quick}
+	doc := jsonDoc{Schema: "ftmpbench/2", SeedOffset: *seed, Quick: *quick}
 	ran := 0
 	for _, e := range experiments {
 		if !sel(e.name) {
@@ -201,7 +208,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig2 fig3 e1..e13 a1 a2 a3 bench all\n", *expFlag)
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig2 fig3 e1..e14 a1 a2 a3 bench all\n", *expFlag)
 		os.Exit(2)
 	}
 	if *jsonFlag {

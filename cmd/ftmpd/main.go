@@ -66,7 +66,11 @@ func main() {
 		packFlag  = flag.Bool("pack", false, "pack small messages into FTMP 1.1 Packed containers")
 		quorum    = flag.Bool("quorum", false,
 			"primary-partition membership: only install views containing a quorum of the previous view; a minority component wedges instead of splitting the brain")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		recvWorkers = flag.Int("recv-workers", 0,
+			"pipelined runtime: number of parallel receive/decode workers (0: classic single-threaded loop). Also enables the async ordered-delivery executor, WAL group commit and sharded sends")
+		walBatch = flag.Int("wal-batch", 64,
+			"pipelined runtime: max deliveries group-committed per WAL fsync (with -recv-workers > 0 and -wal-dir)")
 	)
 	flag.Parse()
 
@@ -166,9 +170,28 @@ func main() {
 			}
 			out.Flush()
 		}
-		cb = runtime.WrapDurable(log, cb, func(err error) {
-			fmt.Fprintf(os.Stderr, "ftmpd: wal: %v\n", err)
-		})
+		if *recvWorkers == 0 {
+			// Classic loop: write-ahead synchronously on the loop
+			// goroutine. The pipelined runtime instead hands the log to
+			// the delivery executor for group commit (below).
+			cb = runtime.WrapDurable(log, cb, func(err error) {
+				fmt.Fprintf(os.Stderr, "ftmpd: wal: %v\n", err)
+			})
+		}
+	}
+
+	opts := runtime.Options{}
+	if *recvWorkers > 0 {
+		opts.RecvWorkers = *recvWorkers
+		opts.DeliveryDepth = 1024
+		opts.SendShards = 2
+		if log != nil {
+			opts.WAL = log
+			opts.WALBatch = *walBatch
+			opts.OnWALError = func(err error) {
+				fmt.Fprintf(os.Stderr, "ftmpd: wal: %v\n", err)
+			}
+		}
 	}
 
 	mk := func(h transport.Handler) (transport.Transport, error) {
@@ -200,7 +223,7 @@ func main() {
 		}
 	}
 
-	r, err := runtime.New(cfg, cb, mk, runtime.Options{})
+	r, err := runtime.New(cfg, cb, mk, opts)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -229,7 +252,7 @@ func main() {
 	leave := func(why string) {
 		once.Do(func() {
 			fmt.Fprintf(os.Stderr, "ftmpd: %s, leaving group %v\n", why, group)
-			shutdown(r, group, log)
+			shutdown(r, group, log, *recvWorkers > 0)
 		})
 	}
 	sigC := make(chan os.Signal, 1)
@@ -253,9 +276,10 @@ func main() {
 				}
 				s := node.Stats()
 				fmt.Fprintf(os.Stderr,
-					"ftmpd: members=%v epoch=%d wedged=%v horizon=%v stable=%v buffered=%d+%d queue=%d sent=%d hb=%d nacks=%d retrans=%d\n",
+					"ftmpd: members=%v epoch=%d wedged=%v horizon=%v stable=%v buffered=%d+%d queue=%d sent=%d hb=%d nacks=%d retrans=%d rxdrop=%d txdrop=%d\n",
 					st.Members, st.Epoch, st.Wedged, st.Horizon, st.Stable, st.RMPHeld, st.ROMPPending, st.SendQueue,
-					s.MessagesSent, s.HeartbeatsSent, s.RMP.NacksSent, s.RMP.Retransmissions)
+					s.MessagesSent, s.HeartbeatsSent, s.RMP.NacksSent, s.RMP.Retransmissions,
+					trace.Counter("runtime.rx_overflow_drops"), trace.Counter("runtime.tx_overflow_drops"))
 			})
 		case line == "/leave":
 			r.Do(func(node *core.Node, now int64) {
@@ -280,13 +304,26 @@ func main() {
 // until the removal is stable and the node has gone silent, log the
 // final recovery point, then print the robustness counters accumulated
 // over the process lifetime and exit.
-func shutdown(r *runtime.Runner, group ids.GroupID, log *wal.Log) {
-	r.Do(func(node *core.Node, now int64) {
-		if log != nil {
-			if err := log.Sync(); err != nil {
-				fmt.Fprintf(os.Stderr, "ftmpd: wal sync: %v\n", err)
-			}
+func shutdown(r *runtime.Runner, group ids.GroupID, log *wal.Log, pipelined bool) {
+	// With the pipelined runtime the delivery executor owns the log
+	// (group commit); syncing means draining the executor through its
+	// barrier, not touching the log from the loop.
+	walSync := func() {
+		if log == nil {
+			return
 		}
+		var err error
+		if pipelined {
+			err = r.WALSync()
+		} else {
+			r.Do(func(*core.Node, int64) { err = log.Sync() })
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftmpd: wal sync: %v\n", err)
+		}
+	}
+	walSync()
+	r.Do(func(node *core.Node, now int64) {
 		if err := node.Leave(now, group); err != nil {
 			fmt.Fprintf(os.Stderr, "ftmpd: leave: %v\n", err)
 		}
@@ -304,20 +341,15 @@ func shutdown(r *runtime.Runner, group ids.GroupID, log *wal.Log) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	if log != nil {
-		// The departure itself appended view records; make them durable
-		// and report where a restart would resume from.
-		r.Do(func(*core.Node, int64) {
-			if err := log.Sync(); err != nil {
-				fmt.Fprintf(os.Stderr, "ftmpd: wal sync: %v\n", err)
-			}
-			seg, off, synced := log.RecoveryPoint()
-			fmt.Fprintf(os.Stderr, "ftmpd: wal recovery point: segment %d offset %d synced=%v\n",
-				seg, off, synced)
-		})
-	}
+	// The departure itself appended view records; make them durable,
+	// stop the pipeline (Close drains the executor, including its final
+	// group commit and sync), and report where a restart would resume.
+	walSync()
 	r.Close()
 	if log != nil {
+		seg, off, synced := log.RecoveryPoint()
+		fmt.Fprintf(os.Stderr, "ftmpd: wal recovery point: segment %d offset %d synced=%v\n",
+			seg, off, synced)
 		_ = log.Close()
 	}
 	fmt.Fprintln(os.Stderr, trace.CountersTable("ftmpd shutdown summary").String())

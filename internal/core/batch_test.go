@@ -1,0 +1,220 @@
+package core_test
+
+// Equivalence of the two network entry points: HandleBatch must produce
+// byte-for-byte the deliveries HandlePacket produces, because the
+// runtime pipeline substitutes one for the other under load.
+
+import (
+	"fmt"
+	"testing"
+
+	"ftmp/internal/core"
+	"ftmp/internal/ids"
+	"ftmp/internal/wire"
+)
+
+type deliveryRec struct {
+	source  ids.ProcessorID
+	ts      ids.Timestamp
+	payload string
+}
+
+// TestHandleBatchEquivalence replays one replica's exact input stream
+// into a shadow replica with the same identity, delivering it through
+// HandleBatch in multi-packet batches (pre-decoded and body-cloned, as
+// the runtime's receive workers do), and requires identical deliveries
+// and identical packet accounting.
+func TestHandleBatchEquivalence(t *testing.T) {
+	const group = ids.GroupID(9)
+	members := ids.NewMembership(1, 2)
+	var sender, primary, shadow *core.Node
+	var clock int64
+
+	var primaryGot, shadowGot []deliveryRec
+	record := func(out *[]deliveryRec) func(core.Delivery) {
+		return func(d core.Delivery) {
+			*out = append(*out, deliveryRec{source: d.Source, ts: d.TS, payload: string(d.Payload)})
+		}
+	}
+
+	// Packets the replica receives, in arrival order; the shadow gets
+	// copies of exactly this stream.
+	var pendingRaw [][]byte
+	var pendingAddr []wire.MulticastAddr
+
+	sender = core.NewNode(core.DefaultConfig(1), core.Callbacks{
+		Transmit: func(addr wire.MulticastAddr, data []byte) {
+			cp := append([]byte(nil), data...)
+			pendingRaw = append(pendingRaw, cp)
+			pendingAddr = append(pendingAddr, addr)
+			if primary != nil {
+				primary.HandlePacket(append([]byte(nil), data...), addr, clock)
+			}
+		},
+		Deliver: func(core.Delivery) {},
+	})
+	primary = core.NewNode(core.DefaultConfig(2), core.Callbacks{
+		Transmit: func(addr wire.MulticastAddr, data []byte) {
+			if sender != nil {
+				sender.HandlePacket(append([]byte(nil), data...), addr, clock)
+			}
+		},
+		Deliver: record(&primaryGot),
+	})
+	shadow = core.NewNode(core.DefaultConfig(2), core.Callbacks{
+		Transmit: func(wire.MulticastAddr, []byte) {}, // mute: the primary speaks for processor 2
+		Deliver:  record(&shadowGot),
+	})
+
+	sender.CreateGroup(0, group, members)
+	primary.CreateGroup(0, group, members)
+	shadow.CreateGroup(0, group, members)
+	clock = 1
+	sender.Tick(1)
+	primary.Tick(1)
+	shadow.Tick(1)
+
+	// The shadow consumes its stream through one decoder, exactly like a
+	// receive worker: decode, clone the scratch body, hand over the raw.
+	var dec wire.Decoder
+	flushShadow := func(now int64) {
+		var batch []core.Incoming
+		for i, raw := range pendingRaw {
+			msg, err := dec.Decode(raw)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			msg.Body = wire.CloneBody(msg.Body)
+			batch = append(batch, core.Incoming{Msg: msg, Raw: raw, Addr: pendingAddr[i]})
+		}
+		pendingRaw, pendingAddr = nil, nil
+		shadow.HandleBatch(batch, now)
+	}
+
+	const msgs = 40
+	for i := 0; i < msgs; i++ {
+		now := int64(i+2) * 10_000_000
+		clock = now
+		if err := sender.Multicast(now, group, ids.ConnectionID{}, 0, []byte(fmt.Sprintf("m-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+		primary.Tick(now)
+		sender.Tick(now)
+		// Mirror the primary's step on the shadow: the accumulated
+		// packets as one batch, then the same tick.
+		flushShadow(now)
+		shadow.Tick(now)
+	}
+	flushShadow(clock)
+
+	if len(primaryGot) == 0 {
+		t.Fatal("primary delivered nothing; test harness is broken")
+	}
+	if len(primaryGot) != len(shadowGot) {
+		t.Fatalf("primary delivered %d, shadow %d", len(primaryGot), len(shadowGot))
+	}
+	for i := range primaryGot {
+		if primaryGot[i] != shadowGot[i] {
+			t.Fatalf("delivery %d differs: primary %+v, shadow %+v", i, primaryGot[i], shadowGot[i])
+		}
+	}
+	ps, ss := primary.Stats(), shadow.Stats()
+	if ps.PacketsIn != ss.PacketsIn {
+		t.Errorf("PacketsIn differs: primary %d, shadow %d", ps.PacketsIn, ss.PacketsIn)
+	}
+	if ps.DecodeErrors != ss.DecodeErrors {
+		t.Errorf("DecodeErrors differs: primary %d, shadow %d", ps.DecodeErrors, ss.DecodeErrors)
+	}
+}
+
+// TestHandleBatchPacked runs the same equivalence through the packed
+// datapath, where one datagram fans out into several ordered entries —
+// the shape the pipeline sees under ftmpd -pack.
+func TestHandleBatchPacked(t *testing.T) {
+	const group = ids.GroupID(11)
+	members := ids.NewMembership(1, 2)
+	var sender, primary, shadow *core.Node
+	var clock int64
+
+	var primaryGot, shadowGot []string
+	var pendingRaw [][]byte
+	var pendingAddr []wire.MulticastAddr
+
+	cfgPacked := func(p ids.ProcessorID) core.Config {
+		cfg := core.DefaultConfig(p)
+		cfg.Pack = core.DefaultPackConfig()
+		return cfg
+	}
+	sender = core.NewNode(cfgPacked(1), core.Callbacks{
+		Transmit: func(addr wire.MulticastAddr, data []byte) {
+			cp := append([]byte(nil), data...)
+			pendingRaw = append(pendingRaw, cp)
+			pendingAddr = append(pendingAddr, addr)
+			if primary != nil {
+				primary.HandlePacket(append([]byte(nil), data...), addr, clock)
+			}
+		},
+		Deliver: func(core.Delivery) {},
+	})
+	primary = core.NewNode(cfgPacked(2), core.Callbacks{
+		Transmit: func(addr wire.MulticastAddr, data []byte) {
+			if sender != nil {
+				sender.HandlePacket(append([]byte(nil), data...), addr, clock)
+			}
+		},
+		Deliver: func(d core.Delivery) { primaryGot = append(primaryGot, string(d.Payload)) },
+	})
+	shadow = core.NewNode(cfgPacked(2), core.Callbacks{
+		Transmit: func(wire.MulticastAddr, []byte) {},
+		Deliver:  func(d core.Delivery) { shadowGot = append(shadowGot, string(d.Payload)) },
+	})
+
+	sender.CreateGroup(0, group, members)
+	primary.CreateGroup(0, group, members)
+	shadow.CreateGroup(0, group, members)
+	clock = 1
+	sender.Tick(1)
+	primary.Tick(1)
+	shadow.Tick(1)
+
+	var dec wire.Decoder
+	flushShadow := func(now int64) {
+		var batch []core.Incoming
+		for i, raw := range pendingRaw {
+			msg, err := dec.Decode(raw)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			msg.Body = wire.CloneBody(msg.Body)
+			batch = append(batch, core.Incoming{Msg: msg, Raw: raw, Addr: pendingAddr[i]})
+		}
+		pendingRaw, pendingAddr = nil, nil
+		shadow.HandleBatch(batch, now)
+	}
+
+	const msgs = 60
+	for i := 0; i < msgs; i++ {
+		now := int64(i+2) * 10_000_000
+		clock = now
+		if err := sender.Multicast(now, group, ids.ConnectionID{}, 0, []byte(fmt.Sprintf("p-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+		primary.Tick(now)
+		sender.Tick(now)
+		flushShadow(now)
+		shadow.Tick(now)
+	}
+	flushShadow(clock)
+
+	if len(primaryGot) == 0 {
+		t.Fatal("primary delivered nothing")
+	}
+	if len(primaryGot) != len(shadowGot) {
+		t.Fatalf("primary delivered %d, shadow %d", len(primaryGot), len(shadowGot))
+	}
+	for i := range primaryGot {
+		if primaryGot[i] != shadowGot[i] {
+			t.Fatalf("delivery %d differs: %q vs %q", i, primaryGot[i], shadowGot[i])
+		}
+	}
+}

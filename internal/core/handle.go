@@ -20,6 +20,72 @@ func (n *Node) HandlePacket(data []byte, addr wire.MulticastAddr, now int64) {
 		return
 	}
 	n.stats.PacketsIn++
+	if gs := n.handleDecoded(msg, data, addr, now, false); gs != nil {
+		n.pump(gs, now)
+	}
+}
+
+// Incoming is one decoded datagram handed to HandleBatch. The decode
+// happened off-loop (a runtime receive worker with its own
+// wire.Decoder); Msg's body must be stable — cloned out of decoder
+// scratch — and the node takes ownership of Raw exactly as
+// HandlePacket takes ownership of data.
+type Incoming struct {
+	Msg  wire.Message
+	Raw  []byte
+	Addr wire.MulticastAddr
+}
+
+// HandleBatch processes a burst of pre-decoded datagrams in arrival
+// order, then pumps each touched group once. Semantically it is
+// equivalent to calling HandlePacket per datagram — every protocol
+// effect is identical and deterministic — but the per-packet pump
+// (delivery drain, recovery check, buffer reclamation) is amortized
+// across the batch, which is what lets the event loop drain a burst in
+// one wakeup.
+func (n *Node) HandleBatch(batch []Incoming, now int64) {
+	n.stats.PacketsIn += uint64(len(batch))
+	// A batch rarely spans many groups; a linear-scan set keeps this
+	// allocation-free for the common single-group burst.
+	var touched []*groupState
+	for i := range batch {
+		gs := n.handleDecoded(batch[i].Msg, batch[i].Raw, batch[i].Addr, now, true)
+		if gs == nil {
+			continue
+		}
+		seen := false
+		for _, t := range touched {
+			if t == gs {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			touched = append(touched, gs)
+		}
+	}
+	for _, gs := range touched {
+		// A later datagram in the batch may have torn the group down
+		// (wedge heal, expulsion); only pump groups still tracked.
+		if n.groups[gs.id] == gs {
+			n.pump(gs, now)
+		}
+	}
+}
+
+// NoteDecodeErrors folds decode failures observed off-loop (by runtime
+// receive workers) into the node's stats. Loop-affine like every other
+// Node method.
+func (n *Node) NoteDecodeErrors(k uint64) {
+	n.stats.DecodeErrors += k
+}
+
+// handleDecoded applies one decoded datagram and returns the group
+// whose pump the caller owes (nil when the message was consumed by a
+// side path that pumps for itself, or dropped). stable reports whether
+// msg's body already survives beyond this call (true for HandleBatch
+// input, false for bodies in decoder scratch).
+func (n *Node) handleDecoded(msg wire.Message, data []byte, addr wire.MulticastAddr, now int64, stable bool) *groupState {
 	h := msg.Header
 	// Lamport receive rule (paper section 6): the local clock advances
 	// past the timestamp of every message received.
@@ -27,16 +93,16 @@ func (n *Node) HandlePacket(data []byte, addr wire.MulticastAddr, now int64) {
 	if h.Source == n.cfg.Self {
 		// Loopback of our own multicast (or a peer retransmitting one of
 		// our messages): all local effects were applied at send time.
-		return
+		return nil
 	}
 
 	switch body := msg.Body.(type) {
 	case *wire.ConnectRequest:
 		n.onConnectRequest(now, body)
-		return
+		return nil
 	case *wire.Connect:
 		n.onConnect(now, msg, data, addr)
-		return
+		return nil
 	}
 
 	gs, ok := n.groups[h.DestGroup]
@@ -47,14 +113,14 @@ func (n *Node) HandlePacket(data []byte, addr wire.MulticastAddr, now int64) {
 		if ap, isAdd := msg.Body.(*wire.AddProcessor); isAdd && ap.NewMember == n.cfg.Self {
 			n.bootstrapFromAdd(now, msg, data)
 		}
-		return
+		return nil
 	}
 
 	// Re-addressed connection rule (paper section 7): ignore messages
 	// for the group on a superseded address with timestamps above the
 	// re-addressing Connect.
 	if ra, stale := n.oldAddrs[addr]; stale && ra.group == h.DestGroup && h.MsgTS > ra.ts && addr != gs.addr {
-		return
+		return nil
 	}
 
 	gs.mem.Heard(h.Source, now)
@@ -64,7 +130,7 @@ func (n *Node) HandlePacket(data []byte, addr wire.MulticastAddr, now int64) {
 	// down and rejoin it rather than process anything further here.
 	if gs.mem.Wedged() && gs.mem.Convicted().Contains(h.Source) {
 		if n.healFromWedge(now, gs) {
-			return
+			return nil
 		}
 	}
 
@@ -76,9 +142,9 @@ func (n *Node) HandlePacket(data []byte, addr wire.MulticastAddr, now int64) {
 	case *wire.Packed:
 		n.onPacked(now, gs, h, body)
 	default:
-		n.onReliable(now, gs, msg, data)
+		n.onReliable(now, gs, msg, data, stable)
 	}
-	n.pump(gs, now)
+	return gs
 }
 
 // onHeartbeat processes a Heartbeat header: liveness, gap detection via
@@ -119,15 +185,18 @@ func (n *Node) onRetransmitRequest(now int64, gs *groupState, req *wire.Retransm
 // messages are recovered through the normal NACK path once its
 // AddProcessor is ordered, and anything else is stray traffic that must
 // not enter the total order.
-func (n *Node) onReliable(now int64, gs *groupState, msg wire.Message, raw []byte) {
+func (n *Node) onReliable(now int64, gs *groupState, msg wire.Message, raw []byte, stable bool) {
 	if !gs.mem.Members().Contains(msg.Header.Source) {
 		return
 	}
 	gs.lastActivity = now
 	// RMP retains the message; hot-path bodies are Decoder scratch and
 	// must be copied out before the next datagram overwrites them (the
-	// raw buffer they alias is retained alongside).
-	msg.Body = wire.CloneBody(msg.Body)
+	// raw buffer they alias is retained alongside). Batch input was
+	// already cloned off-loop by the decode worker.
+	if !stable {
+		msg.Body = wire.CloneBody(msg.Body)
+	}
 	for _, held := range gs.rmp.Receive(msg, raw, now) {
 		h := held.Msg.Header
 		if h.Type.TotallyOrdered() {
@@ -520,7 +589,7 @@ func (n *Node) bootstrapFromAdd(now int64, msg wire.Message, raw []byte) {
 	// Process the AddProcessor itself through RMP (it is the first
 	// message after the cut from its source) and announce ourselves so
 	// the others' horizons include us.
-	n.onReliable(now, gs, msg, raw)
+	n.onReliable(now, gs, msg, raw, false)
 	n.sendHeartbeat(now, gs)
 	n.pump(gs, now)
 }
@@ -692,7 +761,7 @@ func (n *Node) onConnect(now int64, msg wire.Message, raw []byte, arrival wire.M
 	gs.mem.Heard(h.Source, now)
 	// The Connect flows through RMP/ROMP like any ordered message; its
 	// connection-table effects apply at ordered delivery.
-	n.onReliable(now, gs, msg, raw)
+	n.onReliable(now, gs, msg, raw, false)
 	// Announce ourselves promptly so everyone's horizon can pass the
 	// Connect's timestamp (paper's post-Connect gate).
 	if gs.joined && gs.gateTS == ids.NilTimestamp {

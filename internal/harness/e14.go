@@ -1,0 +1,305 @@
+package harness
+
+// Experiment E14: the pipelined runtime datapath, end to end.
+//
+// Unlike E1-E13, which run on the deterministic simulated network, E14
+// measures the real runtime over real UDP sockets on the loopback
+// interface with a real write-ahead log (fsync=always on a temporary
+// directory). Three durable replicas form a group; one of them
+// multicasts a windowed stream of small messages and we measure the
+// sustained totally-ordered, durable delivery rate plus the
+// send-to-deliver latency distribution at the sender.
+//
+// Two modes run back to back on identical hardware:
+//
+//	baseline  — the classic single-threaded loop: decode, protocol,
+//	            WAL append + fsync (WrapDurable) and the application
+//	            callback all on one goroutine, one fsync per delivery.
+//	pipelined — parallel receive/decode workers, async ordered delivery
+//	            executor with WAL group commit (one fsync per batch),
+//	            sharded sends.
+//
+// The interesting columns are msg/s (the pipeline's reason to exist),
+// the fsync count (group commit's amortization made visible) and the
+// latency percentiles (batching must not wreck tail latency).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftmp/internal/core"
+	"ftmp/internal/ids"
+	"ftmp/internal/runtime"
+	"ftmp/internal/trace"
+	"ftmp/internal/transport"
+	"ftmp/internal/wal"
+	"ftmp/internal/wire"
+)
+
+// E14Result is one mode's measurement.
+type E14Result struct {
+	Mode          string
+	Msgs          int
+	Seconds       float64
+	Throughput    float64 // sustained delivered msg/s at the sender
+	P50, P95, P99 float64 // send->deliver latency, milliseconds
+	Fsyncs        uint64
+	GroupCommits  uint64
+	RxDrops       uint64
+	Err           error
+}
+
+const (
+	e14Group   = ids.GroupID(1400)
+	e14Window  = 128 // sender keeps this many messages in flight
+	e14Warmup  = 50  // unmeasured messages to settle the group first
+	e14Payload = 64  // bytes per message (seq in the first 8)
+)
+
+// RunE14 measures one mode. pipelined selects the runtime datapath;
+// everything else (group, transport, WAL policy, load) is identical.
+func RunE14(pipelined bool, msgs int) E14Result {
+	mode := "baseline"
+	if pipelined {
+		mode = "pipelined"
+	}
+	res := E14Result{Mode: mode, Msgs: msgs}
+	fail := func(err error) E14Result { res.Err = err; return res }
+
+	trace.ResetCounters()
+	const n = 3
+	members := ids.NewMembership(1, 2, 3)
+
+	type e14node struct {
+		r    *runtime.Runner
+		mesh *transport.UDPMesh
+		log  *wal.Log
+		dir  string
+		got  atomic.Int64 // payload messages delivered
+	}
+	nodes := make([]*e14node, n)
+
+	// Latency bookkeeping: the sender stamps each sequence number before
+	// handing it to the loop; its own Deliver callback reads the stamp.
+	sendTimes := make([]int64, e14Warmup+msgs)
+	latencies := make([]float64, 0, msgs)
+	var latMu sync.Mutex
+	senderDone := make(chan struct{})
+	var senderDoneOnce sync.Once
+
+	defer func() {
+		for _, nd := range nodes {
+			if nd == nil {
+				continue
+			}
+			if nd.r != nil {
+				nd.r.Close()
+			}
+			if nd.log != nil {
+				_ = nd.log.Close()
+			}
+			if nd.dir != "" {
+				_ = os.RemoveAll(nd.dir)
+			}
+		}
+	}()
+
+	total := e14Warmup + msgs
+	for i := 0; i < n; i++ {
+		nd := &e14node{}
+		nodes[i] = nd
+		p := ids.ProcessorID(i + 1)
+
+		dir, err := os.MkdirTemp("", fmt.Sprintf("ftmp-e14-%s-p%d-", mode, p))
+		if err != nil {
+			return fail(err)
+		}
+		nd.dir = dir
+		dfs, err := wal.NewDirFS(dir)
+		if err != nil {
+			return fail(err)
+		}
+		nd.log, _, err = wal.Open(wal.Config{
+			FS:     dfs,
+			Policy: wal.SyncAlways,
+			Now:    func() int64 { return time.Now().UnixNano() },
+		})
+		if err != nil {
+			return fail(err)
+		}
+
+		cfg := core.DefaultConfig(p)
+		cfg.PGMP.SuspectTimeout = 5_000_000_000 // no convictions under load
+		cb := core.Callbacks{
+			Transmit: func(wire.MulticastAddr, []byte) {}, // installed by the runner
+			Deliver: func(d core.Delivery) {
+				if len(d.Payload) != e14Payload {
+					return
+				}
+				seq := int64(binary.BigEndian.Uint64(d.Payload))
+				if i == 0 && seq >= e14Warmup {
+					lat := float64(time.Now().UnixNano()-atomic.LoadInt64(&sendTimes[seq])) / 1e6
+					latMu.Lock()
+					latencies = append(latencies, lat)
+					latMu.Unlock()
+				}
+				if nd.got.Add(1) == int64(total) && i == 0 {
+					senderDoneOnce.Do(func() { close(senderDone) })
+				}
+			},
+		}
+		opts := runtime.Options{}
+		if pipelined {
+			opts = runtime.Options{
+				RecvWorkers:   4,
+				DeliveryDepth: 1024,
+				SendShards:    2,
+				WAL:           nd.log,
+				WALBatch:      64,
+			}
+		} else {
+			cb = runtime.WrapDurable(nd.log, cb, nil)
+		}
+		nd.r, err = runtime.New(cfg, cb, func(h transport.Handler) (transport.Transport, error) {
+			m, err := transport.NewUDPMesh("127.0.0.1:0", h)
+			nd.mesh = m
+			return m, err
+		}, opts)
+		if err != nil {
+			return fail(err)
+		}
+	}
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if err := a.mesh.AddPeer(b.mesh.LocalAddr()); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	for _, nd := range nodes {
+		nd.r.Do(func(node *core.Node, now int64) {
+			node.CreateGroup(now, e14Group, members)
+		})
+	}
+
+	// Windowed sender: at most e14Window messages beyond the slowest
+	// count this node has delivered itself; retries when the core's send
+	// queue pushes back. Warmup messages settle membership and JIT-warm
+	// the path before the clock starts.
+	sender := nodes[0]
+	send := func(seq int) error {
+		payload := make([]byte, e14Payload)
+		binary.BigEndian.PutUint64(payload, uint64(seq))
+		for {
+			for int64(seq)-sender.got.Load() >= e14Window {
+				time.Sleep(50 * time.Microsecond)
+			}
+			var err error
+			atomic.StoreInt64(&sendTimes[seq], time.Now().UnixNano())
+			sender.r.Do(func(node *core.Node, now int64) {
+				err = node.Multicast(now, e14Group, ids.ConnectionID{}, 0, payload)
+			})
+			if err == nil {
+				return nil
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	for seq := 0; seq < e14Warmup; seq++ {
+		if err := send(seq); err != nil {
+			return fail(err)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for sender.got.Load() < e14Warmup {
+		if time.Now().After(deadline) {
+			return fail(fmt.Errorf("warmup never delivered (%d/%d)", sender.got.Load(), e14Warmup))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	for seq := e14Warmup; seq < total; seq++ {
+		if err := send(seq); err != nil {
+			return fail(err)
+		}
+	}
+	select {
+	case <-senderDone:
+	case <-time.After(120 * time.Second):
+		return fail(fmt.Errorf("measured stream never completed (%d/%d)", sender.got.Load(), int64(total)))
+	}
+	elapsed := time.Since(start)
+
+	// Let the other replicas finish before counting their fsyncs.
+	deadline = time.Now().Add(30 * time.Second)
+	for nodes[1].got.Load() < int64(total) || nodes[2].got.Load() < int64(total) {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, nd := range nodes {
+		if pipelined {
+			if err := nd.r.WALSync(); err != nil {
+				return fail(err)
+			}
+		}
+		nd.r.Close()
+	}
+
+	res.Seconds = elapsed.Seconds()
+	res.Throughput = float64(msgs) / res.Seconds
+	sort.Float64s(latencies)
+	res.P50 = e14Percentile(latencies, 0.50)
+	res.P95 = e14Percentile(latencies, 0.95)
+	res.P99 = e14Percentile(latencies, 0.99)
+	res.Fsyncs = trace.Counter("wal.fsyncs")
+	res.GroupCommits = trace.Counter("wal.group_commits")
+	res.RxDrops = trace.Counter("runtime.rx_overflow_drops")
+	return res
+}
+
+func e14Percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted)-1) + 0.5)
+	return sorted[idx]
+}
+
+// E14Pipeline regenerates experiment E14: both modes back to back, with
+// the pipelined row reporting its speedup over the baseline.
+func E14Pipeline(msgs int) *trace.Table {
+	tb := trace.NewTable(
+		"E14: pipelined runtime vs single-loop baseline (3 durable replicas, UDP loopback, fsync=always)",
+		"mode", "msgs", "elapsed s", "msg/s", "p50 ms", "p95 ms", "p99 ms", "fsyncs", "group commits", "rx drops", "vs baseline")
+	base := RunE14(false, msgs)
+	pipe := RunE14(true, msgs)
+	row := func(r E14Result, speedup float64) {
+		if r.Err != nil {
+			tb.AddRow(r.Mode, r.Msgs, "FAILED: "+r.Err.Error(), "-", "-", "-", "-", "-", "-", "-", "-")
+			return
+		}
+		tb.AddRow(r.Mode, r.Msgs,
+			fmt.Sprintf("%.2f", r.Seconds),
+			fmt.Sprintf("%.0f", r.Throughput),
+			fmt.Sprintf("%.2f", r.P50),
+			fmt.Sprintf("%.2f", r.P95),
+			fmt.Sprintf("%.2f", r.P99),
+			r.Fsyncs, r.GroupCommits, r.RxDrops,
+			fmt.Sprintf("%.2fx", speedup))
+	}
+	row(base, 1.0)
+	speedup := 0.0
+	if base.Err == nil && pipe.Err == nil && base.Throughput > 0 {
+		speedup = pipe.Throughput / base.Throughput
+	}
+	row(pipe, speedup)
+	return tb
+}

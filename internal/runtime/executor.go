@@ -1,0 +1,235 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ftmp/internal/core"
+	"ftmp/internal/ids"
+	"ftmp/internal/trace"
+	"ftmp/internal/wal"
+)
+
+// executor runs application upcalls (deliveries, view changes, fault
+// reports) off the event loop, in exactly the order the core emitted
+// them. The loop enqueues; one executor goroutine dequeues in chunks,
+// group-commits the chunk's WAL records with a single fsync
+// (wal.SyncBatch), and only then invokes the application callbacks —
+// the same write-ahead contract as WrapDurable, amortized.
+//
+// The queue is unbounded on purpose: an enqueue that blocked the loop
+// could deadlock with an application callback that calls Runner.Do.
+// Backpressure is instead a soft watermark (backlogged): when the
+// backlog passes the configured depth, the loop pauses draining the
+// receive ring — ingestion stalls, the loop itself stays live for
+// ticks, retransmissions and operations.
+type executor struct {
+	cb    core.Callbacks // application-facing callbacks only
+	sb    *wal.SyncBatch // nil when not durable
+	onErr func(error)
+	chunk int // max upcalls (and WAL records) per group commit
+	depth int // backlog watermark that pauses ingestion
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []upcall
+	closed bool
+	qlen   atomic.Int64
+	done   chan struct{}
+}
+
+type upKind uint8
+
+const (
+	upDeliver upKind = iota
+	upView
+	upFault
+	upBarrier
+)
+
+type upcall struct {
+	kind upKind
+	d    core.Delivery
+	v    core.ViewChange
+	// fault report
+	group     ids.GroupID
+	convicted ids.Membership
+	// barrier reply channel (buffered, cap 1)
+	barrier chan error
+}
+
+func newExecutor(cb core.Callbacks, w *wal.Log, chunk, depth int, onErr func(error)) *executor {
+	e := &executor{
+		cb:    cb,
+		onErr: onErr,
+		chunk: chunk,
+		depth: depth,
+		done:  make(chan struct{}),
+	}
+	if w != nil {
+		e.sb = wal.NewSyncBatch(w)
+	}
+	e.cond = sync.NewCond(&e.mu)
+	go e.run()
+	return e
+}
+
+// enqueue hands one upcall to the executor. Never blocks. After close
+// (only the Runner closes, after the loop has stopped) a barrier is
+// answered inline and anything else is dropped — by then the queue has
+// fully drained, so nothing is lost.
+func (e *executor) enqueue(u upcall) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		if u.barrier != nil {
+			u.barrier <- e.syncNow()
+		}
+		return
+	}
+	e.q = append(e.q, u)
+	e.qlen.Add(1)
+	e.cond.Signal()
+	e.mu.Unlock()
+}
+
+// backlogged reports whether the loop should pause ingestion.
+func (e *executor) backlogged() bool {
+	return e.depth > 0 && int(e.qlen.Load()) >= e.depth
+}
+
+// syncNow forces everything committed so far to stable storage.
+func (e *executor) syncNow() error {
+	if e.sb == nil {
+		return nil
+	}
+	return e.sb.Sync()
+}
+
+func (e *executor) run() {
+	defer close(e.done)
+	var chunk []upcall
+	var recs []wal.Record
+	for {
+		e.mu.Lock()
+		for len(e.q) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.q) == 0 {
+			e.mu.Unlock()
+			// Closed and drained: leave nothing volatile behind.
+			if err := e.syncNow(); err != nil && e.onErr != nil {
+				e.onErr(err)
+			}
+			return
+		}
+		n := len(e.q)
+		if n > e.chunk {
+			n = e.chunk
+		}
+		chunk = append(chunk[:0], e.q[:n]...)
+		if n == len(e.q) {
+			e.q = e.q[:0]
+		} else {
+			rest := copy(e.q, e.q[n:])
+			for i := rest; i < len(e.q); i++ {
+				e.q[i] = upcall{}
+			}
+			e.q = e.q[:rest]
+		}
+		e.qlen.Add(-int64(n))
+		e.mu.Unlock()
+
+		// Write-ahead, amortized: every record this chunk implies becomes
+		// durable in one group commit before any of its callbacks run.
+		if e.sb != nil {
+			recs = recs[:0]
+			for _, u := range chunk {
+				switch u.kind {
+				case upDeliver:
+					recs = append(recs, deliverRecord(u.d))
+				case upView:
+					if rec, ok := viewRecord(u.v); ok {
+						recs = append(recs, rec)
+					}
+				}
+			}
+			if len(recs) > 0 {
+				if err := e.sb.Commit(recs...); err != nil && e.onErr != nil {
+					// As in WrapDurable: report loudly, still deliver —
+					// availability is not sacrificed to a full disk.
+					e.onErr(err)
+				}
+			}
+		}
+
+		for i := range chunk {
+			u := &chunk[i]
+			switch u.kind {
+			case upDeliver:
+				trace.Inc("runtime.exec_deliveries")
+				if e.cb.Deliver != nil {
+					e.cb.Deliver(u.d)
+				}
+			case upView:
+				if e.cb.ViewChange != nil {
+					e.cb.ViewChange(u.v)
+				}
+			case upFault:
+				if e.cb.FaultReport != nil {
+					e.cb.FaultReport(u.group, u.convicted)
+				}
+			case upBarrier:
+				u.barrier <- e.syncNow()
+			}
+			*u = upcall{}
+		}
+	}
+}
+
+// close marks the queue closed and waits for the executor to drain
+// everything already enqueued (including a final WAL sync).
+func (e *executor) close() {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		e.cond.Signal()
+	}
+	e.mu.Unlock()
+	<-e.done
+}
+
+// deliverRecord maps an ordered delivery to its WAL record.
+func deliverRecord(d core.Delivery) wal.Record {
+	return wal.Record{Type: wal.RecOp, Op: &wal.OpRecord{
+		Conn:    d.Conn,
+		ReqNum:  d.RequestNum,
+		Request: true,
+		TS:      d.TS,
+		Payload: d.Payload,
+	}}
+}
+
+// viewRecord maps an installed view to its WAL record. ViewWedge
+// records the wedge point (nothing was installed); ViewHeal is a
+// teardown notice that must not clear the wedge marker, so it logs
+// nothing; everything else is a new epoch.
+func viewRecord(v core.ViewChange) (wal.Record, bool) {
+	switch v.Reason {
+	case core.ViewWedge:
+		return wal.Record{Type: wal.RecWedge, Wedge: &wal.WedgeRecord{
+			Group:   v.Group,
+			Epoch:   v.Epoch,
+			ViewTS:  v.ViewTS,
+			Members: v.Members.Clone(),
+		}}, true
+	case core.ViewHeal:
+		return wal.Record{}, false
+	default:
+		return wal.Record{Type: wal.RecEpoch, Epoch: &wal.EpochRecord{
+			Group:   v.Group,
+			ViewTS:  v.ViewTS,
+			Members: v.Members.Clone(),
+		}}, true
+	}
+}

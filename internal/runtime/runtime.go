@@ -1,22 +1,52 @@
 // Package runtime drives an FTMP node over a real network in real time.
-// The node itself is a single-threaded state machine (package core); the
-// Runner serializes everything onto one event-loop goroutine: received
-// datagrams, timer ticks, and application operations submitted through
-// Do. Upcalls (deliveries, view changes, fault reports) run on the loop
-// goroutine, so application callbacks see the same single-threaded world
-// the simulator provides.
+// The node itself is a single-threaded state machine (package core) and
+// stays that way; the Runner serializes everything onto one event-loop
+// goroutine: received datagrams, timer ticks, and application
+// operations submitted through Do.
+//
+// By default the runner is fully synchronous — upcalls (deliveries,
+// view changes, fault reports) run on the loop goroutine, so
+// application callbacks see the same single-threaded world the
+// simulator provides. Options can independently move each side of the
+// datapath off the loop, turning the runner into a pipeline around the
+// still-single-threaded core:
+//
+//	readers ──▶ rxRing ──▶ decode workers ─┐
+//	                                       ▼ (in arrival order)
+//	                        event loop: core.HandleBatch / Tick / Do
+//	                           │                      │
+//	                 Transmit  ▼                      ▼  Deliver/ViewChange/FaultReport
+//	              sharded send queues        ordered delivery executor
+//	                           │                      │ (WAL group commit, then app)
+//	                           ▼                      ▼
+//	                       transport              application
+//
+// RecvWorkers moves datagram decode off the loop (the ring resequences,
+// so the core still sees arrival order). DeliveryDepth moves upcalls
+// onto an ordered executor, optionally group-committing a write-ahead
+// log (WAL) before the application observes each event — the pipelined
+// equivalent of WrapDurable. SendShards moves socket writes off the
+// loop. Each is opt-in precisely because some hosts (the CORBA infra)
+// require loop-affine callbacks; zero Options reproduce the legacy
+// synchronous runner exactly.
 package runtime
 
 import (
+	"fmt"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ftmp/internal/core"
+	"ftmp/internal/ids"
+	"ftmp/internal/trace"
 	"ftmp/internal/transport"
+	"ftmp/internal/wal"
 	"ftmp/internal/wire"
 )
 
-// packet is one received datagram queued for the loop.
+// packet is one received datagram queued for the loop (legacy path).
 type packet struct {
 	data []byte
 	addr wire.MulticastAddr
@@ -27,29 +57,83 @@ type Runner struct {
 	Node *core.Node
 
 	tr       transport.Transport
-	packets  chan packet
+	packets  chan packet // legacy receive queue (nil when ring is set)
+	ring     *rxRing     // pipelined receive ring (nil when packets is set)
+	workers  int
+	workStop chan struct{}
+	workWG   sync.WaitGroup
+	batchMax int
+	batch    []core.Incoming
+	paused   bool // loop-only: ingestion paused by executor backlog
+
+	exec *executor
+	snd  *sender
+
 	ops      chan func(now int64)
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     chan struct{}
 	tick     time.Duration
 	start    time.Time
+
+	dropWarn warnLimiter
 }
 
-// Options configures a Runner.
+// Options configures a Runner. The zero value is the legacy fully
+// synchronous runner; each pipeline stage is enabled independently.
 type Options struct {
 	// Tick is the timer cadence (default 1ms).
 	Tick time.Duration
-	// QueueDepth bounds the receive queue (default 4096). Overflow
-	// drops datagrams, which the protocol treats as network loss.
+	// QueueDepth bounds the receive queue — the channel depth on the
+	// legacy path, the ring capacity (rounded up to a power of two) when
+	// RecvWorkers > 0 (default 4096). Overflow drops datagrams, which
+	// the protocol treats as network loss; drops are counted in the
+	// runtime.rx_overflow_drops trace counter.
 	QueueDepth int
+
+	// RecvWorkers > 0 enables the parallel receive stage: that many
+	// decode workers pre-parse datagrams off the loop and the loop
+	// ingests them in arrival-order batches via core.HandleBatch.
+	RecvWorkers int
+	// BatchMax caps the messages per HandleBatch call (default 256).
+	BatchMax int
+
+	// DeliveryDepth > 0 enables the async ordered delivery executor:
+	// Deliver/ViewChange/FaultReport upcalls run on a dedicated
+	// goroutine in emission order, and when the executor's backlog
+	// reaches DeliveryDepth the loop pauses receive-ring ingestion (the
+	// loop itself stays live) until the application catches up.
+	// Application callbacks then run OFF the loop goroutine; they may
+	// still call Runner.Do.
+	DeliveryDepth int
+	// WAL, when set together with DeliveryDepth, is group-committed by
+	// the executor: all records implied by one executor chunk become
+	// durable in a single fsync (wal.SyncBatch) before any of the
+	// chunk's callbacks run. This replaces WrapDurable — do not use
+	// both. Ignored when DeliveryDepth == 0.
+	WAL *wal.Log
+	// WALBatch caps upcalls per group commit (default 64).
+	WALBatch int
+	// OnWALError hears executor WAL failures (may be nil); as with
+	// WrapDurable the event still reaches the application.
+	OnWALError func(error)
+
+	// SendShards > 0 enables the async send stage: transmissions are
+	// hashed by destination onto that many bounded FIFO queues, each
+	// drained by its own goroutine. Full-queue overflow drops the packet
+	// (counted in runtime.tx_overflow_drops).
+	SendShards int
+	// SendDepth bounds each send shard's queue (default 1024).
+	SendDepth int
 }
 
 // New creates a runner. The caller supplies the node configuration and
 // callbacks; the runner overrides the transport-facing callbacks
 // (Transmit, Subscribe, Unsubscribe) to use mkTransport's transport and
 // leaves the application-facing ones (Deliver, ViewChange, FaultReport)
-// untouched. mkTransport receives the handler the transport must invoke.
+// untouched — though with DeliveryDepth > 0 they are invoked from the
+// executor goroutine instead of the loop. mkTransport receives the
+// handler the transport must invoke.
 func New(cfg core.Config, cb core.Callbacks, mkTransport func(transport.Handler) (transport.Transport, error), opt Options) (*Runner, error) {
 	if opt.Tick == 0 {
 		opt.Tick = time.Millisecond
@@ -57,42 +141,117 @@ func New(cfg core.Config, cb core.Callbacks, mkTransport func(transport.Handler)
 	if opt.QueueDepth == 0 {
 		opt.QueueDepth = 4096
 	}
-	r := &Runner{
-		packets: make(chan packet, opt.QueueDepth),
-		ops:     make(chan func(now int64), 256),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
-		tick:    opt.Tick,
-		start:   time.Now(),
+	if opt.BatchMax == 0 {
+		opt.BatchMax = 256
 	}
-	tr, err := mkTransport(func(data []byte, addr wire.MulticastAddr) {
-		select {
-		case r.packets <- packet{data: data, addr: addr}:
-		default:
-			// Queue overflow: drop, as a congested NIC would.
+	if opt.WALBatch == 0 {
+		opt.WALBatch = 64
+	}
+	if opt.SendDepth == 0 {
+		opt.SendDepth = 1024
+	}
+	r := &Runner{
+		ops:      make(chan func(now int64), 256),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		tick:     opt.Tick,
+		start:    time.Now(),
+		workers:  opt.RecvWorkers,
+		batchMax: opt.BatchMax,
+	}
+
+	var handler transport.Handler
+	if opt.RecvWorkers > 0 {
+		r.ring = newRxRing(opt.QueueDepth)
+		r.workStop = make(chan struct{})
+		r.batch = make([]core.Incoming, 0, opt.BatchMax)
+		handler = func(data []byte, addr wire.MulticastAddr) {
+			if !r.ring.offer(data, addr) {
+				r.noteRxDrop()
+			}
 		}
-	})
+	} else {
+		r.packets = make(chan packet, opt.QueueDepth)
+		handler = func(data []byte, addr wire.MulticastAddr) {
+			select {
+			case r.packets <- packet{data: data, addr: addr}:
+			default:
+				// Queue overflow: drop, as a congested NIC would — but
+				// never silently.
+				r.noteRxDrop()
+			}
+		}
+	}
+
+	tr, err := mkTransport(handler)
 	if err != nil {
 		return nil, err
 	}
 	r.tr = tr
-	cb.Transmit = func(addr wire.MulticastAddr, data []byte) {
-		// Best-effort: transmission errors look like loss to the peer
-		// and are repaired by the protocol.
-		_ = tr.Send(addr, data)
+
+	if opt.SendShards > 0 {
+		r.snd = newSender(tr, opt.SendShards, opt.SendDepth)
+		cb.Transmit = r.snd.send
+	} else {
+		cb.Transmit = func(addr wire.MulticastAddr, data []byte) {
+			// Best-effort: transmission errors look like loss to the peer
+			// and are repaired by the protocol.
+			_ = tr.Send(addr, data)
+		}
 	}
 	cb.Subscribe = func(addr wire.MulticastAddr) { _ = tr.Join(addr) }
 	cb.Unsubscribe = func(addr wire.MulticastAddr) { _ = tr.Leave(addr) }
+
+	if opt.DeliveryDepth > 0 {
+		app := core.Callbacks{
+			Deliver:     cb.Deliver,
+			ViewChange:  cb.ViewChange,
+			FaultReport: cb.FaultReport,
+		}
+		r.exec = newExecutor(app, opt.WAL, opt.WALBatch, opt.DeliveryDepth, opt.OnWALError)
+		cb.Deliver = func(d core.Delivery) {
+			r.exec.enqueue(upcall{kind: upDeliver, d: d})
+		}
+		cb.ViewChange = func(v core.ViewChange) {
+			r.exec.enqueue(upcall{kind: upView, v: v})
+		}
+		cb.FaultReport = func(g ids.GroupID, convicted ids.Membership) {
+			r.exec.enqueue(upcall{kind: upFault, group: g, convicted: convicted})
+		}
+	}
+
 	r.Node = core.NewNode(cfg, cb)
+	for i := 0; i < r.workers; i++ {
+		r.workWG.Add(1)
+		go r.decodeWorker()
+	}
 	go r.loop()
 	return r, nil
+}
+
+// noteRxDrop counts a receive overflow and warns, rate-limited, so a
+// persistently overrun replica is visible in logs without flooding them.
+func (r *Runner) noteRxDrop() {
+	trace.Inc("runtime.rx_overflow_drops")
+	if r.dropWarn.allow(time.Now().UnixNano(), int64(time.Second)) {
+		fmt.Fprintf(os.Stderr,
+			"ftmp/runtime: receive queue overflow, dropping datagrams (%d so far)\n",
+			trace.Counter("runtime.rx_overflow_drops"))
+	}
+}
+
+// decodeWorker pre-parses datagrams off the loop with its own decoder.
+func (r *Runner) decodeWorker() {
+	defer r.workWG.Done()
+	var dec wire.Decoder
+	for r.ring.decodeOne(&dec, r.workStop) {
+	}
 }
 
 // now returns monotonic nanoseconds since the runner started.
 func (r *Runner) now() int64 { return int64(time.Since(r.start)) }
 
-// Now returns the runner's monotonic clock. Callbacks that run on the
-// loop goroutine (Deliver, ViewChange, FaultReport) may use it to
+// Now returns the runner's monotonic clock. Callbacks may use it to
 // timestamp follow-up operations.
 func (r *Runner) Now() int64 { return r.now() }
 
@@ -100,6 +259,24 @@ func (r *Runner) loop() {
 	defer close(r.done)
 	ticker := time.NewTicker(r.tick)
 	defer ticker.Stop()
+	if r.ring != nil {
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-r.ring.notify:
+				r.drainRing()
+			case op := <-r.ops:
+				op(r.now())
+			case <-ticker.C:
+				// The tick also resumes ingestion after a backpressure
+				// pause (the ring's wakeup may have been consumed while
+				// paused), at worst one tick late.
+				r.drainRing()
+				r.Node.Tick(r.now())
+			}
+		}
+	}
 	for {
 		select {
 		case <-r.stop:
@@ -111,6 +288,35 @@ func (r *Runner) loop() {
 		case <-ticker.C:
 			r.Node.Tick(r.now())
 		}
+	}
+}
+
+// drainRing feeds one batch from the receive ring into the core,
+// unless the delivery executor is backlogged — then ingestion pauses
+// (the ring and, transitively, the kernel socket buffer absorb the
+// burst) while ticks and operations stay live.
+func (r *Runner) drainRing() {
+	if r.exec != nil && r.exec.backlogged() {
+		if !r.paused {
+			r.paused = true
+			trace.Inc("runtime.ingest_pauses")
+		}
+		return
+	}
+	r.paused = false
+	batch, errs := r.ring.drain(r.batchMax, r.batch[:0])
+	if errs > 0 {
+		r.Node.NoteDecodeErrors(errs)
+	}
+	if len(batch) > 0 {
+		r.Node.HandleBatch(batch, r.now())
+		trace.Inc("runtime.rx_batches")
+		trace.Count("runtime.rx_batched_msgs", uint64(len(batch)))
+	}
+	r.batch = batch[:0]
+	if r.ring.hasReady() {
+		// Hit the batch cap with more already decoded: re-arm.
+		r.ring.wake()
 	}
 }
 
@@ -132,11 +338,57 @@ func (r *Runner) Do(fn func(node *core.Node, now int64)) {
 	}
 }
 
-// Close stops the loop and the transport.
+// WALSync is the durability barrier for executor-owned WALs: it blocks
+// until every upcall enqueued before it has run and the log is forced
+// to stable storage. With no executor (or no WAL) it returns nil — the
+// legacy path syncs its log directly.
+func (r *Runner) WALSync() error {
+	if r.exec == nil {
+		return nil
+	}
+	ch := make(chan error, 1)
+	r.exec.enqueue(upcall{kind: upBarrier, barrier: ch})
+	return <-ch
+}
+
+// Backlogged reports whether the delivery executor is over its
+// watermark (ingestion paused). Always false without an executor.
+func (r *Runner) Backlogged() bool {
+	return r.exec != nil && r.exec.backlogged()
+}
+
+// Close stops the pipeline in dependency order: the loop first (no new
+// sends or upcalls), then the send shards flush while the transport is
+// still up, then the transport (stops the readers), the decode workers,
+// and finally the executor drains every remaining upcall — including
+// the final WAL group commit and sync.
 func (r *Runner) Close() {
 	r.stopOnce.Do(func() {
 		close(r.stop)
 		<-r.done
+		if r.snd != nil {
+			r.snd.close()
+		}
 		_ = r.tr.Close()
+		if r.workStop != nil {
+			close(r.workStop)
+			r.workWG.Wait()
+		}
+		if r.exec != nil {
+			r.exec.close()
+		}
 	})
+}
+
+// warnLimiter allows one event per interval, concurrency-safe.
+type warnLimiter struct {
+	last atomic.Int64
+}
+
+func (w *warnLimiter) allow(now, interval int64) bool {
+	l := w.last.Load()
+	if l != 0 && now-l < interval {
+		return false
+	}
+	return w.last.CompareAndSwap(l, now)
 }

@@ -1,0 +1,78 @@
+package runtime
+
+import (
+	"sync"
+
+	"ftmp/internal/trace"
+	"ftmp/internal/transport"
+	"ftmp/internal/wire"
+)
+
+// sender moves transmission off the event loop: Transmit hashes the
+// destination onto one of a fixed set of shards, each a bounded FIFO
+// drained by its own worker goroutine. Per-destination ordering is
+// preserved (an address always maps to the same shard); a full shard
+// drops the packet, which the protocol repairs as network loss, and the
+// loop never blocks on a slow socket.
+type sender struct {
+	tr     transport.Transport
+	shards []chan txItem
+	wg     sync.WaitGroup
+	once   sync.Once
+}
+
+type txItem struct {
+	addr wire.MulticastAddr
+	data []byte
+}
+
+func newSender(tr transport.Transport, shards, depth int) *sender {
+	s := &sender{tr: tr, shards: make([]chan txItem, shards)}
+	for i := range s.shards {
+		ch := make(chan txItem, depth)
+		s.shards[i] = ch
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for it := range ch {
+				// Best-effort, as on the loop path: send errors look like
+				// loss to the peer and are repaired by the protocol.
+				_ = s.tr.Send(it.addr, it.data)
+			}
+		}()
+	}
+	return s
+}
+
+// send enqueues one encoded packet. Loop-only (Transmit callback).
+func (s *sender) send(addr wire.MulticastAddr, data []byte) {
+	ch := s.shards[addrHash(addr)%uint32(len(s.shards))]
+	select {
+	case ch <- txItem{addr: addr, data: data}:
+	default:
+		trace.Inc("runtime.tx_overflow_drops")
+	}
+}
+
+// close flushes every shard and waits for the workers. Must be called
+// after the loop has stopped (no more send calls) and before the
+// transport closes (the flush still needs it).
+func (s *sender) close() {
+	s.once.Do(func() {
+		for _, ch := range s.shards {
+			close(ch)
+		}
+		s.wg.Wait()
+	})
+}
+
+// addrHash is FNV-1a over the destination address.
+func addrHash(addr wire.MulticastAddr) uint32 {
+	h := uint32(2166136261)
+	for _, b := range addr.IP {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	h = (h ^ uint32(addr.Port&0xff)) * 16777619
+	h = (h ^ uint32(addr.Port>>8)) * 16777619
+	return h
+}

@@ -95,37 +95,18 @@ func WrapDurable(w *wal.Log, cb core.Callbacks, onErr func(error)) core.Callback
 	out := cb
 	inner := cb.Deliver
 	out.Deliver = func(d core.Delivery) {
-		report(w.Append(wal.Record{Type: wal.RecOp, Op: &wal.OpRecord{
-			Conn:    d.Conn,
-			ReqNum:  d.RequestNum,
-			Request: true,
-			TS:      d.TS,
-			Payload: d.Payload,
-		}}))
+		report(w.Append(deliverRecord(d)))
 		if inner != nil {
 			inner(d)
 		}
 	}
 	innerView := cb.ViewChange
 	out.ViewChange = func(v core.ViewChange) {
-		if v.Reason == core.ViewWedge {
-			// Nothing was installed: record the wedge point instead of a
-			// new epoch, so recovery knows the log tail is pre-rejoin.
-			report(w.Append(wal.Record{Type: wal.RecWedge, Wedge: &wal.WedgeRecord{
-				Group:   v.Group,
-				Epoch:   v.Epoch,
-				ViewTS:  v.ViewTS,
-				Members: v.Members.Clone(),
-			}}))
-		} else if v.Reason == core.ViewHeal {
-			// Teardown notice, not an installation; the wedge marker must
-			// survive until the rejoin installs a fresh epoch.
-		} else {
-			report(w.Append(wal.Record{Type: wal.RecEpoch, Epoch: &wal.EpochRecord{
-				Group:   v.Group,
-				ViewTS:  v.ViewTS,
-				Members: v.Members.Clone(),
-			}}))
+		// ViewWedge records the wedge point (nothing was installed);
+		// ViewHeal is a teardown notice whose wedge marker must survive
+		// until the rejoin installs a fresh epoch, so it logs nothing.
+		if rec, ok := viewRecord(v); ok {
+			report(w.Append(rec))
 		}
 		if innerView != nil {
 			innerView(v)

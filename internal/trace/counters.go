@@ -3,19 +3,41 @@ package trace
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
-// counters is a process-wide registry of named event counters. Layers
+// The registry is a process-wide set of named event counters. Layers
 // bump them on robustness-relevant events (suspicions, convictions,
 // connection retries, rejoin attempts, transport read errors, gateway
 // load shedding) so operators and experiments can see what the stack
 // did without threading a stats object through every layer. Counters
 // are observational only: no protocol decision ever reads one, so they
 // cannot perturb the deterministic simulations.
-var (
-	countersMu sync.Mutex
-	counters   = make(map[string]uint64)
-)
+//
+// The hot path is lock-free: each counter is a *atomic.Uint64 cell
+// interned in a sync.Map, so concurrent pipeline stages (decode
+// workers, send shards, the delivery executor) increment disjoint
+// cache lines instead of serializing on one mutex. ResetCounters swaps
+// the whole registry; an increment racing a reset may land in either
+// generation, which is the same observational looseness the old
+// map+mutex had between an event and its snapshot.
+var registry atomic.Pointer[counterSet]
+
+type counterSet struct {
+	cells sync.Map // string -> *atomic.Uint64
+}
+
+func init() { registry.Store(&counterSet{}) }
+
+// cell returns the counter's atomic cell, interning it on first use.
+func cell(name string) *atomic.Uint64 {
+	set := registry.Load()
+	if c, ok := set.cells.Load(name); ok {
+		return c.(*atomic.Uint64)
+	}
+	c, _ := set.cells.LoadOrStore(name, new(atomic.Uint64))
+	return c.(*atomic.Uint64)
+}
 
 // Inc increments the named counter by one.
 func Inc(name string) { Count(name, 1) }
@@ -25,36 +47,34 @@ func Count(name string, delta uint64) {
 	if delta == 0 {
 		return
 	}
-	countersMu.Lock()
-	counters[name] += delta
-	countersMu.Unlock()
+	cell(name).Add(delta)
 }
 
 // Counter returns the current value of the named counter (zero if it
 // was never bumped).
 func Counter(name string) uint64 {
-	countersMu.Lock()
-	defer countersMu.Unlock()
-	return counters[name]
+	if c, ok := registry.Load().cells.Load(name); ok {
+		return c.(*atomic.Uint64).Load()
+	}
+	return 0
 }
 
 // Counters returns a snapshot of every nonzero counter.
 func Counters() map[string]uint64 {
-	countersMu.Lock()
-	defer countersMu.Unlock()
-	out := make(map[string]uint64, len(counters))
-	for k, v := range counters {
-		out[k] = v
-	}
+	out := make(map[string]uint64)
+	registry.Load().cells.Range(func(k, v any) bool {
+		if n := v.(*atomic.Uint64).Load(); n != 0 {
+			out[k.(string)] = n
+		}
+		return true
+	})
 	return out
 }
 
 // ResetCounters zeroes the registry; experiments call it between runs
 // so each table reflects only its own events.
 func ResetCounters() {
-	countersMu.Lock()
-	counters = make(map[string]uint64)
-	countersMu.Unlock()
+	registry.Store(&counterSet{})
 }
 
 // CountersTable renders the nonzero counters as a sorted two-column

@@ -44,6 +44,40 @@ func TestCountersTableSorted(t *testing.T) {
 	ResetCounters()
 }
 
+// TestCountersConcurrentDistinct hammers many distinct counters from
+// many goroutines while snapshots and resets run concurrently — the
+// access pattern of the pipelined runtime (decode workers, send shards,
+// delivery executor all bumping their own counters while /stats reads).
+func TestCountersConcurrentDistinct(t *testing.T) {
+	ResetCounters()
+	var wg sync.WaitGroup
+	names := []string{"w0", "w1", "w2", "w3"}
+	for i := 0; i < 8; i++ {
+		name := names[i%len(names)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				Inc(name)
+				Count(name, 2)
+			}
+		}()
+	}
+	// Readers and one reset race the writers; no assertion on totals
+	// (the reset discards an unspecified prefix), only on safety.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			_ = Counters()
+			_ = Counter("w1")
+		}
+		ResetCounters()
+	}()
+	wg.Wait()
+	ResetCounters()
+}
+
 func TestCountersConcurrent(t *testing.T) {
 	ResetCounters()
 	var wg sync.WaitGroup

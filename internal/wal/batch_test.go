@@ -1,0 +1,289 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// hookFS wraps an FS and intercepts per-file Sync: it counts every
+// fsync and can run a gate function first (which may block), modelling
+// the in-flight-fsync window group commit exists to exploit.
+type hookFS struct {
+	FS
+	syncs atomic.Int64
+	gate  atomic.Pointer[func()]
+}
+
+type hookFile struct {
+	File
+	fs *hookFS
+}
+
+func (f *hookFS) Create(name string) (File, error) {
+	h, err := f.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &hookFile{File: h, fs: f}, nil
+}
+
+func (h *hookFile) Sync() error {
+	if g := h.fs.gate.Load(); g != nil {
+		(*g)()
+	}
+	h.fs.syncs.Add(1)
+	return h.File.Sync()
+}
+
+func openBatchLog(t *testing.T, fs FS, segSize int64) *Log {
+	t.Helper()
+	l, _, err := Open(Config{FS: fs, SegmentSize: segSize, Policy: SyncAlways})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return l
+}
+
+func recoverAll(t *testing.T, fs FS) []Record {
+	t.Helper()
+	_, rec, err := Open(Config{FS: fs, Policy: SyncNever})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	return rec.Records
+}
+
+func TestAppendBatchSingleFsync(t *testing.T) {
+	fs := &hookFS{FS: NewMemFS()}
+	l := openBatchLog(t, fs, 1<<20)
+	base := fs.syncs.Load()
+	var rs []Record
+	for i := 0; i < 10; i++ {
+		rs = append(rs, opRec(uint64(i+1), "batched"))
+	}
+	if err := l.AppendBatch(rs); err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if got := fs.syncs.Load() - base; got != 1 {
+		t.Errorf("fsyncs for one 10-record batch = %d, want 1", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	recs := recoverAll(t, fs)
+	if len(recs) != 10 {
+		t.Fatalf("recovered %d records, want 10", len(recs))
+	}
+	for i, r := range recs {
+		if r.Op == nil || uint64(r.Op.ReqNum) != uint64(i+1) {
+			t.Fatalf("record %d out of order: %+v", i, r)
+		}
+	}
+}
+
+func TestAppendBatchRotates(t *testing.T) {
+	mem := NewMemFS()
+	l := openBatchLog(t, mem, 200) // tiny segments: the batch overflows one
+	var rs []Record
+	for i := 0; i < 8; i++ {
+		rs = append(rs, opRec(uint64(i+1), "rotate-me-please-long-payload"))
+	}
+	if err := l.AppendBatch(rs); err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if err := l.AppendBatch([]Record{opRec(99, "next-segment")}); err != nil {
+		t.Fatalf("AppendBatch after rotation: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	names, _ := mem.List()
+	if len(names) < 2 {
+		t.Fatalf("expected rotation to create a second segment, got %v", names)
+	}
+	recs := recoverAll(t, mem)
+	if len(recs) != 9 {
+		t.Fatalf("recovered %d records, want 9", len(recs))
+	}
+}
+
+func TestAppendBatchEncodeErrorNotSticky(t *testing.T) {
+	mem := NewMemFS()
+	l := openBatchLog(t, mem, 1<<20)
+	err := l.AppendBatch([]Record{opRec(1, "ok"), {Type: RecOp, Op: nil}})
+	if err == nil {
+		t.Fatal("bad record accepted")
+	}
+	if l.Err() != nil {
+		t.Fatalf("encode error became sticky: %v", l.Err())
+	}
+	if err := l.Append(opRec(2, "still-works")); err != nil {
+		t.Fatalf("append after encode error: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	recs := recoverAll(t, mem)
+	// The failed batch wrote nothing (encode-before-write), so only the
+	// later record survives.
+	if len(recs) != 1 || recs[0].Op == nil || recs[0].Op.ReqNum != 2 {
+		t.Fatalf("recovered %+v, want just record 2", recs)
+	}
+}
+
+// TestSyncBatchCoalesces pins the group-commit property: commits that
+// arrive while a fsync is in flight all ride the next single fsync.
+func TestSyncBatchCoalesces(t *testing.T) {
+	fs := &hookFS{FS: NewMemFS()}
+	l := openBatchLog(t, fs, 1<<20)
+	b := NewSyncBatch(l)
+
+	// Arm a gate that blocks the next fsync until released.
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	gate := func() {
+		once.Do(func() {
+			close(entered)
+			<-block
+		})
+	}
+	fs.gate.Store(&gate)
+
+	leaderDone := make(chan error, 1)
+	go func() { leaderDone <- b.Commit(opRec(1, "leader")) }()
+	<-entered // leader is inside its fsync
+
+	// Followers arrive during the in-flight fsync.
+	const followers = 8
+	var wg sync.WaitGroup
+	followerErrs := make([]error, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			followerErrs[i] = b.Commit(opRec(uint64(10+i), "follower"))
+		}(i)
+	}
+	// Wait until every follower's record is enqueued behind the leader.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		b.mu.Lock()
+		n := b.enqueued
+		b.mu.Unlock()
+		if n == followers+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("followers never enqueued: %d of %d", n, followers+1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	base := fs.syncs.Load()
+	close(block)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader commit: %v", err)
+	}
+	wg.Wait()
+	for i, err := range followerErrs {
+		if err != nil {
+			t.Fatalf("follower %d: %v", i, err)
+		}
+	}
+	// The leader's fsync (in flight at base) plus exactly one group
+	// fsync covering all 8 followers.
+	if got := fs.syncs.Load() - base; got != 2 {
+		t.Errorf("fsyncs after release = %d, want 2 (leader + one group commit)", got)
+	}
+	if err := b.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	recs := recoverAll(t, fs)
+	if len(recs) != followers+1 {
+		t.Fatalf("recovered %d records, want %d", len(recs), followers+1)
+	}
+	if recs[0].Op == nil || recs[0].Op.ReqNum != 1 {
+		t.Fatalf("leader record not first: %+v", recs[0])
+	}
+}
+
+func TestSyncBatchStickyError(t *testing.T) {
+	mem := NewMemFS()
+	l := openBatchLog(t, mem, 1<<20)
+	b := NewSyncBatch(l)
+	if err := b.Commit(opRec(1, "ok")); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	boom := errors.New("injected fsync failure")
+	mem.SyncErr = boom
+	if err := b.Commit(opRec(2, "doomed")); !errors.Is(err, boom) {
+		t.Fatalf("commit after injected failure = %v, want %v", err, boom)
+	}
+	mem.SyncErr = nil
+	if err := b.Commit(opRec(3, "still-dead")); !errors.Is(err, boom) {
+		t.Fatalf("sticky error not sticky: %v", err)
+	}
+	if err := b.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err() = %v, want %v", err, boom)
+	}
+}
+
+// TestSyncBatchHammer drives many concurrent committers through a slow
+// disk and checks both safety (every record durable, none duplicated)
+// and the point of the exercise: far fewer fsyncs than records.
+func TestSyncBatchHammer(t *testing.T) {
+	fs := &hookFS{FS: NewMemFS()}
+	slow := func() { time.Sleep(200 * time.Microsecond) }
+	fs.gate.Store(&slow)
+	l := openBatchLog(t, fs, 1<<20)
+	b := NewSyncBatch(l)
+
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := b.Commit(opRec(uint64(w*1000+i), "hammer")); err != nil {
+					t.Errorf("worker %d commit %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := b.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	syncs := fs.syncs.Load()
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	recs := recoverAll(t, fs)
+	const total = workers * per
+	if len(recs) != total {
+		t.Fatalf("recovered %d records, want %d", len(recs), total)
+	}
+	seen := make(map[uint64]bool, total)
+	for _, r := range recs {
+		if r.Op == nil {
+			t.Fatalf("unexpected record %+v", r)
+		}
+		if seen[uint64(r.Op.ReqNum)] {
+			t.Fatalf("duplicate record %d", r.Op.ReqNum)
+		}
+		seen[uint64(r.Op.ReqNum)] = true
+	}
+	if syncs >= total {
+		t.Errorf("group commit never coalesced: %d fsyncs for %d records", syncs, total)
+	}
+	t.Logf("%d records in %d fsyncs", total, syncs)
+}
