@@ -49,7 +49,7 @@ type jsonDoc struct {
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiments: fig2,fig3,e1..e14,a1,a2,a3,bench or all")
+		expFlag   = flag.String("exp", "all", "comma-separated experiments: fig2,fig3,e1..e15,a1,a2,a3,bench or all")
 		quick     = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 		seed      = flag.Int64("seed", 0, "offset added to every experiment seed (0 reproduces EXPERIMENTS.md)")
 		jsonFlag  = flag.Bool("json", false, "emit one JSON document instead of text tables")
@@ -89,6 +89,10 @@ func main() {
 	e12IdleMaxes := []simnet.Time{0, 25, 100}
 	e13Runs, e13Ops := 3, 10
 	e14Msgs := 4000
+	e15Sizes := []int{1000, 10000, 100000}
+	e15Every := 1000
+	e15Payload := 256
+	e15Pad := 512 * 1024
 	if *quick {
 		msgs = 10
 		e1Sizes = []int{2, 4}
@@ -110,6 +114,9 @@ func main() {
 		e12IdleMaxes = []simnet.Time{0, 25}
 		e13Runs, e13Ops = 1, 5
 		e14Msgs = 300
+		e15Sizes = []int{500, 5000}
+		e15Every = 250
+		e15Pad = 128 * 1024
 	}
 	for i := range e10Gaps {
 		e10Gaps[i] *= simnet.Millisecond
@@ -178,6 +185,16 @@ func main() {
 			// resets the global counters around each mode itself.
 			return []*trace.Table{harness.E14Pipeline(e14Msgs)}
 		}},
+		{"e15", func() []*trace.Table {
+			// E15 exercises the compaction + streamed-transfer robustness
+			// machinery; report the counters it leaves behind.
+			trace.ResetCounters()
+			return []*trace.Table{
+				harness.E15Recovery(e15Sizes, e15Every, e15Payload),
+				harness.E15Rejoin(e15Pad),
+				trace.CountersTable("e15 recovery counters"),
+			}
+		}},
 		{"a1", one(func() *trace.Table { return harness.A1RepairPolicy(0.10) })},
 		{"a2", one(harness.A2ClockMode)},
 		{"a3", one(harness.A3FlowControl)},
@@ -208,7 +225,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig2 fig3 e1..e14 a1 a2 a3 bench all\n", *expFlag)
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig2 fig3 e1..e15 a1 a2 a3 bench all\n", *expFlag)
 		os.Exit(2)
 	}
 	if *jsonFlag {

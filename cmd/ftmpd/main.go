@@ -71,6 +71,8 @@ func main() {
 			"pipelined runtime: number of parallel receive/decode workers (0: classic single-threaded loop). Also enables the async ordered-delivery executor, WAL group commit and sharded sends")
 		walBatch = flag.Int("wal-batch", 64,
 			"pipelined runtime: max deliveries group-committed per WAL fsync (with -recv-workers > 0 and -wal-dir)")
+		compactEvery = flag.Duration("compact-every", 0,
+			"with -wal-dir: checkpoint and truncate the WAL at the group's stability cut on this interval (0: never). Bounds restart replay to the post-checkpoint suffix")
 	)
 	flag.Parse()
 
@@ -244,6 +246,65 @@ func main() {
 	fmt.Fprintf(os.Stderr, "ftmpd: processor %v in group %v %v; type lines to multicast\n",
 		self, group, membership)
 
+	// Periodic WAL compaction: checkpoint at the group's stability cut
+	// (everything at or below it is acknowledged group-wide) and drop the
+	// whole segments behind it. ftmpd's application state is the printed
+	// transcript, so the checkpoint carries no snapshot — compaction's
+	// effect is that a restart replays only the suffix. The current
+	// membership epoch is retained so the compacted log still resumes the
+	// group (the removed segments may hold the only RecEpoch).
+	if log != nil && *compactEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(*compactEvery)
+			defer ticker.Stop()
+			var lastCut ids.Timestamp
+			if cut, ok := log.LastCheckpoint(); ok {
+				lastCut = cut
+			}
+			for range ticker.C {
+				var cut ids.Timestamp
+				var retain []wal.Record
+				r.Do(func(node *core.Node, now int64) {
+					if st, ok := node.Status(group); ok && !st.Wedged && st.Joined {
+						cut = st.Stable
+						retain = []wal.Record{{Type: wal.RecEpoch, Epoch: &wal.EpochRecord{
+							Group: group, ViewTS: st.ViewTS, Members: st.Members,
+						}}}
+					}
+				})
+				if cut == 0 || cut <= lastCut {
+					continue
+				}
+				var compacted bool
+				var segs int
+				var disk int64
+				err := r.WALExec(func() error {
+					if log.Segments() <= 2 {
+						return nil // too short to be worth a checkpoint write
+					}
+					if err := log.Compact(cut, nil, retain); err != nil {
+						return err
+					}
+					compacted = true
+					segs, disk = log.Segments(), log.DiskBytes()
+					return nil
+				})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ftmpd: wal: compact: %v\n", err)
+					continue
+				}
+				if !compacted {
+					continue
+				}
+				lastCut = cut
+				if !*quietFlag {
+					fmt.Fprintf(os.Stderr, "ftmpd: wal: compacted at cut %v (%d segments, %d bytes on disk)\n",
+						cut, segs, disk)
+				}
+			}
+		}()
+	}
+
 	// SIGINT/SIGTERM leave gracefully: the RemoveProcessor is ordered
 	// and this processor lingers until every remaining member has
 	// acknowledged the removal (DESIGN.md "Graceful departure"), so no
@@ -281,6 +342,17 @@ func main() {
 					s.MessagesSent, s.HeartbeatsSent, s.RMP.NacksSent, s.RMP.Retransmissions,
 					trace.Counter("runtime.rx_overflow_drops"), trace.Counter("runtime.tx_overflow_drops"))
 			})
+			if log != nil {
+				_ = r.WALExec(func() error {
+					ckpt := "none"
+					if cut, ok := log.LastCheckpoint(); ok {
+						ckpt = fmt.Sprintf("%v", cut)
+					}
+					fmt.Fprintf(os.Stderr, "ftmpd: wal: segments=%d disk=%dB checkpoint=%s compactions=%d\n",
+						log.Segments(), log.DiskBytes(), ckpt, trace.Counter("wal.compactions"))
+					return nil
+				})
+			}
 		case line == "/leave":
 			r.Do(func(node *core.Node, now int64) {
 				if err := node.Leave(now, group); err != nil {

@@ -207,7 +207,12 @@ func inspectWALPath(w io.Writer, path string) error {
 		return err
 	}
 	if !info.IsDir() {
-		return inspectSegment(w, path)
+		recs, err := inspectSegment(w, path)
+		if err != nil {
+			return err
+		}
+		summarizeWAL(w, recs)
+		return nil
 	}
 	entries, err := os.ReadDir(path)
 	if err != nil {
@@ -225,34 +230,80 @@ func inspectWALPath(w io.Writer, path string) error {
 	}
 	// Zero-padded sequence numbers make lexical order sequence order.
 	sort.Strings(segs)
+	var all []wal.Record
 	for i, name := range segs {
 		if i > 0 {
 			fmt.Fprintln(w)
 		}
-		if err := inspectSegment(w, filepath.Join(path, name)); err != nil {
+		recs, err := inspectSegment(w, filepath.Join(path, name))
+		if err != nil {
 			return err
 		}
+		all = append(all, recs...)
 	}
+	summarizeWAL(w, all)
 	return nil
 }
 
+// summarizeWAL reports what a compacted log covers: the newest complete
+// checkpoint chain (recovery's restore point), how many records it
+// embodies, and the replay suffix past it. An incomplete trailing chain
+// (crash mid-compaction) is called out — recovery ignores it.
+func summarizeWAL(w io.Writer, recs []wal.Record) {
+	ckptRecords := 0
+	for _, r := range recs {
+		if r.Type == wal.RecCheckpoint {
+			ckptRecords++
+		}
+	}
+	if ckptRecords == 0 {
+		return // never compacted: nothing to summarize beyond the records
+	}
+	fmt.Fprintln(w)
+	ck, ok := wal.LatestCheckpoint(recs)
+	if !ok {
+		fmt.Fprintf(w, "summary: %d checkpoint records but no complete chain — a crash or disk-full interrupted compaction; recovery replays everything\n", ckptRecords)
+		return
+	}
+	suffix := 0
+	for _, r := range recs[ck.End:] {
+		if r.Type == wal.RecOp {
+			suffix++
+		}
+	}
+	fmt.Fprintf(w, "summary: checkpoint id=%d cut=%v state=%dB covers %d records; replay suffix: %d ops\n",
+		ck.ID, ck.Cut, len(ck.State), ck.End, suffix)
+	if trailing := recs[ck.End:]; len(trailing) > 0 {
+		if _, complete := wal.LatestCheckpoint(trailing); !complete {
+			for _, r := range trailing {
+				if r.Type == wal.RecCheckpoint {
+					fmt.Fprintf(w, "summary: a later checkpoint chain is incomplete (torn by crash or disk-full); recovery falls back to id=%d\n", ck.ID)
+					break
+				}
+			}
+		}
+	}
+}
+
 // inspectSegment pretty-prints one segment, flagging the first corrupt
-// or torn record (where recovery truncates).
-func inspectSegment(w io.Writer, path string) error {
+// or torn record (where recovery truncates). It returns the decoded
+// records so the caller can summarize checkpoint coverage log-wide.
+func inspectSegment(w io.Writer, path string) ([]wal.Record, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Fprintf(w, "segment %s (%d bytes)\n", filepath.Base(path), len(data))
 	if len(data) == 0 {
 		fmt.Fprintf(w, "  (empty)\n")
-		return nil
+		return nil, nil
 	}
 	sc, err := wal.NewScanner(data)
 	if err != nil {
 		fmt.Fprintf(w, "  !! %v\n", err)
-		return nil
+		return nil, nil
 	}
+	var recs []wal.Record
 	n := 0
 	for {
 		off := sc.Offset()
@@ -266,6 +317,7 @@ func inspectSegment(w io.Writer, path string) error {
 			fmt.Fprintf(w, "  %6d  record %d: undecodable: %v\n", off, n, err)
 			continue
 		}
+		recs = append(recs, rec)
 		printRecord(w, off, n, rec)
 	}
 	if err := sc.Err(); err != nil {
@@ -274,7 +326,7 @@ func inspectSegment(w io.Writer, path string) error {
 	} else {
 		fmt.Fprintf(w, "  clean: %d records\n", n)
 	}
-	return nil
+	return recs, nil
 }
 
 func printRecord(w io.Writer, off int64, n int, rec wal.Record) {
@@ -313,6 +365,14 @@ func printRecord(w io.Writer, off int64, n int, rec wal.Record) {
 		s := rec.Snap
 		fmt.Fprintf(w, "  %6d  record %d: snapshot conn=%v markerTS=%v upTo=%d state=%dB\n",
 			off, n, s.Conn, s.MarkerTS, s.UpTo, len(s.State))
+	case wal.RecCheckpoint:
+		c := rec.Ckpt
+		fmt.Fprintf(w, "  %6d  record %d: checkpoint id=%d cut=%v chunk=%d/%d state=%dB\n",
+			off, n, c.ID, c.Cut, c.Chunk+1, c.Total, len(c.State))
+	case wal.RecStateChunk:
+		c := rec.Chunk
+		fmt.Fprintf(w, "  %6d  record %d: state-chunk conn=%v markerTS=%v upTo=%d chunk=%d/%d data=%dB\n",
+			off, n, c.Conn, c.MarkerTS, c.UpTo, c.Chunk+1, c.Total, len(c.Data))
 	default:
 		fmt.Fprintf(w, "  %6d  record %d: unknown type %v\n", off, n, rec.Type)
 	}

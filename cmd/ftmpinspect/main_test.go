@@ -114,6 +114,55 @@ func TestInspectWAL(t *testing.T) {
 	}
 }
 
+func TestInspectCompactedWAL(t *testing.T) {
+	dir := t.TempDir()
+	dfs, err := wal.NewDirFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _, err := wal.Open(wal.Config{FS: dfs, Policy: wal.SyncAlways, SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ids.ConnectionID{ClientDomain: 1, ClientGroup: 10, ServerDomain: 1, ServerGroup: 20}
+	for i := 1; i <= 8; i++ {
+		if err := w.Append(wal.Record{Type: wal.RecOp, Op: &wal.OpRecord{
+			Conn: c, ReqNum: ids.RequestNum(i), Request: true,
+			TS: ids.MakeTimestamp(uint64(i), 1), Payload: sampleGIOP(),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	retain := []wal.Record{{Type: wal.RecEpoch, Epoch: &wal.EpochRecord{
+		Group: 100, ViewTS: ids.MakeTimestamp(9, 1), Members: ids.NewMembership(1, 2),
+	}}}
+	if err := w.Compact(ids.MakeTimestamp(8, 1), []byte("state-at-cut"), retain); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(wal.Record{Type: wal.RecOp, Op: &wal.OpRecord{
+		Conn: c, ReqNum: 9, Request: true, TS: ids.MakeTimestamp(10, 1), Payload: sampleGIOP(),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := inspectWALPath(&sb, dir); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"checkpoint id=1", "chunk=1/1", "state=12B",
+		"summary: checkpoint id=1", "replay suffix: 1 ops",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // sampleGIOP is the encapsulated request sample() uses, for WAL records.
 func sampleGIOP() []byte {
 	g, err := giop.Encode(giop.Message{Type: giop.MsgRequest, Request: &giop.Request{

@@ -95,6 +95,28 @@ func (f *Infra) advanceProcessed(conn ids.ConnectionID, upTo ids.RequestNum) {
 	w.processedSwept = upTo
 }
 
+// advanceReplied jumps the replied watermark to upTo, the reply-side
+// mirror of advanceProcessed. Used when a checkpoint is restored — the
+// checkpointed watermark embodies the compacted per-reply entries.
+func (f *Infra) advanceReplied(conn ids.ConnectionID, upTo ids.RequestNum) {
+	if f.water == nil {
+		f.water = make(map[ids.ConnectionID]*lowWater)
+	}
+	w, ok := f.water[conn]
+	if !ok {
+		w = &lowWater{}
+		f.water[conn] = w
+	}
+	if upTo <= w.repliedUpTo {
+		return
+	}
+	for r := w.repliedSwept + 1; r <= upTo; r++ {
+		delete(f.replied, callKey{conn, r})
+	}
+	w.repliedUpTo = upTo
+	w.repliedSwept = upTo
+}
+
 // isProcessed reports whether (conn, req) was already dispatched,
 // consulting the watermark for compacted history.
 func (f *Infra) isProcessed(conn ids.ConnectionID, req ids.RequestNum) bool {

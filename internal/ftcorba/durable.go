@@ -122,10 +122,29 @@ func (f *Infra) walMark(kind wal.MarkKind, conn ids.ConnectionID, req ids.Reques
 
 // walEpoch mirrors one installed membership view.
 func (f *Infra) walEpoch(group ids.GroupID, viewTS ids.Timestamp, members ids.Membership) {
-	f.walAppend(wal.Record{Type: wal.RecEpoch, Epoch: &wal.EpochRecord{
+	rec := wal.EpochRecord{
 		Group:   group,
 		ViewTS:  viewTS,
 		Members: members.Clone(),
+	}
+	if f.epochs == nil {
+		f.epochs = make(map[ids.GroupID]wal.EpochRecord)
+	}
+	f.epochs[group] = rec
+	f.walAppend(wal.Record{Type: wal.RecEpoch, Epoch: &rec})
+}
+
+// walStateChunk mirrors one staged state-transfer chunk, so a joiner
+// that crashes mid-transfer recovers its staging area and resumes the
+// stream from its acknowledged position instead of starting over.
+func (f *Infra) walStateChunk(conn ids.ConnectionID, st *stageState, index uint32, data []byte) {
+	f.walAppend(wal.Record{Type: wal.RecStateChunk, Chunk: &wal.StateChunkRecord{
+		Conn:     conn,
+		MarkerTS: st.markerTS,
+		UpTo:     st.upTo,
+		Chunk:    index,
+		Total:    st.total,
+		Data:     data,
 	}})
 }
 
@@ -171,6 +190,12 @@ type Recovered struct {
 	// MaxTS is the highest timestamp seen anywhere in the log; the node
 	// clock must observe it (core.RecoverClock) before sending.
 	MaxTS ids.Timestamp
+	// Checkpointed is true when a complete checkpoint chain was restored
+	// (CompactWAL wrote one): only the log suffix behind it was replayed.
+	Checkpointed bool
+	// StagedChunks counts state-transfer chunks recovered into staging
+	// areas — the replica crashed mid-transfer and will resume it.
+	StagedChunks int
 }
 
 // opDedupeKey identifies a logged operation exactly; a segment
@@ -211,7 +236,32 @@ func (f *Infra) RecoverFromWAL(records []wal.Record) Recovered {
 	// will be restored, so replaying it would be wasted (or, for
 	// non-idempotent side effects, wrong) work.
 	snapCover := make(map[ids.ConnectionID]ids.Timestamp)
-	for _, r := range records {
+	// A complete checkpoint chain (CompactWAL) replaces everything logged
+	// before it: restore it up front and replay only the suffix. The skip
+	// is positional — records before the chain are embodied by it however
+	// their timestamps relate to the recorded cut. Epochs are exempt so a
+	// checkpoint written without retained epochs still recovers views.
+	ckptEnd := 0
+	if ck, ok := wal.LatestCheckpoint(records); ok {
+		if err := f.restoreCheckpoint(ck.State); err == nil {
+			out.Checkpointed = true
+			ckptEnd = ck.End
+			if ck.Cut > out.MaxTS {
+				out.MaxTS = ck.Cut
+			}
+			trace.Inc("ftcorba.wal_checkpoint_restores")
+		} else {
+			trace.Inc("ftcorba.wal_checkpoint_errors")
+		}
+	}
+	// stages rebuilds in-progress state-transfer staging areas from
+	// RecStateChunk records; a later snapshot for the same cut retires
+	// the stage (the transfer completed before the crash).
+	stages := make(map[ids.ConnectionID]*stageState)
+	for i, r := range records {
+		if i < ckptEnd && r.Type != wal.RecEpoch {
+			continue
+		}
 		switch r.Type {
 		case wal.RecOp:
 			op := *r.Op
@@ -277,7 +327,33 @@ func (f *Infra) RecoverFromWAL(records []wal.Record) Recovered {
 			if sn.MarkerTS > snapCover[sn.Conn] {
 				snapCover[sn.Conn] = sn.MarkerTS
 			}
+			if st := stages[sn.Conn]; st != nil && sn.MarkerTS >= st.markerTS {
+				delete(stages, sn.Conn) // that transfer completed pre-crash
+			}
 			seq = append(seq, replayItem{snap: sn})
+		case wal.RecStateChunk:
+			c := r.Chunk
+			st := stages[c.Conn]
+			if st == nil || st.markerTS != c.MarkerTS {
+				if c.Chunk != 0 {
+					continue // mid-stream chunk of a transfer we never started
+				}
+				st = &stageState{markerTS: c.MarkerTS, upTo: c.UpTo, total: c.Total}
+				stages[c.Conn] = st
+			}
+			if c.Total != st.total || c.Chunk != uint32(len(st.chunks)) {
+				if c.Chunk < uint32(len(st.chunks)) {
+					continue // duplicate segment replay
+				}
+				delete(stages, c.Conn) // inconsistent chain: drop, re-transfer
+				continue
+			}
+			st.chunks = append(st.chunks, c.Data)
+			st.upTo = c.UpTo
+			if c.MarkerTS > out.MaxTS {
+				out.MaxTS = c.MarkerTS
+			}
+			out.StagedChunks++
 		}
 	}
 	// Second pass, after every mark is known: restore logged snapshots
@@ -318,6 +394,43 @@ func (f *Infra) RecoverFromWAL(records []wal.Record) Recovered {
 		}
 		sg.adapter.Dispatch(msg.Request)
 		out.Replayed++
+	}
+	// Recovered staging areas: a complete one (the crash hit between the
+	// last chunk and the completion snapshot) restores now; an incomplete
+	// one re-attaches so the stream resumes after readmission
+	// (OnViewChange re-acks its position instead of announcing).
+	for conn, st := range stages {
+		sg, ok := f.servedGroups[conn.ServerGroup]
+		if !ok || !sg.joining {
+			continue
+		}
+		if uint32(len(st.chunks)) == st.total {
+			stf, ok := sg.servant.(Stateful)
+			if !ok {
+				continue
+			}
+			var n int
+			for _, c := range st.chunks {
+				n += len(c)
+			}
+			state := make([]byte, 0, n)
+			for _, c := range st.chunks {
+				state = append(state, c...)
+			}
+			if stf.RestoreState(state) == nil {
+				out.Snapshots++
+				f.advanceProcessed(conn, st.upTo)
+				if f.walSnapshot(conn, st.markerTS, st.upTo, state) {
+					f.walMark(wal.MarkProcessedUpTo, conn, st.upTo)
+				}
+			}
+			continue
+		}
+		if sg.stage == nil {
+			sg.stage = make(map[ids.ConnectionID]*stageState)
+		}
+		sg.stage[conn] = st
+		trace.Count("ftcorba.wal_staged_chunks", uint64(len(st.chunks)))
 	}
 	f.stats.WALRecoveredOps += uint64(out.Ops)
 	trace.Count("ftcorba.wal_recovered_ops", uint64(out.Ops))
@@ -564,8 +677,12 @@ func (f *Infra) onGetDelta(now int64, d core.Delivery, req *giop.Request) {
 	trace.Inc("ftcorba.delta_responses")
 }
 
-// sendSnapshot multicasts a _ft_set_state at the cut d.TS (the delta
-// fallback when the responder's log was trimmed below the range).
+// sendSnapshot streams a full state transfer at the cut d.TS (the delta
+// fallback when the responder's log was trimmed below the range). The
+// requester accepts it because the cut equals its own get-delta marker.
+// Unlike marker-initiated transfers only the responder caches it — the
+// fallback has no failover, the requester simply re-asks on the next
+// announce round if the responder dies.
 func (f *Infra) sendSnapshot(now int64, d core.Delivery, sg *served) {
 	st, ok := sg.servant.(Stateful)
 	if !ok {
@@ -575,11 +692,18 @@ func (f *Infra) sendSnapshot(now int64, d core.Delivery, sg *served) {
 	if err != nil {
 		return
 	}
-	e := giop.NewEncoder(false)
-	e.ULongLong(uint64(d.TS))
-	e.OctetSeq(snap)
-	e.ULongLong(uint64(f.watermark(d.Conn)))
-	_ = f.sendControl(now, d.Conn, d.Conn.ServerGroup, opSetState, e.Bytes())
+	if sg.xfer == nil {
+		sg.xfer = make(map[ids.ConnectionID]*xferState)
+	}
+	x := &xferState{
+		markerTS: d.TS,
+		upTo:     f.watermark(d.Conn),
+		state:    snap,
+		total:    chunkCount(len(snap)),
+		sender:   f.self,
+	}
+	sg.xfer[d.Conn] = x
+	f.streamChunks(now, d.Group, d.Conn, sg, x)
 }
 
 // onSetDelta applies an ordered _ft_set_delta at the requester: the

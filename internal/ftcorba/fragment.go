@@ -4,6 +4,7 @@ import (
 	"ftmp/internal/core"
 	"ftmp/internal/giop"
 	"ftmp/internal/ids"
+	"ftmp/internal/trace"
 )
 
 // GIOP fragmentation (paper section 3.1 lists Fragment among the eight
@@ -69,6 +70,23 @@ func maybeFragment(msg giop.Message) ([][]byte, error) {
 	}
 	return out, nil
 }
+
+// evictFragments drops in-progress reassemblies whose source left the
+// view: the remaining fragments of an interrupted large message will
+// never arrive, and without eviction each abandoned transfer would leak
+// its partially reassembled buffer forever.
+func (f *Infra) evictFragments(left ids.Membership) {
+	for key := range f.fragments {
+		if left.Contains(key.src) {
+			delete(f.fragments, key)
+			trace.Inc("ftcorba.fragments_evicted")
+		}
+	}
+}
+
+// FragmentStates returns the number of in-progress reassemblies, for
+// tests and capacity monitoring.
+func (f *Infra) FragmentStates() int { return len(f.fragments) }
 
 // onFragment accumulates one delivered fragment; when the message is
 // complete it returns the reassembled GIOP message.

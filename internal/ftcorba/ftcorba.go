@@ -29,8 +29,9 @@ import (
 // GIOP Requests with the reserved request number 0 and are never
 // dispatched to application servants.
 const (
-	opGetState = "_ft_get_state"
-	opSetState = "_ft_set_state"
+	opGetState   = "_ft_get_state"
+	opStateChunk = "_ft_state_chunk"
+	opStateAck   = "_ft_state_ack"
 )
 
 // Stateful is implemented by servants that support state transfer to
@@ -57,6 +58,9 @@ type Stats struct {
 	Reassembled        uint64 // incoming fragmented messages rebuilt
 	WALRecoveredOps    uint64 // log entries rebuilt from the WAL
 	DeltaTransfers     uint64 // delta state transfers applied here
+	StateChunksSent    uint64 // state-transfer chunks streamed from here
+	StateChunksApplied uint64 // state-transfer chunks staged here
+	TransferResumes    uint64 // stream rewinds/takeovers performed here
 }
 
 // LogEntry is one record of the per-connection message log.
@@ -86,6 +90,11 @@ type served struct {
 	durable bool
 	// recon holds per-connection reconciliation progress (durable.go).
 	recon map[ids.ConnectionID]*reconState
+	// xfer caches in-progress outbound transfers at established
+	// replicas; stage holds inbound staging at a joiner
+	// (statetransfer.go).
+	xfer  map[ids.ConnectionID]*xferState
+	stage map[ids.ConnectionID]*stageState
 }
 
 type bufferedReq struct {
@@ -140,6 +149,9 @@ type Infra struct {
 	// membership epochs to stable storage (see durable.go).
 	wal    *wal.Log
 	walErr func(error)
+	// epochs caches the last installed membership per group so WAL
+	// compaction can retain it (see checkpoint.go).
+	epochs map[ids.GroupID]wal.EpochRecord
 	stats  Stats
 }
 
@@ -298,8 +310,11 @@ func (f *Infra) onRequest(now int64, d core.Delivery, msg giop.Message) {
 	case opGetState:
 		f.onGetStateMarker(now, d)
 		return
-	case opSetState:
-		f.onSetState(now, d, req)
+	case opStateChunk:
+		f.onStateChunk(now, d, req)
+		return
+	case opStateAck:
+		f.onStateAck(now, d, req)
 		return
 	case opReplay:
 		f.onReplay(now, d, req)

@@ -22,14 +22,27 @@ import (
 //              (core.maybeReadmit → AddProcessor).
 //   survivors: OnViewChange sees the admission and the designated
 //              replica multicasts the state-transfer marker
-//              (AddReplica); the snapshot and replay then proceed
-//              exactly as in the manual path (statetransfer.go).
+//              (AddReplica) — UNLESS a cached in-progress transfer
+//              exists for the connection. A cached transfer means the
+//              previous consumer died mid-stream and a restarted
+//              joiner may resume it; a fresh marker here would trample
+//              the resumable stream while the joiner's resume ack is
+//              in flight.
+//   joiner:    a WAL-recovered joiner sees its own admission and
+//              announces its watermark (delta reconciliation), or —
+//              holding a staged partial stream — re-acks its position
+//              so the survivors rewind and resume the stream.
+//
+// The snapshot streaming itself proceeds exactly as in the manual
+// AddReplica path (statetransfer.go), with the designated supporter as
+// the sender.
 
-// OnViewChange drives the survivor side of automated recovery: when a
-// processor joins a group carrying connections whose server object
-// group is replicated here, the designated replica (lowest configured
-// supporter present in the new view) starts a state transfer so the
-// joiner catches up. Wire it to core.Callbacks.ViewChange alongside
+// OnViewChange drives automated recovery: when a processor joins a
+// group carrying connections whose server object group is replicated
+// here, the designated replica (lowest configured supporter present)
+// starts a state transfer so the joiner catches up — or, when a
+// resumable stream is already cached, leaves the initiative to the
+// joiner's resume ack. Wire it to core.Callbacks.ViewChange alongside
 // OnDeliver; leaving it unwired keeps the manual AddReplica workflow.
 func (f *Infra) OnViewChange(v core.ViewChange, now int64) {
 	// Every installed view is a durable membership epoch: cold start
@@ -53,6 +66,10 @@ func (f *Infra) OnViewChange(v core.ViewChange, now int64) {
 				sg.markerTS = 0
 				sg.buffered = nil
 				delete(sg.recon, conn)
+				// Transfer progress from the minority side is stale on
+				// both ends: drop the sender cache and the staging area.
+				delete(sg.xfer, conn)
+				delete(sg.stage, conn)
 				trace.Inc("ftcorba.wedge_rejoins")
 			}
 		}
@@ -63,22 +80,50 @@ func (f *Infra) OnViewChange(v core.ViewChange, now int64) {
 	// for: re-evaluate, so a peer that never returns (disk gone, never
 	// announces) only blocks durable joiners until the failure detector
 	// convicts it, instead of forever. The detector's timeout is the
-	// recovery deadline.
+	// recovery deadline. A departure also evicts its half-reassembled
+	// fragments and, when the departed processor was streaming a state
+	// transfer, hands the stream to the next designated sender.
 	if len(v.Left) > 0 {
+		f.evictFragments(v.Left)
 		for _, conn := range f.node.ConnectionsOn(v.Group) {
-			if sg, ok := f.servedGroups[conn.ServerGroup]; ok && sg.joining && sg.durable {
+			sg, ok := f.servedGroups[conn.ServerGroup]
+			if !ok {
+				continue
+			}
+			if sg.joining && sg.durable {
 				f.maybeReconcile(now, conn, sg)
+			}
+			if sg.joining {
+				continue
+			}
+			if x := sg.xfer[conn]; x != nil && !v.Members.Contains(x.sender) &&
+				f.xferSender(v.Group, conn, x) == f.self {
+				// Takeover: resume from the mirrored position — chunks the
+				// dead sender already delivered are never re-sent.
+				f.stats.TransferResumes++
+				trace.Inc("ftcorba.xfer_failovers")
+				f.streamChunks(now, v.Group, conn, sg, x)
 			}
 		}
 	}
 	if len(v.Joined) == 0 {
 		return
 	}
-	// A durable joiner sees its own admission here: announce the
-	// recovered watermark so reconciliation (announce/delta) starts.
+	// A durable joiner sees its own admission here. With a staging area
+	// recovered from its WAL it re-acks the staged position — an ack that
+	// does not advance is the resume request that rewinds the sender —
+	// instead of announcing; otherwise it announces the recovered
+	// watermark so reconciliation (announce/delta) starts. (The rejoin
+	// path adopts the connection before the admission view is emitted, so
+	// ConnectionsOn covers it here.)
 	if v.Joined.Contains(f.self) {
 		for _, conn := range f.node.ConnectionsOn(v.Group) {
 			if sg, ok := f.servedGroups[conn.ServerGroup]; ok && sg.joining && sg.durable {
+				if st := sg.stage[conn]; st != nil {
+					f.sendStateAck(now, v.Group, conn, st.markerTS, uint32(len(st.chunks)))
+					trace.Inc("ftcorba.xfer_resume_requests")
+					continue
+				}
 				_ = f.AnnounceRecovery(now, conn)
 			}
 		}
@@ -93,6 +138,16 @@ func (f *Infra) OnViewChange(v core.ViewChange, now int64) {
 			continue // not an established replica here (or we ARE the joiner)
 		}
 		if _, stateful := sg.servant.(Stateful); !stateful {
+			continue
+		}
+		if sg.xfer[conn] != nil {
+			// An in-progress transfer is cached: its consumer died
+			// mid-stream and the joiner in this view may be its restarted
+			// incarnation. Hold the marker — a fresh one would trample the
+			// resumable stream while the joiner's resume ack is in flight.
+			// A WAL-less restart announces instead and reconciles via
+			// delta (the snapshot fallback replaces the cache); only an
+			// operator restarting a transfer by hand needs AddReplica.
 			continue
 		}
 		designated := ids.NilProcessor

@@ -1,0 +1,326 @@
+package harness
+
+// Experiment E15: bounded recovery at scale.
+//
+// PR 6 adds WAL compaction (incremental checkpoints at the stability
+// cut) and streamed, resumable state transfer. E15 puts numbers on both
+// halves of "bounded":
+//
+// Part A (recovery) — restart cost as the logged history grows 100×,
+// compacted vs uncompacted. Without compaction the restart scans and
+// replays the whole history, so its cost is linear in the log; with
+// periodic checkpoints the replay is the post-checkpoint suffix, so the
+// cost curve must go flat. Like E11 this part runs against the real
+// filesystem: the quantity of interest is scan/decode/replay cost.
+//
+// Part B (rejoin) — a joiner catching up via the streamed transfer
+// while the stream is attacked: the designated sender is killed
+// mid-stream (failover must resume from the acked position, not byte
+// zero) and chunk packets are dropped on the sender→joiner link
+// (simnet.SetDropFilter; the reliable multicast layer must repair the
+// gaps). Every scenario must converge with each chunk applied exactly
+// once.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"time"
+
+	"ftmp/internal/core"
+	"ftmp/internal/ftcorba"
+	"ftmp/internal/giop"
+	"ftmp/internal/ids"
+	"ftmp/internal/pgmp"
+	"ftmp/internal/runtime"
+	"ftmp/internal/simnet"
+	"ftmp/internal/trace"
+	"ftmp/internal/wal"
+)
+
+// E15RecoverResult is one restart measurement.
+type E15RecoverResult struct {
+	Records   int     // ops appended over the log's lifetime
+	Compacted bool    // periodic Compact at the stability cut?
+	DiskMB    float64 // on-disk bytes at the crash point
+	Segments  int
+	RecoverMs float64 // reopen: scan + checksum + decode + fold
+	ReplayOps int     // deliveries a restart would re-apply
+}
+
+// RunE15Recovery appends n op records to a fresh log under dir —
+// compacting every compactEvery records when compact is set, as a live
+// deployment would at its stability cut — then crashes (closes) and
+// measures the restart: wal.Open's full scan plus folding the records
+// into a replay.
+func RunE15Recovery(n, compactEvery, payload int, compact bool, dir string) (E15RecoverResult, error) {
+	res := E15RecoverResult{Records: n, Compacted: compact}
+	dfs, err := wal.NewDirFS(dir)
+	if err != nil {
+		return res, err
+	}
+	w, _, err := wal.Open(wal.Config{FS: dfs, Policy: wal.SyncNever})
+	if err != nil {
+		return res, err
+	}
+	// The retained epoch mirrors what a live group would carry across
+	// compaction; the checkpoint state stands in for the servant
+	// snapshot at the cut.
+	state := make([]byte, 4096)
+	retain := []wal.Record{{Type: wal.RecEpoch, Epoch: &wal.EpochRecord{
+		Group: expGroup, ViewTS: ids.MakeTimestamp(1, 1), Members: ids.NewMembership(1, 2, 3),
+	}}}
+	for i := 0; i < n; i++ {
+		if err := w.Append(e11Record(i, payload)); err != nil {
+			return res, err
+		}
+		// The last interval stays uncompacted (a live group always has
+		// in-flight history past its latest checkpoint), so the
+		// measured replay is checkpoint restore + a bounded suffix.
+		if compact && (i+1)%compactEvery == 0 && i+1 < n {
+			if err := w.Compact(ids.MakeTimestamp(uint64(i+1), 1), state, retain); err != nil {
+				return res, err
+			}
+		}
+	}
+	if err := w.Sync(); err != nil {
+		return res, err
+	}
+	res.DiskMB = float64(w.DiskBytes()) / 1e6
+	res.Segments = w.Segments()
+	if err := w.Close(); err != nil {
+		return res, err
+	}
+
+	start := time.Now()
+	w2, rec, err := wal.Open(wal.Config{FS: dfs, Policy: wal.SyncNever})
+	if err != nil {
+		return res, err
+	}
+	rp := runtime.RecoverReplay(rec.Records)
+	res.RecoverMs = float64(time.Since(start).Nanoseconds()) / 1e6
+	res.ReplayOps = len(rp.Deliveries)
+	_ = w2.Close()
+	return res, nil
+}
+
+// E15Recovery sweeps restart cost across a 100× history growth, with
+// and without periodic compaction.
+func E15Recovery(sizes []int, compactEvery, payload int) *trace.Table {
+	tb := trace.NewTable(
+		"E15a: restart cost vs history size — compaction bounds replay to the post-checkpoint suffix",
+		"records", "compacted", "disk MB", "segments", "recover ms", "replay ops")
+	for _, n := range sizes {
+		for _, compact := range []bool{false, true} {
+			dir, err := os.MkdirTemp("", "ftmp-e15-*")
+			if err != nil {
+				tb.AddRow(n, compact, "", "", "error", err.Error())
+				continue
+			}
+			r, err := RunE15Recovery(n, compactEvery, payload, compact, dir)
+			if err != nil {
+				tb.AddRow(n, compact, "", "", "error", err.Error())
+			} else {
+				tb.AddRow(r.Records, r.Compacted, fmt.Sprintf("%.2f", r.DiskMB), r.Segments,
+					fmt.Sprintf("%.2f", r.RecoverMs), r.ReplayOps)
+			}
+			os.RemoveAll(dir)
+		}
+	}
+	return tb
+}
+
+// e15Ledger is the Part B servant: a ledger whose snapshot carries a
+// large constant pad, so the state transfer spans many 16 KiB chunks.
+type e15Ledger struct {
+	ledger
+	pad []byte
+}
+
+func newE15Pad(n int) []byte {
+	pad := make([]byte, n)
+	for i := range pad {
+		pad[i] = byte(i*11 + i>>7)
+	}
+	return pad
+}
+
+func (l *e15Ledger) SnapshotState() ([]byte, error) {
+	e := giop.NewEncoder(false)
+	e.OctetSeq(l.pad)
+	e.LongLong(l.total)
+	e.LongLong(l.applied)
+	return e.Bytes(), nil
+}
+
+func (l *e15Ledger) RestoreState(b []byte) error {
+	d := giop.NewDecoder(b, false)
+	l.pad = d.OctetSeq()
+	l.total = d.LongLong()
+	l.applied = d.LongLong()
+	return d.Err()
+}
+
+// E15 rejoin fault scenarios.
+const (
+	E15Clean      = "clean"
+	E15SenderKill = "sender-kill"
+	E15ChunkDrop  = "chunk-drop"
+)
+
+// E15RejoinResult is one streamed-rejoin measurement under an injected
+// fault. XferMs is admission → caught up; -1 marks a stage never
+// reached.
+type E15RejoinResult struct {
+	Scenario      string
+	XferMs        float64
+	ChunksApplied uint64 // distinct chunks the joiner staged
+	ChunksSent    uint64 // chunk multicasts across all survivors
+	Resumes       uint64 // failover takeovers during the run
+	Dropped       uint64 // packets the injected fault removed
+	Converged     bool
+}
+
+// RunE15Rejoin brings a joiner into a three-replica group whose state
+// spans many chunks, injects the scenario's fault mid-stream, and
+// measures the catch-up.
+func RunE15Rejoin(scenario string, padBytes int, seed int64) E15RejoinResult {
+	res := E15RejoinResult{Scenario: scenario, XferMs: -1}
+	servers := ids.NewMembership(1, 2, 3)
+	all := []ids.ProcessorID{1, 2, 3, 4, 5}
+	c := NewCluster(Options{
+		Seed: seed, Net: simnet.NewConfig(),
+		Configure: func(p ids.ProcessorID, cfg *core.Config) {
+			cfg.ObjectGroups = map[ids.ObjectGroupID]ids.Membership{expServerOG: servers}
+			cfg.PGMP.SuspectPolicy = pgmp.SuspectAdaptive
+			cfg.Conn.RequestRetryMax = 320_000_000
+			cfg.Conn.RequestRetryJitter = 0.2
+			cfg.PGMP.AddResendMax = 160_000_000
+			cfg.PGMP.AddResendJitter = 0.2
+		},
+	}, all...)
+	econn := ids.ConnectionID{
+		ClientDomain: 1, ClientGroup: expClientOG,
+		ServerDomain: 1, ServerGroup: expServerOG,
+	}
+	infras := make(map[ids.ProcessorID]*ftcorba.Infra)
+	ledgers := make(map[ids.ProcessorID]*e15Ledger)
+	for _, p := range all {
+		h := c.Host(p)
+		infra := ftcorba.New(p, 1, h.Node)
+		infras[p] = infra
+		h.OnDeliver = infra.OnDeliver
+		h.OnView = infra.OnViewChange
+		switch {
+		case servers.Contains(p):
+			ledgers[p] = &e15Ledger{pad: newE15Pad(padBytes)}
+			infra.Serve(expServerOG, "ledger", ledgers[p])
+		case p == 4:
+			infra.RegisterObjectKey(expServerOG, "ledger")
+		}
+	}
+	infras[4].Connect(int64(c.Net.Now()), econn, core.DefaultConfig(4).DomainAddr, ids.NewMembership(4))
+	if !c.RunUntil(30*simnet.Second, func() bool {
+		for _, p := range []ids.ProcessorID{1, 2, 3, 4} {
+			if !infras[p].Established(econn) {
+				return false
+			}
+		}
+		return true
+	}) {
+		return res
+	}
+	if !e13Deposits(c, infras[4], econn, 5) {
+		return res
+	}
+	c.RunFor(simnet.Second)
+	g := c.Host(4).Node.ConnectionState(econn).Group
+
+	// The chunk-drop fault targets the sender→joiner link: only packets
+	// big enough to be state chunks, only the first six, so the repair
+	// path (nack + retransmission) is exercised without starving the
+	// stream forever.
+	dropsBefore := c.Net.Stats().PacketsDropped
+	if scenario == E15ChunkDrop {
+		dropped := 0
+		c.Net.SetDropFilter(func(from, to simnet.NodeID, data []byte) bool {
+			if from == 1 && to == 5 && len(data) > 8*1024 && dropped < 6 {
+				dropped++
+				return true
+			}
+			return false
+		})
+	}
+	resumesBefore := trace.Counter("ftcorba.xfer_failovers")
+
+	// Joiner 5 enters through the manual admission path; its OnView
+	// wiring makes the designated survivor start the transfer
+	// automatically on the admission view.
+	joiner := &e15Ledger{}
+	infras[5].ServeJoining(expServerOG, "ledger", joiner)
+	c.Host(5).Node.ListenGroup(g)
+	if err := c.Host(1).Node.RequestAddProcessor(int64(c.Net.Now()), g, 5); err != nil {
+		return res
+	}
+	var admitAt simnet.Time
+	if !c.RunUntil(c.Net.Now()+30*simnet.Second, func() bool {
+		return c.Host(5).Node.Members(g).Contains(5)
+	}) {
+		return res
+	}
+	admitAt = c.Net.Now()
+
+	if scenario == E15SenderKill {
+		// Let the stream get going, then kill the designated sender:
+		// the next supporter must take over from the acked position.
+		if !c.RunUntil(admitAt+30*simnet.Second, func() bool {
+			return infras[5].Stats().StateChunksApplied >= 8
+		}) {
+			return res
+		}
+		c.Crash(1)
+	}
+
+	if !c.RunUntil(admitAt+120*simnet.Second, func() bool {
+		return infras[5].Stats().StateTransfers == 1 && !infras[5].Joining(expServerOG)
+	}) {
+		return res
+	}
+	res.XferMs = float64(c.Net.Now()-admitAt) / 1e6
+	c.Net.SetDropFilter(nil)
+	c.RunFor(simnet.Second)
+
+	res.ChunksApplied = infras[5].Stats().StateChunksApplied
+	for _, p := range servers {
+		res.ChunksSent += infras[p].Stats().StateChunksSent
+	}
+	res.Resumes = trace.Counter("ftcorba.xfer_failovers") - resumesBefore
+	res.Dropped = c.Net.Stats().PacketsDropped - dropsBefore
+
+	// Post-fault traffic must land at the rejoined replica too, and the
+	// final states must be byte-identical.
+	if !e13Deposits(c, infras[4], econn, 2) {
+		return res
+	}
+	c.RunFor(2 * simnet.Second)
+	witness := ids.ProcessorID(2) // survives every scenario
+	snapW, errW := ledgers[witness].SnapshotState()
+	snapJ, errJ := joiner.SnapshotState()
+	res.Converged = errW == nil && errJ == nil && bytes.Equal(snapW, snapJ) &&
+		joiner.applied == ledgers[witness].applied
+	return res
+}
+
+// E15Rejoin runs the three fault scenarios over the streamed-transfer
+// rejoin path.
+func E15Rejoin(padBytes int) *trace.Table {
+	tb := trace.NewTable(
+		"E15b: streamed rejoin under transfer faults — resume, never restart; every chunk exactly once",
+		"scenario", "xfer ms", "chunks applied", "chunks sent", "failovers", "pkts dropped", "converged")
+	for i, scenario := range []string{E15Clean, E15SenderKill, E15ChunkDrop} {
+		r := RunE15Rejoin(scenario, padBytes, SeedOffset+1500+int64(i))
+		tb.AddRow(r.Scenario, fmt.Sprintf("%.2f", r.XferMs), r.ChunksApplied, r.ChunksSent,
+			r.Resumes, r.Dropped, r.Converged)
+	}
+	return tb
+}

@@ -45,6 +45,7 @@ const (
 	upView
 	upFault
 	upBarrier
+	upExec
 )
 
 type upcall struct {
@@ -54,8 +55,11 @@ type upcall struct {
 	// fault report
 	group     ids.GroupID
 	convicted ids.Membership
-	// barrier reply channel (buffered, cap 1)
+	// barrier reply channel (buffered, cap 1); upExec answers on it too
 	barrier chan error
+	// exec runs on the executor goroutine with exclusive WAL access
+	// (compaction), after the chunk's group commit
+	exec func() error
 }
 
 func newExecutor(cb core.Callbacks, w *wal.Log, chunk, depth int, onErr func(error)) *executor {
@@ -83,7 +87,12 @@ func (e *executor) enqueue(u upcall) {
 	if e.closed {
 		e.mu.Unlock()
 		if u.barrier != nil {
-			u.barrier <- e.syncNow()
+			<-e.done // the drain owns the WAL until it finishes
+			err := e.syncNow()
+			if err == nil && u.exec != nil {
+				err = u.exec()
+			}
+			u.barrier <- err
 		}
 		return
 	}
@@ -181,6 +190,14 @@ func (e *executor) run() {
 				}
 			case upBarrier:
 				u.barrier <- e.syncNow()
+			case upExec:
+				// Drain pending group commits first: exec (WAL compaction)
+				// needs the log quiescent and every prior record durable.
+				if err := e.syncNow(); err != nil {
+					u.barrier <- err
+				} else {
+					u.barrier <- u.exec()
+				}
 			}
 			*u = upcall{}
 		}

@@ -351,6 +351,23 @@ func (r *Runner) WALSync() error {
 	return <-ch
 }
 
+// WALExec runs fn on the goroutine that owns the WAL, after every
+// upcall enqueued before it has committed — the hook for WAL
+// compaction, which needs exclusive, quiescent log access. With an
+// executor the fn runs there; without one it runs on the event loop
+// (the legacy single-threaded owner). Must not be called from an
+// application callback (it would deadlock waiting on its own queue).
+func (r *Runner) WALExec(fn func() error) error {
+	if r.exec == nil {
+		var err error
+		r.Do(func(*core.Node, int64) { err = fn() })
+		return err
+	}
+	ch := make(chan error, 1)
+	r.exec.enqueue(upcall{kind: upExec, exec: fn, barrier: ch})
+	return <-ch
+}
+
 // Backlogged reports whether the delivery executor is over its
 // watermark (ingestion paused). Always false without an executor.
 func (r *Runner) Backlogged() bool {

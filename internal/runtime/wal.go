@@ -31,6 +31,12 @@ type Replay struct {
 	// feed it to core.Node.RecoverClock so post-restart timestamps
 	// dominate the logged history.
 	MaxTS ids.Timestamp
+	// Checkpoint is the newest complete checkpoint found in the log, if
+	// any: the application state at Checkpoint.Cut. Deliveries logged
+	// before the checkpoint chain are omitted from Deliveries — the
+	// checkpoint embodies them — so replay cost tracks the suffix of the
+	// log, not the whole history.
+	Checkpoint *wal.Checkpoint
 }
 
 // RecoverReplay folds a recovered record stream into a Replay.
@@ -48,11 +54,25 @@ func RecoverReplay(records []wal.Record) Replay {
 		request bool
 		ts      ids.Timestamp
 	}
+	if ck, ok := wal.LatestCheckpoint(records); ok {
+		rp.Checkpoint = &ck
+		if ck.Cut > rp.MaxTS {
+			rp.MaxTS = ck.Cut
+		}
+	}
 	seen := make(map[key]bool)
-	for _, r := range records {
+	for i, r := range records {
 		switch r.Type {
 		case wal.RecOp:
 			op := *r.Op
+			if rp.Checkpoint != nil && i < rp.Checkpoint.End {
+				// Logged before the checkpoint chain, so embodied by it:
+				// the compaction that wrote the checkpoint may not have
+				// finished removing this segment. Positional (not
+				// timestamp) comparison — it holds however the cut relates
+				// to individual record timestamps.
+				continue
+			}
 			k := key{op.Conn, op.ReqNum, op.Request, op.TS}
 			if seen[k] {
 				continue

@@ -186,6 +186,12 @@ type Net struct {
 	// asymmetric failure — a dead transmitter, a misprogrammed switch
 	// filter). Independent of the component-based partition.
 	oneWay map[linkKey]bool
+	// dropFilter, when set, is consulted for every (from, to, payload)
+	// triple before delivery; returning true drops that copy. It is the
+	// deterministic fault-injection hook — unlike LossRate it can target
+	// specific flows (e.g. state-transfer chunks) by inspecting the
+	// payload.
+	dropFilter func(from, to NodeID, data []byte) bool
 }
 
 // linkKey identifies one direction of a point-to-point link.
@@ -312,6 +318,12 @@ func (n *Net) SetLoss(rate float64) { n.cfg.LossRate = rate }
 // SetJitter changes the per-delivery latency jitter bound mid-run.
 func (n *Net) SetJitter(j Time) { n.cfg.LatencyJitter = j }
 
+// SetDropFilter installs (or, with nil, removes) a targeted drop
+// predicate: every candidate delivery is offered to f and dropped when
+// it returns true. Deterministic by construction — it sees exactly the
+// (from, to, payload) triple, no RNG involved.
+func (n *Net) SetDropFilter(f func(from, to NodeID, data []byte) bool) { n.dropFilter = f }
+
 // At schedules fn to run at virtual time t (or immediately if t is in
 // the past). Used by experiments to inject faults and workload.
 func (n *Net) At(t Time, fn func()) {
@@ -359,6 +371,10 @@ func (n *Net) Send(from NodeID, addr Addr, data []byte) {
 			continue
 		}
 		if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+			n.stats.PacketsDropped++
+			continue
+		}
+		if n.dropFilter != nil && n.dropFilter(from, id, buf) {
 			n.stats.PacketsDropped++
 			continue
 		}

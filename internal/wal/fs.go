@@ -153,6 +153,10 @@ type MemFS struct {
 	WriteHook func(name string, off int64, p []byte) (n int, err error)
 	// SyncErr, when set, fails every Sync with this error.
 	SyncErr error
+	// RemoveHook, when set, intercepts every Remove: a non-nil error
+	// fails the removal and leaves the file in place (crash or EIO
+	// between a durable checkpoint and the segment removals behind it).
+	RemoveHook func(name string) error
 	// Capacity, when positive, bounds the total bytes stored across all
 	// files; writes beyond it fail with ErrNoSpace after a partial write
 	// (disk-full).
@@ -280,6 +284,11 @@ func (m *MemFS) Truncate(name string, size int64) error {
 func (m *MemFS) Remove(name string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.RemoveHook != nil {
+		if err := m.RemoveHook(name); err != nil {
+			return err
+		}
+	}
 	delete(m.files, name)
 	return nil
 }

@@ -22,6 +22,8 @@ func FuzzWAL(f *testing.F) {
 		{Type: RecMark, Mark: &MarkRecord{Kind: MarkReplied, Conn: c, ReqNum: 4}},
 		{Type: RecEpoch, Epoch: &EpochRecord{Group: 7, ViewTS: ids.MakeTimestamp(3, 1), Members: ids.NewMembership(1, 2, 3)}},
 		{Type: RecSnapshot, Snap: &SnapshotRecord{Conn: c, MarkerTS: ids.MakeTimestamp(11, 2), UpTo: 4, State: []byte("state")}},
+		{Type: RecCheckpoint, Ckpt: &CheckpointRecord{ID: 3, Cut: ids.MakeTimestamp(17, 2), Chunk: 1, Total: 4, State: []byte("ckpt")}},
+		{Type: RecStateChunk, Chunk: &StateChunkRecord{Conn: c, MarkerTS: ids.MakeTimestamp(19, 2), UpTo: 6, Chunk: 2, Total: 5, Data: []byte("chunk")}},
 	}
 	seg := SegmentHeader()
 	for _, r := range recs {

@@ -66,6 +66,20 @@ const (
 	// so a replica that crashes while still wedged recovers knowing its
 	// log tail precedes a pending state transfer.
 	RecWedge RecordType = 5
+	// RecCheckpoint is one chunk of an incremental checkpoint: an
+	// application snapshot covering every record with a timestamp at or
+	// below the stability cut. A checkpoint is a chain of chunk records
+	// sharing an ID; only a complete chain (chunks 0..Total-1, in log
+	// order) is authoritative, so a crash mid-checkpoint degrades to the
+	// previous one. Segments strictly behind a durable checkpoint are
+	// removed by Compact.
+	RecCheckpoint RecordType = 6
+	// RecStateChunk is one applied chunk of a streamed state transfer,
+	// persisted by the joining replica as it stages the stream: after a
+	// crash mid-transfer the joiner recovers its contiguous staged
+	// prefix and resumes from the last acked chunk instead of receiving
+	// the whole state again.
+	RecStateChunk RecordType = 7
 )
 
 // String implements fmt.Stringer.
@@ -81,6 +95,10 @@ func (t RecordType) String() string {
 		return "Snapshot"
 	case RecWedge:
 		return "Wedge"
+	case RecCheckpoint:
+		return "Checkpoint"
+	case RecStateChunk:
+		return "StateChunk"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(t))
 	}
@@ -157,6 +175,33 @@ type SnapshotRecord struct {
 	State    []byte
 }
 
+// CheckpointRecord is one chunk of an incremental checkpoint chain.
+// Chunks sharing an ID and written in order 0..Total-1 assemble into the
+// application state at the stability cut Cut; an incomplete chain (crash
+// or disk-full mid-checkpoint) is ignored by recovery, which falls back
+// to the previous complete chain.
+type CheckpointRecord struct {
+	ID    uint64        // chain id, monotonic per log
+	Cut   ids.Timestamp // stability cut the state covers
+	Chunk uint32        // index of this chunk within the chain
+	Total uint32        // chunks in the chain
+	State []byte
+}
+
+// StateChunkRecord is one streamed state-transfer chunk applied to the
+// joiner's staging area: chunk Chunk of Total for Conn's transfer at the
+// cut MarkerTS (embodying requests up to UpTo). A contiguous prefix of
+// these records lets a restarted joiner resume the transfer from its
+// last durable chunk instead of from byte zero.
+type StateChunkRecord struct {
+	Conn     ids.ConnectionID
+	MarkerTS ids.Timestamp
+	UpTo     ids.RequestNum
+	Chunk    uint32
+	Total    uint32
+	Data     []byte
+}
+
 // Record is the tagged union persisted per frame.
 type Record struct {
 	Type  RecordType
@@ -165,6 +210,8 @@ type Record struct {
 	Epoch *EpochRecord
 	Snap  *SnapshotRecord
 	Wedge *WedgeRecord
+	Ckpt  *CheckpointRecord
+	Chunk *StateChunkRecord
 }
 
 func appendConn(b []byte, c ids.ConnectionID) []byte {
@@ -230,6 +277,27 @@ func EncodeRecord(r Record) ([]byte, error) {
 		for _, p := range r.Wedge.Members {
 			b = binary.BigEndian.AppendUint32(b, uint32(p))
 		}
+	case RecCheckpoint:
+		if r.Ckpt == nil {
+			return nil, fmt.Errorf("%w: nil Ckpt", ErrBadRecord)
+		}
+		b = binary.BigEndian.AppendUint64(b, r.Ckpt.ID)
+		b = binary.BigEndian.AppendUint64(b, uint64(r.Ckpt.Cut))
+		b = binary.BigEndian.AppendUint32(b, r.Ckpt.Chunk)
+		b = binary.BigEndian.AppendUint32(b, r.Ckpt.Total)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(r.Ckpt.State)))
+		b = append(b, r.Ckpt.State...)
+	case RecStateChunk:
+		if r.Chunk == nil {
+			return nil, fmt.Errorf("%w: nil Chunk", ErrBadRecord)
+		}
+		b = appendConn(b, r.Chunk.Conn)
+		b = binary.BigEndian.AppendUint64(b, uint64(r.Chunk.MarkerTS))
+		b = binary.BigEndian.AppendUint64(b, uint64(r.Chunk.UpTo))
+		b = binary.BigEndian.AppendUint32(b, r.Chunk.Chunk)
+		b = binary.BigEndian.AppendUint32(b, r.Chunk.Total)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(r.Chunk.Data)))
+		b = append(b, r.Chunk.Data...)
 	default:
 		return nil, fmt.Errorf("%w: unknown type %v", ErrBadRecord, r.Type)
 	}
@@ -371,6 +439,35 @@ func DecodeRecord(payload []byte) (Record, error) {
 			wd.Members = append(wd.Members, ids.ProcessorID(r.u32()))
 		}
 		rec.Wedge = wd
+	case RecCheckpoint:
+		ck := &CheckpointRecord{}
+		ck.ID = r.u64()
+		ck.Cut = ids.Timestamp(r.u64())
+		ck.Chunk = r.u32()
+		ck.Total = r.u32()
+		n := r.u32()
+		if r.err == nil && int(n) > len(payload)-r.pos {
+			r.err = fmt.Errorf("%w: state length %d", ErrBadRecord, n)
+		}
+		if b := r.take(int(n)); r.err == nil {
+			ck.State = append([]byte(nil), b...)
+		}
+		rec.Ckpt = ck
+	case RecStateChunk:
+		sc := &StateChunkRecord{}
+		sc.Conn = r.conn()
+		sc.MarkerTS = ids.Timestamp(r.u64())
+		sc.UpTo = ids.RequestNum(r.u64())
+		sc.Chunk = r.u32()
+		sc.Total = r.u32()
+		n := r.u32()
+		if r.err == nil && int(n) > len(payload)-r.pos {
+			r.err = fmt.Errorf("%w: data length %d", ErrBadRecord, n)
+		}
+		if b := r.take(int(n)); r.err == nil {
+			sc.Data = append([]byte(nil), b...)
+		}
+		rec.Chunk = sc
 	default:
 		return Record{}, fmt.Errorf("%w: unknown type %d", ErrBadRecord, payload[0])
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ftmp/internal/ids"
 	"ftmp/internal/trace"
 )
 
@@ -102,6 +103,11 @@ type Log struct {
 	lastSync int64  // Now() at last fsync (SyncInterval)
 	dirty    bool   // bytes written since last fsync
 	err      error  // sticky: after a write/sync failure the log is dead
+
+	sizes   map[uint64]int64 // closed live segments: seq -> byte size
+	ckptID  uint64           // highest checkpoint chain id ever used
+	ckptCut ids.Timestamp    // stability cut of the newest complete checkpoint
+	hasCkpt bool
 }
 
 // Open scans the segments under cfg.FS, recovers the longest valid
@@ -135,6 +141,7 @@ func Open(cfg Config) (*Log, *Recovery, error) {
 
 	rec := &Recovery{}
 	lastSeq := uint64(0)
+	sizes := make(map[uint64]int64)
 	for i, seq := range seqs {
 		name := segmentName(seq)
 		data, err := cfg.FS.ReadFile(name)
@@ -149,6 +156,7 @@ func Open(cfg Config) (*Log, *Recovery, error) {
 			// truncating would silently destroy a file we don't own.
 			return nil, nil, fmt.Errorf("wal: %s: %w", name, fatal)
 		}
+		sizes[seq] = valid
 		if corrupt == nil {
 			continue
 		}
@@ -187,7 +195,15 @@ func Open(cfg Config) (*Log, *Recovery, error) {
 		trace.Inc("wal.recoveries")
 	}
 
-	l := &Log{cfg: cfg, seq: lastSeq}
+	l := &Log{cfg: cfg, seq: lastSeq, sizes: sizes}
+	for _, r := range rec.Records {
+		if r.Type == RecCheckpoint && r.Ckpt.ID > l.ckptID {
+			l.ckptID = r.Ckpt.ID
+		}
+	}
+	if ck, ok := LatestCheckpoint(rec.Records); ok {
+		l.ckptCut, l.hasCkpt = ck.Cut, true
+	}
 	if cfg.Now != nil {
 		l.lastSync = cfg.Now()
 	}
@@ -248,6 +264,7 @@ func (l *Log) rotate() error {
 			l.err = fmt.Errorf("wal: close segment: %w", err)
 			return l.err
 		}
+		l.sizes[l.seq] = l.activeSz
 	}
 	l.seq++
 	f, err := l.cfg.FS.Create(segmentName(l.seq))
@@ -356,4 +373,26 @@ func (l *Log) Err() error {
 // SyncInterval window this is a lower bound).
 func (l *Log) RecoveryPoint() (segment uint64, bytes int64, durable bool) {
 	return l.seq, l.activeSz, !l.dirty
+}
+
+// Segments returns the number of live segment files (the active one
+// included).
+func (l *Log) Segments() int {
+	return len(l.sizes) + 1
+}
+
+// DiskBytes returns the total bytes held by live segments.
+func (l *Log) DiskBytes() int64 {
+	total := l.activeSz
+	for _, sz := range l.sizes {
+		total += sz
+	}
+	return total
+}
+
+// LastCheckpoint returns the stability cut of the newest complete
+// checkpoint (recovered at Open or written by Compact), and whether one
+// exists.
+func (l *Log) LastCheckpoint() (ids.Timestamp, bool) {
+	return l.ckptCut, l.hasCkpt
 }

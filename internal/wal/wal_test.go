@@ -43,6 +43,23 @@ func wedgeRec(epoch uint64, members ...ids.ProcessorID) Record {
 	}}
 }
 
+func ckptRec(id uint64, cut uint64, chunk, total uint32, state string) Record {
+	return Record{Type: RecCheckpoint, Ckpt: &CheckpointRecord{
+		ID: id, Cut: ids.Timestamp(cut), Chunk: chunk, Total: total, State: []byte(state),
+	}}
+}
+
+func chunkRec(markerTS uint64, upTo uint64, chunk, total uint32, data string) Record {
+	return Record{Type: RecStateChunk, Chunk: &StateChunkRecord{
+		Conn:     testConn(),
+		MarkerTS: ids.Timestamp(markerTS),
+		UpTo:     ids.RequestNum(upTo),
+		Chunk:    chunk,
+		Total:    total,
+		Data:     []byte(data),
+	}}
+}
+
 func snapRec(upTo uint64, state string) Record {
 	return Record{Type: RecSnapshot, Snap: &SnapshotRecord{
 		Conn:     testConn(),
@@ -65,6 +82,10 @@ func TestRecordRoundTrip(t *testing.T) {
 		wedgeRec(9), // empty membership
 		snapRec(7, "snapshot-bytes"),
 		snapRec(8, ""), // empty state
+		ckptRec(1, 500, 0, 2, "first-half"),
+		ckptRec(1, 500, 1, 2, ""), // empty chunk
+		chunkRec(900, 3, 0, 4, "staged-bytes"),
+		chunkRec(901, 4, 3, 4, ""), // empty data
 	}
 	for i, r := range recs {
 		b, err := EncodeRecord(r)
@@ -102,6 +123,16 @@ func normalize(r Record) Record {
 		sn := *r.Snap
 		sn.State = nil
 		r.Snap = &sn
+	}
+	if r.Ckpt != nil && len(r.Ckpt.State) == 0 {
+		ck := *r.Ckpt
+		ck.State = nil
+		r.Ckpt = &ck
+	}
+	if r.Chunk != nil && len(r.Chunk.Data) == 0 {
+		sc := *r.Chunk
+		sc.Data = nil
+		r.Chunk = &sc
 	}
 	return r
 }
