@@ -1,17 +1,26 @@
-// Command benchcheck is the CI guard for the pipelined runtime's
-// performance claim. It reads one or more ftmpbench -json documents
-// (for example a fresh `ftmpbench -exp e14 -quick -json` run, or the
-// committed BENCH_1.json baseline), validates the schema, and fails
-// unless the E14 pipelined throughput is at least -min-ratio times the
-// single-loop baseline measured in the same run. Comparing within one
-// run makes the check robust to how fast the machine itself is: a
-// regression that erases the pipeline's advantage fails everywhere,
-// while an overall slow CI box does not.
+// Command benchcheck is the CI guard for the runtime's performance
+// claims. It reads one or more ftmpbench -json documents (for example a
+// fresh `ftmpbench -exp e14 -quick -json` run, or the committed
+// BENCH_*.json baselines), validates the schema, and fails unless every
+// performance table present in the document holds its claim:
+//
+//	e14 — pipelined throughput at least -min-ratio times the
+//	      single-loop baseline measured in the same run.
+//	e16 — the batched transport either delivers at least -e16-rate
+//	      times the unbatched achieved msg/s, or amortizes kernel
+//	      crossings at least -e16-syscalls times (unbatched
+//	      syscalls/msg over batched syscalls/msg), in the same run.
+//
+// Comparing within one run makes the checks robust to how fast the
+// machine itself is: a regression that erases the optimization's
+// advantage fails everywhere, while an overall slow CI box does not.
+// A document must contain at least one of the guarded tables.
 //
 // Usage:
 //
 //	ftmpbench -exp e14 -quick -json > out.json && benchcheck out.json
 //	benchcheck -min-ratio 2.0 BENCH_1.json   # hold the committed claim
+//	benchcheck -e16-syscalls 5.0 BENCH_2.json
 package main
 
 import (
@@ -39,14 +48,18 @@ type jsonDoc struct {
 func main() {
 	minRatio := flag.Float64("min-ratio", 0.7,
 		"fail if E14 pipelined msg/s is below this multiple of the same run's baseline")
+	e16Rate := flag.Float64("e16-rate", 2.0,
+		"E16 passes if batched achieved msg/s is at least this multiple of unbatched")
+	e16Syscalls := flag.Float64("e16-syscalls", 5.0,
+		"E16 passes if unbatched syscalls/msg is at least this multiple of batched")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck [-min-ratio r] file.json...")
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-min-ratio r] [-e16-rate r] [-e16-syscalls r] file.json...")
 		os.Exit(2)
 	}
 	failed := false
 	for _, path := range flag.Args() {
-		if err := check(path, *minRatio); err != nil {
+		if err := check(path, *minRatio, *e16Rate, *e16Syscalls); err != nil {
 			fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
 			failed = true
 		} else {
@@ -58,7 +71,7 @@ func main() {
 	}
 }
 
-func check(path string, minRatio float64) error {
+func check(path string, minRatio, e16Rate, e16Syscalls float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -67,10 +80,41 @@ func check(path string, minRatio float64) error {
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		return fmt.Errorf("parse: %w", err)
 	}
-	if doc.Schema != "ftmpbench/2" {
-		return fmt.Errorf("schema %q, want ftmpbench/2", doc.Schema)
+	// ftmpbench/3 added open-loop metadata fields; the table layout this
+	// tool reads is unchanged, so both schemas are acceptable.
+	if doc.Schema != "ftmpbench/2" && doc.Schema != "ftmpbench/3" {
+		return fmt.Errorf("schema %q, want ftmpbench/2 or ftmpbench/3", doc.Schema)
 	}
-	throughput, err := e14Throughput(doc)
+	checked := 0
+	if hasTable(doc, "e14") {
+		if err := checkE14(path, doc, minRatio); err != nil {
+			return err
+		}
+		checked++
+	}
+	if hasTable(doc, "e16") {
+		if err := checkE16(path, doc, e16Rate, e16Syscalls); err != nil {
+			return err
+		}
+		checked++
+	}
+	if checked == 0 {
+		return fmt.Errorf("no e14 or e16 table in document")
+	}
+	return nil
+}
+
+func hasTable(doc jsonDoc, name string) bool {
+	for _, tb := range doc.Tables {
+		if tb.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func checkE14(path string, doc jsonDoc, minRatio float64) error {
+	throughput, err := tableColumn(doc, "e14", "msg/s")
 	if err != nil {
 		return err
 	}
@@ -89,39 +133,73 @@ func check(path string, minRatio float64) error {
 	return nil
 }
 
-// e14Throughput extracts mode -> msg/s from the document's e14 table.
-func e14Throughput(doc jsonDoc) (map[string]float64, error) {
+func checkE16(path string, doc jsonDoc, minRate, minSyscalls float64) error {
+	achieved, err := tableColumn(doc, "e16", "achieved/s")
+	if err != nil {
+		return err
+	}
+	perMsg, err := tableColumn(doc, "e16", "syscalls/msg")
+	if err != nil {
+		return err
+	}
+	unRate, ok1 := achieved["unbatched"]
+	baRate, ok2 := achieved["batched"]
+	unSys, ok3 := perMsg["unbatched"]
+	baSys, ok4 := perMsg["batched"]
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return fmt.Errorf("e16 table missing unbatched/batched rows (rates %v, syscalls %v)", achieved, perMsg)
+	}
+	rateRatio := 0.0
+	if unRate > 0 {
+		rateRatio = baRate / unRate
+	}
+	sysRatio := 0.0
+	if baSys > 0 {
+		sysRatio = unSys / baSys
+	}
+	if rateRatio < minRate && sysRatio < minSyscalls {
+		return fmt.Errorf("e16 batched is %.2fx unbatched msg/s (want %.2fx) and amortizes syscalls %.2fx (want %.2fx); neither claim holds",
+			rateRatio, minRate, sysRatio, minSyscalls)
+	}
+	fmt.Printf("benchcheck: %s: e16 batched %.0f msg/s = %.2fx unbatched; syscalls/msg %.2f -> %.2f = %.2fx amortization\n",
+		path, baRate, rateRatio, unSys, baSys, sysRatio)
+	return nil
+}
+
+// tableColumn extracts mode -> numeric value of column col from the
+// named table's rows.
+func tableColumn(doc jsonDoc, name, col string) (map[string]float64, error) {
 	for _, tb := range doc.Tables {
-		if tb.Name != "e14" {
+		if tb.Name != name {
 			continue
 		}
-		modeCol, rateCol := -1, -1
+		modeCol, valCol := -1, -1
 		for i, h := range tb.Headers {
 			switch h {
 			case "mode":
 				modeCol = i
-			case "msg/s":
-				rateCol = i
+			case col:
+				valCol = i
 			}
 		}
-		if modeCol < 0 || rateCol < 0 {
-			return nil, fmt.Errorf("e14 table lacks mode/msg/s columns: %v", tb.Headers)
+		if modeCol < 0 || valCol < 0 {
+			return nil, fmt.Errorf("%s table lacks mode/%s columns: %v", name, col, tb.Headers)
 		}
 		out := make(map[string]float64)
 		for _, row := range tb.Rows {
-			if len(row) <= modeCol || len(row) <= rateCol {
+			if len(row) <= modeCol || len(row) <= valCol {
 				continue
 			}
 			if strings.Contains(strings.Join(row, " "), "FAILED") {
-				return nil, fmt.Errorf("e14 row marked FAILED: %v", row)
+				return nil, fmt.Errorf("%s row marked FAILED: %v", name, row)
 			}
-			v, err := strconv.ParseFloat(strings.TrimSpace(row[rateCol]), 64)
+			v, err := strconv.ParseFloat(strings.TrimSpace(row[valCol]), 64)
 			if err != nil {
-				return nil, fmt.Errorf("e14 msg/s cell %q: %w", row[rateCol], err)
+				return nil, fmt.Errorf("%s %s cell %q: %w", name, col, row[valCol], err)
 			}
 			out[row[modeCol]] = v
 		}
 		return out, nil
 	}
-	return nil, fmt.Errorf("no e14 table in document")
+	return nil, fmt.Errorf("no %s table in document", name)
 }

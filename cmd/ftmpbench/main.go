@@ -10,6 +10,8 @@
 //	ftmpbench -quick          # reduced sizes (CI smoke)
 //	ftmpbench -json           # machine-readable output (see EXPERIMENTS.md)
 //	ftmpbench -pprof :6060    # serve net/http/pprof while running
+//	ftmpbench -open-loop -clients 64 -rate 30000
+//	                          # E16 only: open-loop client-scale load
 package main
 
 import (
@@ -39,24 +41,35 @@ type jsonTable struct {
 // jsonDoc is the -json output document. The schema string names the
 // layout so consumers can reject an incompatible future format; fields
 // are emitted in declaration order, making the output diffable run to
-// run (cell values vary only where the measurement does).
+// run (cell values vary only where the measurement does). Schema
+// ftmpbench/3 adds the open-loop generator parameters (the E16 table
+// carries offered vs achieved rate and syscalls/msg in its cells);
+// consumers that only read tables can accept /2 and /3 alike.
 type jsonDoc struct {
-	Schema     string      `json:"schema"`
-	SeedOffset int64       `json:"seed_offset"`
-	Quick      bool        `json:"quick"`
-	Tables     []jsonTable `json:"tables"`
+	Schema          string      `json:"schema"`
+	SeedOffset      int64       `json:"seed_offset"`
+	Quick           bool        `json:"quick"`
+	OpenLoopClients int         `json:"open_loop_clients,omitempty"`
+	OpenLoopRate    float64     `json:"open_loop_rate,omitempty"`
+	Tables          []jsonTable `json:"tables"`
 }
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiments: fig2,fig3,e1..e15,a1,a2,a3,bench or all")
+		expFlag   = flag.String("exp", "all", "comma-separated experiments: fig2,fig3,e1..e16,a1,a2,a3,bench or all")
 		quick     = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 		seed      = flag.Int64("seed", 0, "offset added to every experiment seed (0 reproduces EXPERIMENTS.md)")
 		jsonFlag  = flag.Bool("json", false, "emit one JSON document instead of text tables")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address while the suite runs")
+		openLoop  = flag.Bool("open-loop", false, "run only the open-loop client-scale load experiment (E16)")
+		clients   = flag.Int("clients", 64, "open-loop: virtual client connections multiplexed onto the sender")
+		rate      = flag.Float64("rate", 30000, "open-loop: aggregate offered load, msg/s")
 	)
 	flag.Parse()
 	harness.SeedOffset = *seed
+	if *openLoop {
+		*expFlag = "e16"
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -89,6 +102,7 @@ func main() {
 	e12IdleMaxes := []simnet.Time{0, 25, 100}
 	e13Runs, e13Ops := 3, 10
 	e14Msgs := 4000
+	e16Msgs := 20000
 	e15Sizes := []int{1000, 10000, 100000}
 	e15Every := 1000
 	e15Payload := 256
@@ -114,6 +128,7 @@ func main() {
 		e12IdleMaxes = []simnet.Time{0, 25}
 		e13Runs, e13Ops = 1, 5
 		e14Msgs = 300
+		e16Msgs = 1500
 		e15Sizes = []int{500, 5000}
 		e15Every = 250
 		e15Pad = 128 * 1024
@@ -185,6 +200,11 @@ func main() {
 			// resets the global counters around each mode itself.
 			return []*trace.Table{harness.E14Pipeline(e14Msgs)}
 		}},
+		{"e16", func() []*trace.Table {
+			// E16 measures the batched vs unbatched transport under
+			// open-loop load; like E14 it resets counters per mode itself.
+			return []*trace.Table{harness.E16Batching(*clients, e16Msgs, *rate)}
+		}},
 		{"e15", func() []*trace.Table {
 			// E15 exercises the compaction + streamed-transfer robustness
 			// machinery; report the counters it leaves behind.
@@ -201,7 +221,8 @@ func main() {
 		{"bench", one(microbenchTable)},
 	}
 
-	doc := jsonDoc{Schema: "ftmpbench/2", SeedOffset: *seed, Quick: *quick}
+	doc := jsonDoc{Schema: "ftmpbench/3", SeedOffset: *seed, Quick: *quick,
+		OpenLoopClients: *clients, OpenLoopRate: *rate}
 	ran := 0
 	for _, e := range experiments {
 		if !sel(e.name) {
@@ -225,7 +246,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig2 fig3 e1..e15 a1 a2 a3 bench all\n", *expFlag)
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig2 fig3 e1..e16 a1 a2 a3 bench all\n", *expFlag)
 		os.Exit(2)
 	}
 	if *jsonFlag {

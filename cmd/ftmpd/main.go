@@ -73,6 +73,10 @@ func main() {
 			"pipelined runtime: max deliveries group-committed per WAL fsync (with -recv-workers > 0 and -wal-dir)")
 		compactEvery = flag.Duration("compact-every", 0,
 			"with -wal-dir: checkpoint and truncate the WAL at the group's stability cut on this interval (0: never). Bounds restart replay to the post-checkpoint suffix")
+		batchRecv = flag.Int("batch-recv", 0,
+			"mesh transport: drain up to this many datagrams per recvmmsg syscall (0 or 1: one recvfrom per datagram; non-linux builds fall back automatically)")
+		batchSend = flag.Int("batch-send", 0,
+			"with -recv-workers > 0: coalesce up to this many queued frames per sendmmsg syscall in each send shard (0 or 1: one sendto per frame)")
 	)
 	flag.Parse()
 
@@ -187,6 +191,7 @@ func main() {
 		opts.RecvWorkers = *recvWorkers
 		opts.DeliveryDepth = 1024
 		opts.SendShards = 2
+		opts.SendBatch = *batchSend
 		if log != nil {
 			opts.WAL = log
 			opts.WALBatch = *walBatch
@@ -196,12 +201,19 @@ func main() {
 		}
 	}
 
+	if *batchSend > 1 && *recvWorkers == 0 {
+		fmt.Fprintln(os.Stderr, "ftmpd: -batch-send needs the pipelined runtime (-recv-workers > 0); sends stay unbatched")
+	}
+
 	mk := func(h transport.Handler) (transport.Transport, error) {
 		switch *trFlag {
 		case "multicast":
-			return transport.NewUDPMulticast(h), nil
+			mc := transport.NewUDPMulticast(h)
+			mc.SetSendBatch(*batchSend)
+			return mc, nil
 		case "mesh":
-			mesh, err := transport.NewUDPMesh(*listen, h)
+			mesh, err := transport.NewUDPMeshConfig(*listen, h,
+				transport.MeshConfig{RecvBatch: *batchRecv, SendBatch: *batchSend})
 			if err != nil {
 				return nil, err
 			}
@@ -342,6 +354,14 @@ func main() {
 					s.MessagesSent, s.HeartbeatsSent, s.RMP.NacksSent, s.RMP.Retransmissions,
 					trace.Counter("runtime.rx_overflow_drops"), trace.Counter("runtime.tx_overflow_drops"))
 			})
+			fmt.Fprintf(os.Stderr,
+				"ftmpd: transport: tx_syscalls=%d tx_frames=%d sendmmsg=%d rx_syscalls=%d rx_frames=%d recvmmsg=%d mmsg_downgrades=%d tx_batches=%d tx_batched_msgs=%d\n",
+				trace.Counter("transport.tx_syscalls"), trace.Counter("transport.tx_frames"),
+				trace.Counter("transport.tx_sendmmsg_calls"),
+				trace.Counter("transport.rx_syscalls"), trace.Counter("transport.rx_frames"),
+				trace.Counter("transport.rx_recvmmsg_calls"),
+				trace.Counter("transport.mmsg_downgrades"),
+				trace.Counter("runtime.tx_batches"), trace.Counter("runtime.tx_batched_msgs"))
 			if log != nil {
 				_ = r.WALExec(func() error {
 					ckpt := "none"

@@ -125,6 +125,20 @@ type Options struct {
 	SendShards int
 	// SendDepth bounds each send shard's queue (default 1024).
 	SendDepth int
+
+	// SendBatch > 1 (with SendShards > 0, on a transport implementing
+	// transport.BatchSender) lets each send shard coalesce its queued
+	// backlog — up to this many frames — into one SendBatch call per
+	// wakeup, which the batched transports turn into sendmmsg(2)
+	// vectors. 0 or 1 keeps one transport Send per frame. Purely a
+	// syscall amortization: per-destination FIFO and every protocol
+	// effect are unchanged.
+	SendBatch int
+	// SendFlushDelay, with SendBatch > 1, lets an idle shard linger this
+	// long for a second frame before flushing a single-frame vector.
+	// Zero (the default) flushes immediately — batching then only
+	// engages when a backlog exists, which is the load case it is for.
+	SendFlushDelay time.Duration
 }
 
 // New creates a runner. The caller supplies the node configuration and
@@ -190,7 +204,7 @@ func New(cfg core.Config, cb core.Callbacks, mkTransport func(transport.Handler)
 	r.tr = tr
 
 	if opt.SendShards > 0 {
-		r.snd = newSender(tr, opt.SendShards, opt.SendDepth)
+		r.snd = newSender(tr, opt.SendShards, opt.SendDepth, opt.SendBatch, opt.SendFlushDelay)
 		cb.Transmit = r.snd.send
 	} else {
 		cb.Transmit = func(addr wire.MulticastAddr, data []byte) {

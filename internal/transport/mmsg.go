@@ -1,0 +1,198 @@
+package transport
+
+import (
+	"net"
+	"sync/atomic"
+	"syscall"
+
+	"ftmp/internal/trace"
+	"ftmp/internal/wire"
+)
+
+// This file is the portable half of the kernel-batched datapath: the
+// batch types, the syscall/batch-efficiency counters and the vectored
+// send driver. The per-platform halves (mmsg_linux.go and
+// mmsg_fallback.go) provide rawSendmmsg/rawRecvmmsg — genuine
+// sendmmsg(2)/recvmmsg(2) on linux/amd64 and linux/arm64, a
+// single-syscall-per-datagram emulation everywhere else — behind one
+// signature, so every caller above this line is platform-independent.
+
+// Datagram is one logical multicast send queued for batching: the
+// payload and the logical address it is addressed to. The transport
+// owns neither; Data must stay untouched until SendBatch returns
+// (the kernel copies it out synchronously, as with Send).
+type Datagram struct {
+	Addr wire.MulticastAddr
+	Data []byte
+}
+
+// BatchSender is implemented by transports that can hand several
+// datagrams to the kernel in fewer syscalls. Frames for any single
+// destination are sent in slice order (per-destination FIFO), exactly
+// as the same sequence of Send calls would.
+type BatchSender interface {
+	SendBatch(items []Datagram) error
+}
+
+// outFrame is one wire datagram bound for one socket destination: a
+// logical Datagram expanded across the mesh's peer set.
+type outFrame struct {
+	data []byte
+	to   *net.UDPAddr // nil: connected socket
+}
+
+// mmsgOK records whether the vectored syscalls are usable at runtime.
+// Compiled-in support (mmsgArch) can still be refused by the kernel or
+// a seccomp filter with ENOSYS/EPERM; the first refusal downgrades the
+// process permanently to the single-syscall path — batching then costs
+// nothing but also saves nothing, it never breaks delivery.
+var mmsgDowngraded atomic.Bool
+
+// useMMsg reports whether vectored syscalls should be attempted.
+func useMMsg() bool { return mmsgArch && !mmsgDowngraded.Load() }
+
+// noteMMsgUnsupported records a kernel refusal of the vectored path.
+func noteMMsgUnsupported() {
+	if !mmsgDowngraded.Swap(true) {
+		trace.Inc("transport.mmsg_downgrades")
+	}
+}
+
+// mmsgUnsupported classifies errors that mean "this kernel will never
+// accept the vectored call" as opposed to a transient send failure.
+func mmsgUnsupported(err error) bool {
+	return err == syscall.ENOSYS || err == syscall.EOPNOTSUPP || err == syscall.EPERM
+}
+
+// noteBatch feeds the batch-size histogram: one bucket counter per
+// power-of-two size class, so /stats can show how full the vectors ran
+// without a full histogram datatype. prefix is "tx" or "rx".
+func noteBatch(prefix string, n int) {
+	var bucket string
+	switch {
+	case n <= 1:
+		bucket = "_batch_le_1"
+	case n <= 2:
+		bucket = "_batch_le_2"
+	case n <= 4:
+		bucket = "_batch_le_4"
+	case n <= 8:
+		bucket = "_batch_le_8"
+	case n <= 16:
+		bucket = "_batch_le_16"
+	case n <= 32:
+		bucket = "_batch_le_32"
+	default:
+		bucket = "_batch_gt_32"
+	}
+	trace.Inc("transport." + prefix + bucket)
+}
+
+// rawSendFunc is the platform vector-send hook: it hands up to
+// len(frames) datagrams to the kernel and returns how many the kernel
+// accepted (in order). Injectable so the resume logic below is testable
+// without forcing real short counts out of a kernel.
+type rawSendFunc func(conn *net.UDPConn, frames []outFrame) (int, error)
+
+// vectorSend drives frames through send (rawSendmmsg in production) in
+// chunks of at most vec, resuming after short counts: sendmmsg may
+// accept fewer datagrams than offered (a full socket buffer mid-vector)
+// and the unsent tail must go out next call, in order, exactly once.
+// A kernel that refuses the vectored call entirely (ENOSYS under
+// seccomp, EPERM) downgrades the process to the single-syscall path and
+// finishes the batch there. Other errors skip the offending frame —
+// the same "record and keep going" contract as per-peer Send errors —
+// and the first one is returned.
+func vectorSend(conn *net.UDPConn, frames []outFrame, vec int, send rawSendFunc) error {
+	if vec < 1 {
+		vec = 1
+	}
+	var firstErr error
+	for len(frames) > 0 {
+		if !useMMsg() {
+			// Downgraded (possibly mid-batch): finish frame by frame.
+			for _, f := range frames {
+				if err := sendOne(conn, f); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			return firstErr
+		}
+		chunk := frames
+		if len(chunk) > vec {
+			chunk = chunk[:vec]
+		}
+		sent, err := send(conn, chunk)
+		trace.Inc("transport.tx_sendmmsg_calls")
+		trace.Inc("transport.tx_syscalls")
+		if sent > 0 {
+			trace.Count("transport.tx_frames", uint64(sent))
+			noteBatch("tx", sent)
+		}
+		frames = frames[sent:]
+		if err != nil {
+			if mmsgUnsupported(err) {
+				noteMMsgUnsupported()
+				continue // retried on the downgraded path above
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			if sent == 0 && len(frames) > 0 {
+				// The head frame is the poison (unroutable peer, oversize
+				// datagram): skip it or the loop spins forever.
+				frames = frames[1:]
+				trace.Inc("transport.tx_frame_errors")
+			}
+		}
+	}
+	return firstErr
+}
+
+// sendOne is the single-datagram path shared by the legacy Send and the
+// downgraded batch path, with the syscall counters every path feeds.
+func sendOne(conn *net.UDPConn, f outFrame) error {
+	var err error
+	if f.to != nil {
+		_, err = conn.WriteToUDP(f.data, f.to)
+	} else {
+		_, err = conn.Write(f.data)
+	}
+	trace.Inc("transport.tx_syscalls")
+	if err == nil {
+		trace.Inc("transport.tx_frames")
+	}
+	return err
+}
+
+// recvArena amortizes the per-datagram allocation the handler contract
+// forces on the receive path. HandlePacket takes ownership of the
+// buffer it is handed — reliable-message payloads alias it while RMP
+// buffers them — so the transport can never reclaim delivered buffers
+// into a pool; what it CAN do is stop paying one allocator round trip
+// per datagram by carving exact-size buffers out of a slab and letting
+// the garbage collector free each slab when the last delivery cut from
+// it dies. One arena per reader goroutine: no locks.
+type recvArena struct {
+	slab []byte
+}
+
+// arenaSlab is the slab size; at the typical few-hundred-byte FTMP
+// datagram one allocation now covers hundreds of deliveries.
+const arenaSlab = 64 * 1024
+
+// take returns an owned buffer of exactly n bytes (full capacity n, so
+// an append by the owner cannot bleed into the next carve).
+func (a *recvArena) take(n int) []byte {
+	if n > arenaSlab/2 {
+		// Oversize carve: give it its own allocation rather than burning
+		// most of a slab.
+		return make([]byte, n)
+	}
+	if n > len(a.slab) {
+		a.slab = make([]byte, arenaSlab)
+	}
+	b := a.slab[:n:n]
+	a.slab = a.slab[n:]
+	return b
+}

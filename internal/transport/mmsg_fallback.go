@@ -1,0 +1,47 @@
+//go:build !linux || !(amd64 || arm64)
+
+package transport
+
+// The portable fallback: no vectored syscalls on this platform, so the
+// batched paths degrade to one syscall per datagram with identical
+// semantics. Batching stays enableable everywhere — it just stops
+// saving kernel crossings — which keeps the flag matrix and the tests
+// uniform across platforms (darwin development boxes, CI sandboxes
+// whose seccomp policy forbids the raw syscalls, 32-bit ports).
+
+import "net"
+
+// mmsgArch: vectored syscalls are not compiled in; useMMsg() is false
+// and every batch goes through the single-syscall path.
+const mmsgArch = false
+
+// rawSendmmsg is never reached (useMMsg() gates every call site); it
+// exists so the platform-independent half compiles unchanged.
+func rawSendmmsg(conn *net.UDPConn, frames []outFrame) (int, error) {
+	var firstErr error
+	sent := 0
+	for _, f := range frames {
+		if err := sendOne(conn, f); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		sent++
+	}
+	return sent, firstErr
+}
+
+// rawRecvmmsg emulates the vectored receive with a single blocking
+// read: one datagram per call, exactly the legacy loop's behavior.
+func rawRecvmmsg(conn *net.UDPConn, bufs [][]byte, sizes []int) (int, error) {
+	if len(bufs) == 0 {
+		return 0, nil
+	}
+	n, _, err := conn.ReadFromUDP(bufs[0])
+	if err != nil {
+		return 0, err
+	}
+	sizes[0] = n
+	return 1, nil
+}

@@ -1,0 +1,146 @@
+//go:build linux && (amd64 || arm64)
+
+package transport
+
+// The genuine kernel-batched path: sendmmsg(2)/recvmmsg(2) through raw
+// syscall numbers. The standard library's syscall package predates
+// sendmmsg (its linux tables were frozen at recvmmsg), and this module
+// deliberately has no dependency on golang.org/x/sys, so the two
+// syscall numbers live in per-arch files (mmsg_sysnum_*.go) and the
+// mmsghdr layout — identical on the 64-bit linux ports — is declared
+// here. Everything funnels through the net.UDPConn's RawConn so the
+// runtime netpoller still owns readiness: a would-block return parks
+// the goroutine instead of spinning.
+
+import (
+	"net"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// mmsgArch: this platform compiles the vectored syscalls in.
+const mmsgArch = true
+
+// mmsghdr is struct mmsghdr from socket(7): a msghdr plus the kernel's
+// per-entry transfer count. The trailing pad keeps the 8-byte stride
+// the kernel expects on 64-bit ports.
+type mmsghdr struct {
+	hdr  syscall.Msghdr
+	nfer uint32
+	_    [4]byte
+}
+
+// rawSendmmsg hands frames to the kernel in one sendmmsg call and
+// returns how many datagrams it accepted. A nil frame destination uses
+// the socket's connected peer; otherwise the IPv4 destination is
+// attached per-entry, so one unconnected socket fans a vector out
+// across many peers in a single crossing.
+func rawSendmmsg(conn *net.UDPConn, frames []outFrame) (int, error) {
+	if len(frames) == 0 {
+		return 0, nil
+	}
+	vec := make([]mmsghdr, len(frames))
+	iovs := make([]syscall.Iovec, len(frames))
+	sas := make([]syscall.RawSockaddrInet4, len(frames))
+	for i := range frames {
+		f := &frames[i]
+		if len(f.data) == 0 {
+			// A zero-length UDP datagram is legal; point at the pad byte
+			// so the iovec base is never nil.
+			iovs[i].Base = &sas[i].Zero[0]
+			iovs[i].Len = 0
+		} else {
+			iovs[i].Base = &f.data[0]
+			iovs[i].SetLen(len(f.data))
+		}
+		vec[i].hdr.Iov = &iovs[i]
+		vec[i].hdr.Iovlen = 1
+		if f.to != nil {
+			sa := &sas[i]
+			sa.Family = syscall.AF_INET
+			p := (*[2]byte)(unsafe.Pointer(&sa.Port))
+			p[0] = byte(f.to.Port >> 8)
+			p[1] = byte(f.to.Port)
+			copy(sa.Addr[:], f.to.IP.To4())
+			vec[i].hdr.Name = (*byte)(unsafe.Pointer(sa))
+			vec[i].hdr.Namelen = syscall.SizeofSockaddrInet4
+		}
+	}
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return 0, err
+	}
+	var sent int
+	var errno syscall.Errno
+	werr := rc.Write(func(fd uintptr) bool {
+		n, _, e := syscall.Syscall6(sysSENDMMSG, fd,
+			uintptr(unsafe.Pointer(&vec[0])), uintptr(len(vec)), 0, 0, 0)
+		if e == syscall.EAGAIN || e == syscall.EINTR {
+			return false // park on the netpoller until writable
+		}
+		sent, errno = int(n), e
+		return true
+	})
+	runtime.KeepAlive(vec)
+	runtime.KeepAlive(iovs)
+	runtime.KeepAlive(sas)
+	runtime.KeepAlive(frames)
+	if werr != nil {
+		return 0, werr
+	}
+	if errno != 0 {
+		return 0, errno
+	}
+	return sent, nil
+}
+
+// rawRecvmmsg drains up to len(bufs) datagrams from the socket in one
+// recvmmsg call, filling bufs[i] and sizes[i], and returns how many
+// arrived. It blocks (on the netpoller) until at least one datagram is
+// available; it never waits for the vector to fill — recvmmsg returns
+// whatever the socket buffer held, which is exactly the adaptive
+// batch-under-load / low-latency-when-idle behavior the receive path
+// wants. Source addresses are not collected (the mesh framing carries
+// the logical address; the peer's socket address is unused).
+func rawRecvmmsg(conn *net.UDPConn, bufs [][]byte, sizes []int) (int, error) {
+	if len(bufs) == 0 {
+		return 0, nil
+	}
+	vec := make([]mmsghdr, len(bufs))
+	iovs := make([]syscall.Iovec, len(bufs))
+	for i := range bufs {
+		iovs[i].Base = &bufs[i][0]
+		iovs[i].SetLen(len(bufs[i]))
+		vec[i].hdr.Iov = &iovs[i]
+		vec[i].hdr.Iovlen = 1
+	}
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return 0, err
+	}
+	var got int
+	var errno syscall.Errno
+	rerr := rc.Read(func(fd uintptr) bool {
+		n, _, e := syscall.Syscall6(sysRECVMMSG, fd,
+			uintptr(unsafe.Pointer(&vec[0])), uintptr(len(vec)), 0, 0, 0)
+		if e == syscall.EAGAIN || e == syscall.EINTR {
+			return false // park until readable
+		}
+		got, errno = int(n), e
+		return true
+	})
+	runtime.KeepAlive(vec)
+	runtime.KeepAlive(iovs)
+	runtime.KeepAlive(bufs)
+	if rerr != nil {
+		return 0, rerr
+	}
+	if errno != 0 {
+		return 0, errno
+	}
+	for i := 0; i < got; i++ {
+		sizes[i] = int(vec[i].nfer)
+	}
+	return got, nil
+}

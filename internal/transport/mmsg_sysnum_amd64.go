@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package transport
+
+// Syscall numbers for linux/amd64 (arch/x86/entry/syscalls). The
+// standard library defines SYS_RECVMMSG but its table was frozen
+// before sendmmsg landed in Linux 3.0.
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package transport
+
+// Syscall numbers for linux/arm64 (the generic unistd table).
+const (
+	sysRECVMMSG = 243
+	sysSENDMMSG = 269
+)

@@ -3,6 +3,14 @@
 // and a unicast mesh that emulates multicast where IGMP is unavailable
 // (containers, CI). Both present the same interface; the FTMP node never
 // knows which is underneath.
+//
+// Both transports optionally batch the syscall layer: on linux the mesh
+// drains up to MeshConfig.RecvBatch datagrams per recvmmsg(2) call and
+// coalesces up to MeshConfig.SendBatch frames per sendmmsg(2) call
+// (SendBatch / the BatchSender interface), so a loaded node stops
+// paying one kernel crossing per datagram. Batching is off by default
+// and degrades to the classic single-syscall path on other platforms
+// or when the kernel refuses the vectored calls — see mmsg.go.
 package transport
 
 import (
@@ -11,6 +19,7 @@ import (
 	"net"
 	"sync"
 
+	"ftmp/internal/trace"
 	"ftmp/internal/wire"
 )
 
@@ -45,6 +54,7 @@ type UDPMulticast struct {
 	conns   map[wire.MulticastAddr]*net.UDPConn
 	errHook func(error)
 	closed  bool
+	batch   int
 	wg      sync.WaitGroup
 
 	// sendConns caches one connected send socket per destination so the
@@ -80,6 +90,15 @@ func NewUDPMulticast(handler Handler) *UDPMulticast {
 	}
 }
 
+// SetSendBatch enables sendmmsg coalescing for SendBatch: up to n
+// frames per vectored call on each destination's connected socket.
+// n <= 1 (the default) keeps one syscall per datagram.
+func (t *UDPMulticast) SetSendBatch(n int) {
+	t.mu.Lock()
+	t.batch = n
+	t.mu.Unlock()
+}
+
 func toUDPAddr(a wire.MulticastAddr) *net.UDPAddr {
 	return &net.UDPAddr{IP: net.IPv4(a.IP[0], a.IP[1], a.IP[2], a.IP[3]), Port: int(a.Port)}
 }
@@ -108,8 +127,10 @@ func (t *UDPMulticast) readLoop(conn *net.UDPConn, addr wire.MulticastAddr) {
 	defer t.wg.Done()
 	guard := RetryGuard{Name: fmt.Sprintf("multicast reader %v", addr), OnFatal: t.fatal}
 	buf := make([]byte, maxDatagram)
+	var arena recvArena
 	for {
 		n, _, err := conn.ReadFromUDP(buf)
+		trace.Inc("transport.rx_syscalls")
 		if err != nil {
 			// Closure (Leave or Close) exits quietly; a transient socket
 			// error must not kill the reader — missed heartbeats would
@@ -120,7 +141,11 @@ func (t *UDPMulticast) readLoop(conn *net.UDPConn, addr wire.MulticastAddr) {
 			continue
 		}
 		guard.OK()
-		data := make([]byte, n)
+		trace.Inc("transport.rx_frames")
+		// The handler owns its buffer forever (HandlePacket contract), so
+		// the read buffer cannot be handed up directly; the arena carve
+		// amortizes the per-datagram copy's allocation.
+		data := arena.take(n)
 		copy(data, buf[:n])
 		t.handler(data, addr)
 	}
@@ -137,6 +162,23 @@ func (t *UDPMulticast) Leave(addr wire.MulticastAddr) error {
 	return nil
 }
 
+// sendConn returns (dialing and caching if needed) the connected send
+// socket for addr.
+func (t *UDPMulticast) sendConn(addr wire.MulticastAddr) (*net.UDPConn, error) {
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	conn, ok := t.sendConns[addr]
+	if !ok {
+		var err error
+		conn, err = net.DialUDP("udp4", nil, toUDPAddr(addr))
+		if err != nil {
+			return nil, err
+		}
+		t.sendConns[addr] = conn
+	}
+	return conn, nil
+}
+
 // Send implements Transport.
 func (t *UDPMulticast) Send(addr wire.MulticastAddr, data []byte) error {
 	t.mu.Lock()
@@ -145,20 +187,56 @@ func (t *UDPMulticast) Send(addr wire.MulticastAddr, data []byte) error {
 		return ErrClosed
 	}
 	t.mu.Unlock()
-	t.sendMu.Lock()
-	conn, ok := t.sendConns[addr]
-	if !ok {
-		var err error
-		conn, err = net.DialUDP("udp4", nil, toUDPAddr(addr))
-		if err != nil {
-			t.sendMu.Unlock()
-			return err
-		}
-		t.sendConns[addr] = conn
+	conn, err := t.sendConn(addr)
+	if err != nil {
+		return err
 	}
-	t.sendMu.Unlock()
-	_, err := conn.Write(data)
-	return err
+	return sendOne(conn, outFrame{data: data})
+}
+
+// SendBatch implements BatchSender: consecutive same-address runs share
+// one connected socket and, with SetSendBatch > 1 on linux, one
+// sendmmsg vector per run. Per-destination order is slice order.
+func (t *UDPMulticast) SendBatch(items []Datagram) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	batch := t.batch
+	t.mu.Unlock()
+	var firstErr error
+	for i := 0; i < len(items); {
+		j := i + 1
+		for j < len(items) && items[j].Addr == items[i].Addr {
+			j++
+		}
+		conn, err := t.sendConn(items[i].Addr)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			i = j
+			continue
+		}
+		if batch > 1 && useMMsg() && j-i > 1 {
+			frames := make([]outFrame, 0, j-i)
+			for k := i; k < j; k++ {
+				frames = append(frames, outFrame{data: items[k].Data})
+			}
+			if err := vectorSend(conn, frames, batch, rawSendmmsg); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			for k := i; k < j; k++ {
+				if err := sendOne(conn, outFrame{data: items[k].Data}); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		i = j
+	}
+	return firstErr
 }
 
 // Close implements Transport.
@@ -188,6 +266,20 @@ func (t *UDPMulticast) Close() error {
 // address so receivers can demultiplex subscriptions.
 const meshFrameHeader = 6
 
+// MeshConfig tunes the mesh's syscall batching. The zero value is the
+// classic transport: one syscall per datagram in both directions.
+type MeshConfig struct {
+	// RecvBatch > 1 drains up to that many datagrams per recvmmsg(2)
+	// call (linux; elsewhere, and on kernels that refuse the vectored
+	// call, the reader falls back to one datagram per syscall). The
+	// vector never waits to fill: an idle socket still delivers each
+	// datagram as it arrives.
+	RecvBatch int
+	// SendBatch > 1 lets SendBatch coalesce up to that many wire frames
+	// per sendmmsg(2) call. Send itself (one datagram) is unaffected.
+	SendBatch int
+}
+
 // UDPMesh emulates IP multicast over unicast UDP: every node binds one
 // socket and sends each "multicast" to every peer; receivers filter by
 // joined logical address. It behaves like multicast with loopback
@@ -195,6 +287,7 @@ const meshFrameHeader = 6
 // is what the FTMP node expects.
 type UDPMesh struct {
 	handler Handler
+	cfg     MeshConfig
 
 	conn  *net.UDPConn
 	local *net.UDPAddr
@@ -228,6 +321,11 @@ func (m *UDPMesh) fatal(err error) {
 // and delivers subscribed datagrams to handler. Peers (including this
 // node's own address, for loopback) are added with AddPeer.
 func NewUDPMesh(listenAddr string, handler Handler) (*UDPMesh, error) {
+	return NewUDPMeshConfig(listenAddr, handler, MeshConfig{})
+}
+
+// NewUDPMeshConfig is NewUDPMesh with syscall batching configured.
+func NewUDPMeshConfig(listenAddr string, handler Handler, cfg MeshConfig) (*UDPMesh, error) {
 	ua, err := net.ResolveUDPAddr("udp4", listenAddr)
 	if err != nil {
 		return nil, err
@@ -238,12 +336,17 @@ func NewUDPMesh(listenAddr string, handler Handler) (*UDPMesh, error) {
 	}
 	m := &UDPMesh{
 		handler: handler,
+		cfg:     cfg,
 		conn:    conn,
 		local:   conn.LocalAddr().(*net.UDPAddr),
 		joined:  make(map[wire.MulticastAddr]bool),
 	}
 	m.wg.Add(1)
-	go m.readLoop()
+	if cfg.RecvBatch > 1 && useMMsg() {
+		go m.readLoopBatched(cfg.RecvBatch)
+	} else {
+		go m.readLoop()
+	}
 	return m, nil
 }
 
@@ -276,9 +379,18 @@ func (m *UDPMesh) AddPeer(addr string) error {
 func (m *UDPMesh) readLoop() {
 	defer m.wg.Done()
 	guard := RetryGuard{Name: fmt.Sprintf("mesh reader %v", m.local), OnFatal: m.fatal}
+	var arena recvArena
+	m.readFrom(&guard, &arena)
+}
+
+// readFrom is the single-datagram receive loop: one ReadFromUDP per
+// datagram. Shared by the legacy path and the batched loop's runtime
+// downgrade.
+func (m *UDPMesh) readFrom(guard *RetryGuard, arena *recvArena) {
 	buf := make([]byte, maxDatagram)
 	for {
 		n, _, err := m.conn.ReadFromUDP(buf)
+		trace.Inc("transport.rx_syscalls")
 		if err != nil {
 			if !guard.Admit(err) {
 				return
@@ -286,22 +398,72 @@ func (m *UDPMesh) readLoop() {
 			continue
 		}
 		guard.OK()
-		if n < meshFrameHeader {
-			continue
-		}
-		var logical wire.MulticastAddr
-		copy(logical.IP[:], buf[0:4])
-		logical.Port = uint16(buf[4])<<8 | uint16(buf[5])
-		m.mu.Lock()
-		subscribed := m.joined[logical]
-		m.mu.Unlock()
-		if !subscribed {
-			continue
-		}
-		data := make([]byte, n-meshFrameHeader)
-		copy(data, buf[meshFrameHeader:n])
-		m.handler(data, logical)
+		trace.Inc("transport.rx_frames")
+		m.deliverFrame(buf[:n], arena)
 	}
+}
+
+// readLoopBatched drains up to batch datagrams per recvmmsg call into
+// reused staging buffers and hands each subscribed frame up. A kernel
+// that refuses the vectored call downgrades to the single-syscall loop
+// without dropping anything.
+func (m *UDPMesh) readLoopBatched(batch int) {
+	defer m.wg.Done()
+	guard := RetryGuard{Name: fmt.Sprintf("mesh reader %v", m.local), OnFatal: m.fatal}
+	bufs := make([][]byte, batch)
+	for i := range bufs {
+		bufs[i] = make([]byte, maxDatagram)
+	}
+	sizes := make([]int, batch)
+	var arena recvArena
+	for {
+		if !useMMsg() {
+			m.readFrom(&guard, &arena)
+			return
+		}
+		n, err := rawRecvmmsg(m.conn, bufs, sizes)
+		trace.Inc("transport.rx_syscalls")
+		if err != nil {
+			if mmsgUnsupported(err) {
+				noteMMsgUnsupported()
+				continue
+			}
+			if !guard.Admit(err) {
+				return
+			}
+			continue
+		}
+		guard.OK()
+		trace.Inc("transport.rx_recvmmsg_calls")
+		trace.Count("transport.rx_frames", uint64(n))
+		noteBatch("rx", n)
+		for i := 0; i < n; i++ {
+			m.deliverFrame(bufs[i][:sizes[i]], &arena)
+		}
+	}
+}
+
+// deliverFrame demultiplexes one received mesh frame: parse the logical
+// address prefix, drop unsubscribed traffic, copy the payload into an
+// owned buffer (the handler keeps it — HandlePacket ownership contract;
+// the arena amortizes the allocations) and hand it up. The staging
+// buffer backing frame is the caller's and is reused for the next read.
+func (m *UDPMesh) deliverFrame(frame []byte, arena *recvArena) {
+	if len(frame) < meshFrameHeader {
+		return
+	}
+	var logical wire.MulticastAddr
+	copy(logical.IP[:], frame[0:4])
+	logical.Port = uint16(frame[4])<<8 | uint16(frame[5])
+	m.mu.Lock()
+	subscribed := m.joined[logical]
+	m.mu.Unlock()
+	if !subscribed {
+		return
+	}
+	data := arena.take(len(frame) - meshFrameHeader)
+	copy(data, frame[meshFrameHeader:])
+	m.handler(data, logical)
 }
 
 // Join implements Transport.
@@ -323,14 +485,24 @@ func (m *UDPMesh) Leave(addr wire.MulticastAddr) error {
 	return nil
 }
 
-// framePool recycles mesh send frames. WriteToUDP copies the buffer
-// into the kernel synchronously, so a frame can be pooled as soon as the
-// send loop is done with it.
+// framePool recycles mesh send frames. The kernel copies the buffer out
+// synchronously (WriteToUDP or sendmmsg), so a frame can be pooled as
+// soon as the send call it was part of returns.
 var framePool = sync.Pool{
 	New: func() any {
 		b := make([]byte, 0, 2048)
 		return &b
 	},
+}
+
+// buildFrame assembles the 6-byte logical-address prefix plus payload
+// into a pooled buffer.
+func buildFrame(addr wire.MulticastAddr, data []byte) *[]byte {
+	bp := framePool.Get().(*[]byte)
+	frame := append((*bp)[:0], addr.IP[0], addr.IP[1], addr.IP[2], addr.IP[3],
+		byte(addr.Port>>8), byte(addr.Port))
+	*bp = append(frame, data...)
+	return bp
 }
 
 // Send implements Transport.
@@ -345,19 +517,62 @@ func (m *UDPMesh) Send(addr wire.MulticastAddr, data []byte) error {
 	peers := m.peers
 	m.mu.Unlock()
 
-	bp := framePool.Get().(*[]byte)
-	frame := append((*bp)[:0], addr.IP[0], addr.IP[1], addr.IP[2], addr.IP[3],
-		byte(addr.Port>>8), byte(addr.Port))
-	frame = append(frame, data...)
+	bp := buildFrame(addr, data)
 	var firstErr error
 	for _, p := range peers {
-		if _, err := m.conn.WriteToUDP(frame, p); err != nil && firstErr == nil {
+		if err := sendOne(m.conn, outFrame{data: *bp, to: p}); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
-	*bp = frame
 	framePool.Put(bp)
 	return firstErr
+}
+
+// SendBatch implements BatchSender: each logical datagram is framed
+// once and fanned out across the peer set, and with MeshConfig.
+// SendBatch > 1 on linux the whole fan-out goes to the kernel in
+// ceil(len(items)*peers/SendBatch) sendmmsg calls instead of
+// len(items)*peers sendto calls. Items are expanded in slice order with
+// the peer fan-out innermost, so every single destination sees frames
+// in item order — the same per-destination FIFO the equivalent Send
+// sequence provides.
+func (m *UDPMesh) SendBatch(items []Datagram) error {
+	if len(items) == 0 {
+		return nil
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	peers := m.peers
+	m.mu.Unlock()
+	if len(peers) == 0 {
+		return nil
+	}
+	if m.cfg.SendBatch <= 1 || !useMMsg() {
+		var firstErr error
+		for _, it := range items {
+			if err := m.Send(it.Addr, it.Data); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	bufs := make([]*[]byte, 0, len(items))
+	out := make([]outFrame, 0, len(items)*len(peers))
+	for _, it := range items {
+		bp := buildFrame(it.Addr, it.Data)
+		bufs = append(bufs, bp)
+		for _, p := range peers {
+			out = append(out, outFrame{data: *bp, to: p})
+		}
+	}
+	err := vectorSend(m.conn, out, m.cfg.SendBatch, rawSendmmsg)
+	for _, bp := range bufs {
+		framePool.Put(bp)
+	}
+	return err
 }
 
 // Close implements Transport.
