@@ -10,6 +10,9 @@
 //	      times the unbatched achieved msg/s, or amortizes kernel
 //	      crossings at least -e16-syscalls times (unbatched
 //	      syscalls/msg over batched syscalls/msg), in the same run.
+//	e17 — leader-assigned sequencing delivers a 3-replica p99 at most
+//	      -e17-p99 times the Lamport p99 measured at the same offered
+//	      load in the same run.
 //
 // Comparing within one run makes the checks robust to how fast the
 // machine itself is: a regression that erases the optimization's
@@ -21,6 +24,7 @@
 //	ftmpbench -exp e14 -quick -json > out.json && benchcheck out.json
 //	benchcheck -min-ratio 2.0 BENCH_1.json   # hold the committed claim
 //	benchcheck -e16-syscalls 5.0 BENCH_2.json
+//	benchcheck -e17-p99 0.7 BENCH_3.json
 package main
 
 import (
@@ -52,14 +56,16 @@ func main() {
 		"E16 passes if batched achieved msg/s is at least this multiple of unbatched")
 	e16Syscalls := flag.Float64("e16-syscalls", 5.0,
 		"E16 passes if unbatched syscalls/msg is at least this multiple of batched")
+	e17P99 := flag.Float64("e17-p99", 0.7,
+		"fail if E17 leader-mode 3-replica p99 exceeds this multiple of the same run's Lamport p99")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck [-min-ratio r] [-e16-rate r] [-e16-syscalls r] file.json...")
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-min-ratio r] [-e16-rate r] [-e16-syscalls r] [-e17-p99 r] file.json...")
 		os.Exit(2)
 	}
 	failed := false
 	for _, path := range flag.Args() {
-		if err := check(path, *minRatio, *e16Rate, *e16Syscalls); err != nil {
+		if err := check(path, *minRatio, *e16Rate, *e16Syscalls, *e17P99); err != nil {
 			fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
 			failed = true
 		} else {
@@ -71,7 +77,7 @@ func main() {
 	}
 }
 
-func check(path string, minRatio, e16Rate, e16Syscalls float64) error {
+func check(path string, minRatio, e16Rate, e16Syscalls, e17P99 float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -80,10 +86,11 @@ func check(path string, minRatio, e16Rate, e16Syscalls float64) error {
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		return fmt.Errorf("parse: %w", err)
 	}
-	// ftmpbench/3 added open-loop metadata fields; the table layout this
-	// tool reads is unchanged, so both schemas are acceptable.
-	if doc.Schema != "ftmpbench/2" && doc.Schema != "ftmpbench/3" {
-		return fmt.Errorf("schema %q, want ftmpbench/2 or ftmpbench/3", doc.Schema)
+	// ftmpbench/3 added open-loop metadata fields and ftmpbench/4 the
+	// E17 ordering-mode selector; the table layout this tool reads is
+	// unchanged, so all three schemas are acceptable.
+	if doc.Schema != "ftmpbench/2" && doc.Schema != "ftmpbench/3" && doc.Schema != "ftmpbench/4" {
+		return fmt.Errorf("schema %q, want ftmpbench/2, /3 or /4", doc.Schema)
 	}
 	checked := 0
 	if hasTable(doc, "e14") {
@@ -98,8 +105,14 @@ func check(path string, minRatio, e16Rate, e16Syscalls float64) error {
 		}
 		checked++
 	}
+	if hasTable(doc, "e17") {
+		if err := checkE17(path, doc, e17P99); err != nil {
+			return err
+		}
+		checked++
+	}
 	if checked == 0 {
-		return fmt.Errorf("no e14 or e16 table in document")
+		return fmt.Errorf("no e14, e16 or e17 table in document")
 	}
 	return nil
 }
@@ -163,6 +176,29 @@ func checkE16(path string, doc jsonDoc, minRate, minSyscalls float64) error {
 	}
 	fmt.Printf("benchcheck: %s: e16 batched %.0f msg/s = %.2fx unbatched; syscalls/msg %.2f -> %.2f = %.2fx amortization\n",
 		path, baRate, rateRatio, unSys, baSys, sysRatio)
+	return nil
+}
+
+func checkE17(path string, doc jsonDoc, maxRatio float64) error {
+	p99, err := tableColumn(doc, "e17", "p99 ms")
+	if err != nil {
+		return err
+	}
+	lam, okL := p99["lamport (3)"]
+	led, okD := p99["leader (3)"]
+	if !okL || !okD {
+		return fmt.Errorf("e17 table missing lamport (3)/leader (3) rows (got %v)", p99)
+	}
+	if lam <= 0 {
+		return fmt.Errorf("e17 lamport (3) p99 %.3f ms is not positive", lam)
+	}
+	ratio := led / lam
+	if ratio > maxRatio {
+		return fmt.Errorf("e17 leader p99 %.3f ms is %.2fx Lamport p99 %.3f ms (maximum %.2fx)",
+			led, ratio, lam, maxRatio)
+	}
+	fmt.Printf("benchcheck: %s: e17 leader p99 %.3f ms = %.2fx Lamport p99 %.3f ms\n",
+		path, led, ratio, lam)
 	return nil
 }
 

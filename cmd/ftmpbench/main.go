@@ -12,6 +12,8 @@
 //	ftmpbench -pprof :6060    # serve net/http/pprof while running
 //	ftmpbench -open-loop -clients 64 -rate 30000
 //	                          # E16 only: open-loop client-scale load
+//	ftmpbench -exp e17 -order both
+//	                          # leader vs Lamport ordering latency
 package main
 
 import (
@@ -56,7 +58,7 @@ type jsonDoc struct {
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiments: fig2,fig3,e1..e16,a1,a2,a3,bench or all")
+		expFlag   = flag.String("exp", "all", "comma-separated experiments: fig2,fig3,e1..e17,a1,a2,a3,bench or all")
 		quick     = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 		seed      = flag.Int64("seed", 0, "offset added to every experiment seed (0 reproduces EXPERIMENTS.md)")
 		jsonFlag  = flag.Bool("json", false, "emit one JSON document instead of text tables")
@@ -64,6 +66,7 @@ func main() {
 		openLoop  = flag.Bool("open-loop", false, "run only the open-loop client-scale load experiment (E16)")
 		clients   = flag.Int("clients", 64, "open-loop: virtual client connections multiplexed onto the sender")
 		rate      = flag.Float64("rate", 30000, "open-loop: aggregate offered load, msg/s")
+		orderFlag = flag.String("order", "both", "e17: ordering modes to measure (both, lamport or leader)")
 	)
 	flag.Parse()
 	harness.SeedOffset = *seed
@@ -103,6 +106,10 @@ func main() {
 	e13Runs, e13Ops := 3, 10
 	e14Msgs := 4000
 	e16Msgs := 20000
+	e17Msgs := 6000
+	e17Rate := 2000.0
+	e17FailMsgs := 1500
+	e17SuspectMs := 250
 	e15Sizes := []int{1000, 10000, 100000}
 	e15Every := 1000
 	e15Payload := 256
@@ -129,6 +136,8 @@ func main() {
 		e13Runs, e13Ops = 1, 5
 		e14Msgs = 300
 		e16Msgs = 1500
+		e17Msgs = 800
+		e17FailMsgs = 600
 		e15Sizes = []int{500, 5000}
 		e15Every = 250
 		e15Pad = 128 * 1024
@@ -205,6 +214,14 @@ func main() {
 			// open-loop load; like E14 it resets counters per mode itself.
 			return []*trace.Table{harness.E16Batching(*clients, e16Msgs, *rate)}
 		}},
+		{"e17", func() []*trace.Table {
+			// E17 compares the two total-order modes on the real runtime
+			// and measures leader failover; it resets counters per run.
+			return []*trace.Table{
+				harness.E17LeaderLatency(e17Msgs, e17Rate, *orderFlag),
+				harness.E17Failover(e17FailMsgs, e17Rate, e17SuspectMs),
+			}
+		}},
 		{"e15", func() []*trace.Table {
 			// E15 exercises the compaction + streamed-transfer robustness
 			// machinery; report the counters it leaves behind.
@@ -221,7 +238,7 @@ func main() {
 		{"bench", one(microbenchTable)},
 	}
 
-	doc := jsonDoc{Schema: "ftmpbench/3", SeedOffset: *seed, Quick: *quick,
+	doc := jsonDoc{Schema: "ftmpbench/4", SeedOffset: *seed, Quick: *quick,
 		OpenLoopClients: *clients, OpenLoopRate: *rate}
 	ran := 0
 	for _, e := range experiments {
@@ -246,7 +263,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig2 fig3 e1..e16 a1 a2 a3 bench all\n", *expFlag)
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig2 fig3 e1..e17 a1 a2 a3 bench all\n", *expFlag)
 		os.Exit(2)
 	}
 	if *jsonFlag {

@@ -64,7 +64,9 @@ func main() {
 		walDir    = flag.String("wal-dir", "", "directory for the write-ahead log (empty: no durability)")
 		fsyncPol  = flag.String("fsync", "always", "WAL fsync policy: always, interval or never")
 		packFlag  = flag.Bool("pack", false, "pack small messages into FTMP 1.1 Packed containers")
-		quorum    = flag.Bool("quorum", false,
+		orderFlag = flag.String("order", "lamport",
+			"total-order mode: lamport (symmetric timestamp order) or leader (FTMP 1.3 leader-assigned sequencing; all members must agree)")
+		quorum = flag.Bool("quorum", false,
 			"primary-partition membership: only install views containing a quorum of the previous view; a minority component wedges instead of splitting the brain")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		recvWorkers = flag.Int("recv-workers", 0,
@@ -98,6 +100,11 @@ func main() {
 		cfg.Pack = core.DefaultPackConfig()
 	}
 	cfg.PGMP.PrimaryPartition = *quorum
+	order, err := core.ParseOrderMode(*orderFlag)
+	if err != nil {
+		fatal("%v", err)
+	}
+	cfg.Order = order
 	switch *policy {
 	case "fixed":
 		// DefaultConfig's zero value.
@@ -353,6 +360,17 @@ func main() {
 					st.Members, st.Epoch, st.Wedged, st.Horizon, st.Stable, st.RMPHeld, st.ROMPPending, st.SendQueue,
 					s.MessagesSent, s.HeartbeatsSent, s.RMP.NacksSent, s.RMP.Retransmissions,
 					trace.Counter("runtime.rx_overflow_drops"), trace.Counter("runtime.tx_overflow_drops"))
+				fmt.Fprintf(os.Stderr, "ftmpd: order_mode=%s", st.Order)
+				if st.Order == core.OrderLeader {
+					fmt.Fprintf(os.Stderr,
+						" leader=%v seq_next=%d leader_seq_assigned=%d follower_gap_nacks=%d failover_reseq_ms=%d seq_runs_fenced=%d",
+						st.Leader, st.SeqNext,
+						trace.Counter("core.leader_seq_assigned"),
+						trace.Counter("core.follower_gap_nacks"),
+						trace.Counter("core.failover_reseq_ms"),
+						trace.Counter("core.seq_runs_fenced"))
+				}
+				fmt.Fprintln(os.Stderr)
 			})
 			fmt.Fprintf(os.Stderr,
 				"ftmpd: transport: tx_syscalls=%d tx_frames=%d sendmmsg=%d rx_syscalls=%d rx_frames=%d recvmmsg=%d mmsg_downgrades=%d tx_batches=%d tx_batched_msgs=%d\n",

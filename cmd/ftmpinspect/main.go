@@ -373,6 +373,10 @@ func printRecord(w io.Writer, off int64, n int, rec wal.Record) {
 		c := rec.Chunk
 		fmt.Fprintf(w, "  %6d  record %d: state-chunk conn=%v markerTS=%v upTo=%d chunk=%d/%d data=%dB\n",
 			off, n, c.Conn, c.MarkerTS, c.UpTo, c.Chunk+1, c.Total, len(c.Data))
+	case wal.RecSeq:
+		s := rec.Seq
+		fmt.Fprintf(w, "  %6d  record %d: seq group=%v epoch=%d seq=%d source=%v srcSeq=%d\n",
+			off, n, s.Group, s.Epoch, s.Seq, s.Source, s.SrcSeq)
 	default:
 		fmt.Fprintf(w, "  %6d  record %d: unknown type %v\n", off, n, rec.Type)
 	}

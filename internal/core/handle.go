@@ -201,15 +201,25 @@ func (n *Node) onReliable(now int64, gs *groupState, msg wire.Message, raw []byt
 		h := held.Msg.Header
 		if h.Type.TotallyOrdered() {
 			gs.order.Submit(romp.Entry{Source: h.Source, Seq: held.Seq, TS: held.TS, Msg: held.Msg})
+			if sd, isSeq := held.Msg.Body.(*wire.SeqData); isSeq {
+				// The leader's data frame carries its pending run.
+				n.applyRun(gs, h.Source, sd.Epoch, sd.First, sd.Refs)
+			} else if n.seqLeading(gs) {
+				// Leader: sequence a follower's message on arrival; the
+				// assignment publishes in this pump's run.
+				n.leaderAssign(gs, wire.SeqRef{Source: h.Source, Seq: held.Seq})
+			}
 		} else {
-			// Suspect and Membership: reliable and source-ordered but
-			// not totally ordered (paper Figure 3) — applied now.
+			// Suspect, Membership and SeqAssign: reliable and
+			// source-ordered but not totally ordered — applied now.
 			gs.order.ObserveTimestamp(h.Source, held.TS, h.AckTS)
 			switch b := held.Msg.Body.(type) {
 			case *wire.Suspect:
 				n.onSuspect(now, gs, h.Source, b)
 			case *wire.MembershipMsg:
 				n.onMembershipMsg(now, gs, h.Source, b)
+			case *wire.SeqAssign:
+				n.applyRun(gs, h.Source, b.Epoch, b.First, b.Refs)
 			}
 		}
 		// Piggybacked ack timestamps flow on every reliable message.
@@ -228,21 +238,35 @@ func (n *Node) pump(gs *groupState, now int64) {
 	}
 	gs.pumping = true
 	defer func() { gs.pumping = false }()
-	for {
-		entries := gs.order.Deliverable()
-		if len(entries) == 0 {
-			break
-		}
-		for _, e := range entries {
-			n.applyOrdered(now, gs, e)
-		}
-	}
+	n.drainOrdered(gs, now)
+	n.flushRun(now, gs)
 	n.checkRecovery(gs, now)
 	n.maybeReleaseGate(gs, now)
 	n.finishLeaving(gs)
 	stable := gs.order.StableTS()
 	gs.rmp.DiscardStable(stable)
 	n.drainFlowControl(gs, now, stable)
+}
+
+// drainOrdered applies every totally-ordered delivery that is ready,
+// from whichever queue the configured mode fills (the leader-mode
+// sequence queue stops batches at membership ops; the loop resumes
+// under the post-install regime).
+func (n *Node) drainOrdered(gs *groupState, now int64) {
+	for {
+		var entries []romp.Entry
+		if gs.order.SeqMode() {
+			entries = gs.order.SeqDeliverable()
+		} else {
+			entries = gs.order.Deliverable()
+		}
+		if len(entries) == 0 {
+			return
+		}
+		for _, e := range entries {
+			n.applyOrdered(now, gs, e)
+		}
+	}
 }
 
 // drainFlowControl releases queued application sends as this sender's
@@ -288,6 +312,7 @@ func (n *Node) finishLeaving(gs *groupState) {
 
 // applyOrdered handles one totally-ordered delivery.
 func (n *Node) applyOrdered(now int64, gs *groupState, e romp.Entry) {
+	n.seqNoteDelivered(now, gs, e)
 	switch body := e.Msg.Body.(type) {
 	case *wire.Regular:
 		n.conns.TrafficSeen(body.Conn)
@@ -298,6 +323,22 @@ func (n *Node) applyOrdered(now int64, gs *groupState, e romp.Entry) {
 			Conn:       body.Conn,
 			RequestNum: body.RequestNum,
 			Payload:    body.Payload,
+			SourceSeq:  e.Seq,
+			OrderEpoch: e.AssignEpoch,
+			OrderSeq:   e.AssignSeq,
+		})
+	case *wire.SeqData:
+		n.conns.TrafficSeen(body.Conn)
+		n.cb.Deliver(Delivery{
+			Group:      gs.id,
+			Source:     e.Source,
+			TS:         e.TS,
+			Conn:       body.Conn,
+			RequestNum: body.RequestNum,
+			Payload:    body.Payload,
+			SourceSeq:  e.Seq,
+			OrderEpoch: e.AssignEpoch,
+			OrderSeq:   e.AssignSeq,
 		})
 	case *wire.AddProcessor:
 		n.applyAdd(now, gs, e, body)
@@ -318,6 +359,7 @@ func (n *Node) applyAdd(now int64, gs *groupState, e romp.Entry, body *wire.AddP
 	gs.mem.Install(next, e.TS, now)
 	gs.order.SetMembership(next, e.TS)
 	n.emitView(gs, ViewAdd, prev, nil, e.TS)
+	n.seqAfterInstall(now, gs)
 }
 
 // applyRemove installs the membership produced by an ordered
@@ -341,6 +383,7 @@ func (n *Node) applyRemove(now int64, gs *groupState, e romp.Entry, body *wire.R
 		gs.leavingTS = e.TS
 	}
 	n.emitView(gs, ViewRemove, prev, nil, e.TS)
+	n.seqAfterInstall(now, gs)
 }
 
 // onSuspect applies a Suspect message: record the sender's suspicions
@@ -412,6 +455,11 @@ func (n *Node) checkRecovery(gs *groupState, now int64) {
 		n.wedgeGroup(gs, now)
 		return
 	}
+	// Leader mode: drain the old epoch's deliverable prefix before the
+	// install discards its assignments. The round equalized the
+	// survivors' message sets, so every survivor drains to the same
+	// sequence and the new leader resumes from it.
+	n.drainOrdered(gs, now)
 	viewTS := n.clk.Next(now)
 	gs.mem.Install(newM, viewTS, now)
 	for _, p := range prev {
@@ -430,17 +478,11 @@ func (n *Node) checkRecovery(gs *groupState, now int64) {
 		n.unsubscribe(gs.addr)
 	}
 	n.emitView(gs, ViewFault, prev, nil, viewTS)
-	// Deliveries unblocked by the removals happen on the caller's next
-	// pump iteration; trigger one here for promptness.
-	for {
-		entries := gs.order.Deliverable()
-		if len(entries) == 0 {
-			break
-		}
-		for _, e := range entries {
-			n.applyOrdered(now, gs, e)
-		}
-	}
+	n.seqAfterInstall(now, gs)
+	// Deliveries unblocked by the removals (or re-sequenced under the
+	// new leader) happen on the caller's next pump iteration; trigger
+	// one here for promptness.
+	n.drainOrdered(gs, now)
 	if expelled && !gs.leaving && !gs.leaveWanted {
 		n.restartRejoins(now, gs, viewTS)
 	}
@@ -574,6 +616,15 @@ func (n *Node) bootstrapFromAdd(now int64, msg wire.Message, raw []byte) {
 	for _, e := range body.CurrentSeqs {
 		gs.rmp.SetBaseline(e.Proc, e.Seq)
 	}
+	if n.cfg.Order == OrderLeader {
+		// Leader mode: runs naming pre-cut messages become delivery
+		// holes here (state transfer covers their effects).
+		gs.seqBaseline = make(map[ids.ProcessorID]ids.SeqNum, len(body.CurrentSeqs))
+		for _, e := range body.CurrentSeqs {
+			gs.seqBaseline[e.Proc] = e.Seq
+		}
+		gs.lastLeader = n.leaderOf(gs)
+	}
 	gs.joined = true
 	n.subscribe(addr)
 	delete(n.expelled, h.DestGroup)
@@ -660,6 +711,7 @@ func (n *Node) onConnectRequest(now int64, req *wire.ConnectRequest) {
 		gs = n.newGroupState(gid, addr)
 		gs.mem.Install(members, ids.NilTimestamp, now)
 		gs.order.SetMembership(members, ids.NilTimestamp)
+		gs.lastLeader = n.leaderOf(gs)
 		gs.joined = true
 		n.subscribe(addr)
 		n.emitView(gs, ViewConnect, nil, nil, ids.NilTimestamp)
@@ -754,6 +806,7 @@ func (n *Node) onConnect(now int64, msg wire.Message, raw []byte, arrival wire.M
 		gs = n.newGroupState(h.DestGroup, body.Addr)
 		gs.mem.Install(body.CurrentMembership, body.MembershipTS, now)
 		gs.order.SetMembership(body.CurrentMembership, body.MembershipTS)
+		gs.lastLeader = n.leaderOf(gs)
 		gs.joined = true
 		n.subscribe(body.Addr)
 		n.emitView(gs, ViewConnect, nil, nil, body.MembershipTS)

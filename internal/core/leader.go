@@ -1,0 +1,220 @@
+package core
+
+import (
+	"ftmp/internal/ids"
+	"ftmp/internal/romp"
+	"ftmp/internal/trace"
+	"ftmp/internal/wire"
+)
+
+// Leader ordering mode (Config.Order == OrderLeader, FTMP 1.3). The
+// current view's leader — the lowest member identifier, a rule every
+// member evaluates locally — assigns each totally-ordered message a
+// dense delivery sequence as it arrives, and publishes the assignments
+// as runs: piggybacked on its own data frames (SeqData) or standalone
+// (SeqAssign) when it has no data of its own to send. Runs ride RMP in
+// the leader's source order, so the assignment space followers accept
+// is gap-free; followers deliver in sequence order the moment both the
+// run and the data are present, one leader hop after the send instead
+// of a full acknowledgment horizon round.
+//
+// The Lamport heard/ack machinery keeps running underneath — unchanged
+// — for stability cuts, retransmit buffer reclamation and WAL
+// compaction, so leader mode changes delivery latency, not safety.
+//
+// Fencing and failover. Runs carry a sequencing epoch. The epoch bumps
+// exactly when an installed view changes the leader: survivors first
+// drain every sequence deliverable under the old epoch (virtual
+// synchrony equalized their message sets, so they drain to the same
+// point), discard undelivered assignments, and the new leader
+// re-sequences the surviving unassigned backlog in timestamp order —
+// identical at every survivor — and publishes it under the new epoch.
+// A deposed leader's stale runs are discarded (older epoch, or sent
+// from outside the installed membership); runs from an epoch this
+// member has not reached yet are buffered until its own install
+// catches up. Installs that keep the leader (a follower joined or
+// left) bump nothing: the leader's in-flight runs stay valid and
+// delivery never stalls.
+
+// leaderOf returns the current view's leader under OrderLeader: the
+// lowest member identifier (memberships are sorted ascending). Nil when
+// leader mode is off or the membership is empty.
+func (n *Node) leaderOf(gs *groupState) ids.ProcessorID {
+	if n.cfg.Order != OrderLeader {
+		return ids.NilProcessor
+	}
+	m := gs.mem.Members()
+	if len(m) == 0 {
+		return ids.NilProcessor
+	}
+	return m[0]
+}
+
+// seqLeading reports whether this node is currently the active
+// sequencer for gs.
+func (n *Node) seqLeading(gs *groupState) bool {
+	return n.cfg.Order == OrderLeader && gs.joined && !gs.mem.Wedged() &&
+		n.leaderOf(gs) == n.cfg.Self
+}
+
+// leaderAssign hands ref the next delivery sequence and queues the
+// assignment for publication in the next run.
+func (n *Node) leaderAssign(gs *groupState, ref wire.SeqRef) {
+	s := gs.order.AssignNext(ref)
+	if len(gs.pendingRun) == 0 {
+		gs.pendingFirst = s
+	}
+	gs.pendingRun = append(gs.pendingRun, ref)
+	trace.Inc("core.leader_seq_assigned")
+}
+
+// takeRun removes and returns the pending run for publication.
+func (gs *groupState) takeRun() (first uint64, refs []wire.SeqRef) {
+	first = gs.pendingFirst
+	refs = append([]wire.SeqRef(nil), gs.pendingRun...)
+	gs.pendingRun = gs.pendingRun[:0]
+	return first, refs
+}
+
+// flushRun publishes pending assignments as a standalone SeqAssign.
+// Called at the end of every pump, so assignments made while applying a
+// batch of follower messages go out in the same wakeup.
+func (n *Node) flushRun(now int64, gs *groupState) {
+	if len(gs.pendingRun) == 0 || !n.seqLeading(gs) {
+		return
+	}
+	first, refs := gs.takeRun()
+	body := &wire.SeqAssign{Epoch: gs.order.SeqEpoch(), First: first, Refs: refs}
+	if _, _, err := n.sendReliable(now, gs, body); err != nil {
+		// Encoding errors are deterministic (oversize run); requeue
+		// nothing — the assignments stand locally and the next
+		// re-sequencing boundary would reissue them — but surface it.
+		trace.Inc("core.seq_run_send_errors")
+	}
+}
+
+// sendLeaderData is the leader's data path: its own Regular payload and
+// the pending run travel in one SeqData frame, so in steady state the
+// sequencing adds zero extra datagrams. The frame's own assignment is
+// part of the run it carries.
+func (n *Node) sendLeaderData(now int64, gs *groupState, body *wire.Regular) error {
+	// Buffered pack entries hold earlier sequence numbers; flush first so
+	// the self-ref below names the sequence sendReliable will allocate.
+	n.flushPack(now, gs)
+	selfRef := wire.SeqRef{Source: n.cfg.Self, Seq: gs.nextSeq + 1}
+	first := gs.pendingFirst
+	if len(gs.pendingRun) == 0 {
+		first = gs.order.PeekAssign()
+	}
+	refs := append(append([]wire.SeqRef(nil), gs.pendingRun...), selfRef)
+	sd := &wire.SeqData{
+		Conn: body.Conn, RequestNum: body.RequestNum, Payload: body.Payload,
+		Epoch: gs.order.SeqEpoch(), First: first, Refs: refs,
+	}
+	if _, _, err := n.sendReliable(now, gs, sd); err != nil {
+		return err
+	}
+	gs.order.AssignNext(selfRef)
+	gs.pendingRun = gs.pendingRun[:0]
+	trace.Inc("core.leader_seq_assigned")
+	return nil
+}
+
+// applyRun records a received sequencing run. Current-epoch runs must
+// come from the current leader (fencing: a deposed-but-still-member
+// leader's stragglers are dropped); newer-epoch runs are buffered by
+// the ordering layer until this member's own install catches up.
+func (n *Node) applyRun(gs *groupState, from ids.ProcessorID, epoch, first uint64, refs []wire.SeqRef) {
+	if n.cfg.Order != OrderLeader {
+		return
+	}
+	if epoch == gs.order.SeqEpoch() && from != n.leaderOf(gs) {
+		trace.Inc("core.seq_runs_fenced")
+		return
+	}
+	gs.order.ApplyRun(epoch, first, refs, gs.seqSkip())
+}
+
+// seqSkip returns the joiner's hole predicate: refs at or below the
+// admission cut can never be satisfied here (state transfer covers
+// them), so runs naming them create delivery holes instead of stalls.
+func (gs *groupState) seqSkip() func(wire.SeqRef) bool {
+	if len(gs.seqBaseline) == 0 {
+		return nil
+	}
+	return func(r wire.SeqRef) bool { return r.Seq <= gs.seqBaseline[r.Source] }
+}
+
+// seqAfterInstall runs after every view install (graceful add/remove
+// and fault recovery). If the install kept the leader, nothing changes:
+// in-flight runs stay valid. If it changed the leader, the sequencing
+// epoch bumps — the caller drained the old epoch's deliverable prefix
+// already — and the new leader re-sequences the surviving unassigned
+// backlog in timestamp order, which every survivor computes
+// identically, then publishes it under the new epoch.
+func (n *Node) seqAfterInstall(now int64, gs *groupState) {
+	if n.cfg.Order != OrderLeader {
+		return
+	}
+	newLeader := n.leaderOf(gs)
+	if newLeader == gs.lastLeader {
+		return
+	}
+	gs.lastLeader = newLeader
+	gs.order.SeqInstall(gs.order.SeqEpoch()+1, gs.seqSkip())
+	gs.pendingRun = gs.pendingRun[:0]
+	gs.failoverStart = now
+	if newLeader == n.cfg.Self && gs.joined && !gs.mem.Wedged() {
+		for _, e := range gs.order.SeqPendingUnassigned() {
+			n.leaderAssign(gs, wire.SeqRef{Source: e.Source, Seq: e.Seq})
+		}
+		n.flushRun(now, gs)
+	}
+}
+
+// seqNoteDelivered clears the failover timer at the first delivery
+// sequenced under the current epoch, reporting how long the ordering
+// pipeline was stalled by the leader change.
+func (n *Node) seqNoteDelivered(now int64, gs *groupState, e romp.Entry) {
+	if gs.failoverStart == 0 || e.AssignEpoch != gs.order.SeqEpoch() {
+		return
+	}
+	ms := (now - gs.failoverStart) / 1_000_000
+	if ms < 0 {
+		ms = 0
+	}
+	trace.Count("core.failover_reseq_ms", uint64(ms))
+	gs.failoverStart = 0
+}
+
+// seqTick drives the follower's targeted gap NACK: when delivery has
+// stalled on the same assigned-but-missing message for a full tick
+// (long enough to rule out normal in-flight reordering), one immediate
+// RetransmitRequest goes out; RMP's backoff-paced NACK machinery owns
+// the retries.
+func (n *Node) seqTick(gs *groupState) {
+	if n.cfg.Order != OrderLeader || !gs.joined {
+		return
+	}
+	ref, ok := gs.order.SeqBlockedOn()
+	if !ok {
+		gs.gapRef = wire.SeqRef{}
+		gs.gapNacked = false
+		return
+	}
+	if ref != gs.gapRef {
+		gs.gapRef = ref
+		gs.gapNacked = false
+		return
+	}
+	if gs.gapNacked {
+		return
+	}
+	start := gs.rmp.Contiguous(ref.Source) + 1
+	if start > ref.Seq {
+		return
+	}
+	n.sendNack(gs, wire.RetransmitRequest{Proc: ref.Source, StartSeq: start, StopSeq: ref.Seq})
+	gs.gapNacked = true
+	trace.Inc("core.follower_gap_nacks")
+}

@@ -113,6 +113,54 @@ type Config struct {
 	// Nil selects a deterministic default derivation, so that every
 	// member computes the same address independently.
 	GroupAddr func(ids.GroupID) wire.MulticastAddr
+
+	// Order selects the total-order algorithm: OrderLamport (default) is
+	// the paper's acknowledgment-horizon order; OrderLeader (FTMP 1.3)
+	// has the current view's leader assign a dense delivery sequence,
+	// trading the all-member ack round for a single leader hop (E17).
+	Order OrderMode
+}
+
+// OrderMode selects how totally-ordered messages are sequenced.
+type OrderMode uint8
+
+const (
+	// OrderLamport is the paper's algorithm: a message delivers when the
+	// acknowledgment horizon (min over members' heard timestamps) passes
+	// its Lamport timestamp.
+	OrderLamport OrderMode = iota
+	// OrderLeader is the FTMP 1.3 low-latency mode: the current view's
+	// leader (lowest member identifier) assigns each totally-ordered
+	// message a dense sequence and publishes the assignments as runs;
+	// followers deliver in sequence order on receipt. The ack machinery
+	// keeps running underneath for stability, buffer reclamation and WAL
+	// compaction, and failover rides the membership protocol (the new
+	// view's leader re-sequences the undelivered suffix).
+	OrderLeader
+)
+
+// String implements fmt.Stringer.
+func (m OrderMode) String() string {
+	switch m {
+	case OrderLamport:
+		return "lamport"
+	case OrderLeader:
+		return "leader"
+	default:
+		return fmt.Sprintf("OrderMode(%d)", uint8(m))
+	}
+}
+
+// ParseOrderMode maps a flag value to an OrderMode.
+func ParseOrderMode(s string) (OrderMode, error) {
+	switch s {
+	case "", "lamport":
+		return OrderLamport, nil
+	case "leader":
+		return OrderLeader, nil
+	default:
+		return OrderLamport, fmt.Errorf("core: unknown order mode %q (want lamport or leader)", s)
+	}
 }
 
 // DefaultConfig returns the policy used throughout the experiments.
@@ -138,6 +186,14 @@ type Delivery struct {
 	Conn       ids.ConnectionID
 	RequestNum ids.RequestNum
 	Payload    []byte
+	// SourceSeq is the message's RMP sequence number at its source.
+	SourceSeq ids.SeqNum
+	// OrderEpoch and OrderSeq carry the leader-mode ordering assignment
+	// under which this message delivered (FTMP 1.3). Both are zero in
+	// Lamport mode; OrderSeq is never zero in leader mode, so OrderSeq>0
+	// identifies a sequenced delivery (the WAL's RecSeq trigger).
+	OrderEpoch uint64
+	OrderSeq   uint64
 }
 
 // ViewReason explains a membership change.
@@ -293,6 +349,32 @@ type groupState struct {
 	// before the graceful RemoveProcessor orders, the departure is still
 	// intentional and must not restart the rejoin pipeline.
 	leaveWanted bool
+
+	// Leader ordering mode (Config.Order == OrderLeader, FTMP 1.3).
+	// pendingRun accumulates assignments made at this node while it is
+	// the leader that have not been published yet; they piggyback on the
+	// leader's next data frame (SeqData) or flush as a standalone
+	// SeqAssign at the end of the pump. pendingFirst is the delivery
+	// sequence of pendingRun[0].
+	pendingRun   []wire.SeqRef
+	pendingFirst uint64
+	// seqBaseline is a joiner's admission cut: refs at or below it can
+	// never be satisfied here (their payloads arrive via state transfer)
+	// and become delivery holes when a run names them.
+	seqBaseline map[ids.ProcessorID]ids.SeqNum
+	// lastLeader is the leader of the last installed view; a change
+	// across an install fences the old leader's runs (seq epoch bump).
+	lastLeader ids.ProcessorID
+	// gapRef/gapNacked drive the follower's targeted gap NACK: when
+	// delivery stalls on an assigned-but-missing message for a full
+	// tick, one immediate RetransmitRequest goes out ahead of RMP's
+	// backoff-paced repair.
+	gapRef    wire.SeqRef
+	gapNacked bool
+	// failoverStart, when nonzero, times failover: set when an install
+	// changes the leader, cleared (and reported) at the first delivery
+	// sequenced under the new epoch.
+	failoverStart int64
 }
 
 // Stats aggregates per-node counters across layers for the harness.
@@ -490,6 +572,12 @@ type GroupStatus struct {
 	RMPHeld     int
 	ROMPPending int
 	SendQueue   int
+	// Order is the configured ordering mode; Leader is the current
+	// view's leader under OrderLeader (the lowest member identifier,
+	// nil otherwise); SeqNext is the next delivery sequence expected.
+	Order   OrderMode
+	Leader  ids.ProcessorID
+	SeqNext uint64
 }
 
 // Status returns a snapshot of group g's state, or false if unknown.
@@ -512,8 +600,11 @@ func (n *Node) Status(g ids.GroupID) (GroupStatus, bool) {
 		Horizon:     gs.order.Horizon(),
 		Stable:      gs.order.StableTS(),
 		RMPHeld:     gs.rmp.Buffered(),
-		ROMPPending: gs.order.PendingCount(),
+		ROMPPending: gs.order.PendingCount() + gs.order.SeqPendingCount(),
 		SendQueue:   len(gs.sendQueue),
+		Order:       n.cfg.Order,
+		Leader:      n.leaderOf(gs),
+		SeqNext:     gs.order.SeqNext(),
 	}, true
 }
 
@@ -569,6 +660,9 @@ func (n *Node) newGroupState(id ids.GroupID, addr wire.MulticastAddr) *groupStat
 		order: romp.New(n.cfg.Self),
 		mem:   pgmp.NewGroup(n.cfg.Self, id, n.cfg.PGMP),
 	}
+	if n.cfg.Order == OrderLeader {
+		gs.order.EnableSeqMode()
+	}
 	n.groups[id] = gs
 	n.groupsDirty = true
 	return gs
@@ -601,6 +695,7 @@ func (n *Node) CreateGroupAt(now int64, id ids.GroupID, members ids.Membership, 
 	gs := n.newGroupState(id, addr)
 	gs.mem.Install(members, viewTS, now)
 	gs.order.SetMembership(members, viewTS)
+	gs.lastLeader = n.leaderOf(gs)
 	if members.Contains(n.cfg.Self) {
 		gs.joined = true
 		n.subscribe(addr)
@@ -690,11 +785,18 @@ func (n *Node) sendReliable(now int64, gs *groupState, body wire.Body) ([]byte, 
 	}
 	gs.rmp.NoteSent(seq, ts, raw, msg)
 	gs.lastActivity = now
-	if n.cfg.MaxUnstable > 0 && msg.Header.Type == wire.TypeRegular {
+	if n.cfg.MaxUnstable > 0 &&
+		(msg.Header.Type == wire.TypeRegular || msg.Header.Type == wire.TypeSeqData) {
 		gs.unstable = append(gs.unstable, ts)
 	}
 	if msg.Header.Type.TotallyOrdered() {
 		gs.order.Submit(romp.Entry{Source: n.cfg.Self, Seq: seq, TS: ts, Msg: msg})
+		if msg.Header.Type != wire.TypeSeqData && n.seqLeading(gs) {
+			// The leader sequences its own ordered control messages
+			// (AddProcessor, RemoveProcessor, Connect) on send; its data
+			// frames self-assign inside sendLeaderData.
+			n.leaderAssign(gs, wire.SeqRef{Source: n.cfg.Self, Seq: seq})
+		}
 	} else {
 		gs.order.ObserveTimestamp(n.cfg.Self, ts, h.AckTS)
 	}

@@ -60,6 +60,12 @@ func (c PackConfig) maxDelay() int64 {
 // sendRegular routes an application Regular message through the packer
 // when packing is enabled, and through the standalone path otherwise.
 func (n *Node) sendRegular(now int64, gs *groupState, body *wire.Regular) error {
+	if n.seqLeading(gs) {
+		// Leader mode: the leader's data frames carry the pending
+		// sequencing run (SeqData), bypassing the packer — a packed
+		// entry could not piggyback the run.
+		return n.sendLeaderData(now, gs, body)
+	}
 	if !n.cfg.Pack.Enabled {
 		_, _, err := n.sendReliable(now, gs, body)
 		return err

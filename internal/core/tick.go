@@ -66,6 +66,9 @@ func (n *Node) Tick(now int64) {
 		for _, req := range gs.rmp.NacksDue(now) {
 			n.sendNack(gs, req)
 		}
+		// Leader mode: targeted NACK when sequenced delivery has stalled
+		// on an assigned-but-missing message for a full tick.
+		n.seqTick(gs)
 		n.pump(gs, now)
 	}
 	// Client-side ConnectRequest retries.

@@ -27,7 +27,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"os"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -87,7 +86,7 @@ func RunE14(pipelined bool, msgs int) E14Result {
 	// Latency bookkeeping: the sender stamps each sequence number before
 	// handing it to the loop; its own Deliver callback reads the stamp.
 	sendTimes := make([]int64, e14Warmup+msgs)
-	latencies := make([]float64, 0, msgs)
+	var latencies trace.Histogram
 	var latMu sync.Mutex
 	senderDone := make(chan struct{})
 	var senderDoneOnce sync.Once
@@ -145,7 +144,7 @@ func RunE14(pipelined bool, msgs int) E14Result {
 				if i == 0 && seq >= e14Warmup {
 					lat := float64(time.Now().UnixNano()-atomic.LoadInt64(&sendTimes[seq])) / 1e6
 					latMu.Lock()
-					latencies = append(latencies, lat)
+					latencies.Add(lat)
 					latMu.Unlock()
 				}
 				if nd.got.Add(1) == int64(total) && i == 0 {
@@ -255,22 +254,13 @@ func RunE14(pipelined bool, msgs int) E14Result {
 
 	res.Seconds = elapsed.Seconds()
 	res.Throughput = float64(msgs) / res.Seconds
-	sort.Float64s(latencies)
-	res.P50 = e14Percentile(latencies, 0.50)
-	res.P95 = e14Percentile(latencies, 0.95)
-	res.P99 = e14Percentile(latencies, 0.99)
+	res.P50 = latencies.P50()
+	res.P95 = latencies.P95()
+	res.P99 = latencies.P99()
 	res.Fsyncs = trace.Counter("wal.fsyncs")
 	res.GroupCommits = trace.Counter("wal.group_commits")
 	res.RxDrops = trace.Counter("runtime.rx_overflow_drops")
 	return res
-}
-
-func e14Percentile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(q*float64(len(sorted)-1) + 0.5)
-	return sorted[idx]
 }
 
 // E14Pipeline regenerates experiment E14: both modes back to back, with

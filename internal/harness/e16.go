@@ -30,7 +30,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"os"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -98,7 +97,7 @@ func RunE16(batched bool, clients, msgs int, rate float64) E16Result {
 	nodes := make([]*e16node, n)
 
 	sendTimes := make([]int64, e16Warmup+msgs)
-	latencies := make([]float64, 0, msgs)
+	var latencies trace.Histogram
 	var latMu sync.Mutex
 	senderDone := make(chan struct{})
 	var senderDoneOnce sync.Once
@@ -156,7 +155,7 @@ func RunE16(batched bool, clients, msgs int, rate float64) E16Result {
 				if i == 0 && seq >= e16Warmup {
 					lat := float64(time.Now().UnixNano()-atomic.LoadInt64(&sendTimes[seq])) / 1e6
 					latMu.Lock()
-					latencies = append(latencies, lat)
+					latencies.Add(lat)
 					latMu.Unlock()
 				}
 				if nd.got.Add(1) == int64(total) && i == 0 {
@@ -299,9 +298,8 @@ func RunE16(batched bool, clients, msgs int, rate float64) E16Result {
 	res.Sendmmsg = trace.Counter("transport.tx_sendmmsg_calls")
 	res.Recvmmsg = trace.Counter("transport.rx_recvmmsg_calls")
 	res.RxDrops = trace.Counter("runtime.rx_overflow_drops")
-	sort.Float64s(latencies)
-	res.P50 = e14Percentile(latencies, 0.50)
-	res.P99 = e14Percentile(latencies, 0.99)
+	res.P50 = latencies.P50()
+	res.P99 = latencies.P99()
 	return res
 }
 

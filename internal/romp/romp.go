@@ -35,6 +35,11 @@ type Entry struct {
 	Seq    ids.SeqNum
 	TS     ids.Timestamp
 	Msg    wire.Message
+	// AssignEpoch and AssignSeq are the leader-mode ordering assignment
+	// the entry was delivered under (FTMP 1.3); zero in Lamport mode.
+	// SeqDeliverable fills them at delivery.
+	AssignEpoch uint64
+	AssignSeq   uint64
 }
 
 // entryHeap orders entries by timestamp (total order).
@@ -85,7 +90,9 @@ type Order struct {
 	// freezes its order so no speculative delivery can advance the cut
 	// past the last state the primary component shares.
 	frozen bool
-	stats  Stats
+	// seq is the leader ordering mode state (FTMP 1.3); see seq.go.
+	seq   seqState
+	stats Stats
 }
 
 // New creates the ordering state for one group. The membership is empty
@@ -165,6 +172,10 @@ func (o *Order) InitJoiner(m ids.Membership, viewTS ids.Timestamp) {
 // its own sends. Entries at or below the current view timestamp or
 // already-delivered horizon are rejected (stale).
 func (o *Order) Submit(e Entry) {
+	if o.seq.enabled {
+		o.submitSeq(e)
+		return
+	}
 	if e.TS <= o.lastDelivered {
 		// A retransmission that raced past stability, or a message from
 		// before this processor joined; ordering has moved on.

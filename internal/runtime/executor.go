@@ -156,6 +156,9 @@ func (e *executor) run() {
 			for _, u := range chunk {
 				switch u.kind {
 				case upDeliver:
+					if u.d.OrderSeq > 0 {
+						recs = append(recs, seqRecord(u.d))
+					}
 					recs = append(recs, deliverRecord(u.d))
 				case upView:
 					if rec, ok := viewRecord(u.v); ok {
@@ -224,6 +227,19 @@ func deliverRecord(d core.Delivery) wal.Record {
 		Request: true,
 		TS:      d.TS,
 		Payload: d.Payload,
+	}}
+}
+
+// seqRecord maps a leader-mode delivery's ordering assignment to its
+// WAL record, committed in the same group commit as (and ahead of) the
+// delivery's RecOp so the sequence prefix is never behind the op log.
+func seqRecord(d core.Delivery) wal.Record {
+	return wal.Record{Type: wal.RecSeq, Seq: &wal.SeqRecord{
+		Group:  d.Group,
+		Epoch:  d.OrderEpoch,
+		Seq:    d.OrderSeq,
+		Source: d.Source,
+		SrcSeq: d.SourceSeq,
 	}}
 }
 

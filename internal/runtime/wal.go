@@ -37,6 +37,10 @@ type Replay struct {
 	// checkpoint embodies them — so replay cost tracks the suffix of the
 	// log, not the whole history.
 	Checkpoint *wal.Checkpoint
+	// Seqs holds, per group, the last leader-mode ordering assignment
+	// committed here (FTMP 1.3): the highest delivery sequence this
+	// replica logged, and the epoch it was logged under.
+	Seqs map[ids.GroupID]wal.SeqRecord
 }
 
 // RecoverReplay folds a recovered record stream into a Replay.
@@ -47,6 +51,7 @@ func RecoverReplay(records []wal.Record) Replay {
 	rp := Replay{
 		Epochs: make(map[ids.GroupID]wal.EpochRecord),
 		Wedged: make(map[ids.GroupID]wal.WedgeRecord),
+		Seqs:   make(map[ids.GroupID]wal.SeqRecord),
 	}
 	type key struct {
 		conn    ids.ConnectionID
@@ -95,6 +100,11 @@ func RecoverReplay(records []wal.Record) Replay {
 			if r.Wedge.ViewTS > rp.MaxTS {
 				rp.MaxTS = r.Wedge.ViewTS
 			}
+		case wal.RecSeq:
+			if last, ok := rp.Seqs[r.Seq.Group]; !ok || r.Seq.Epoch > last.Epoch ||
+				(r.Seq.Epoch == last.Epoch && r.Seq.Seq > last.Seq) {
+				rp.Seqs[r.Seq.Group] = *r.Seq
+			}
 		}
 	}
 	return rp
@@ -115,6 +125,9 @@ func WrapDurable(w *wal.Log, cb core.Callbacks, onErr func(error)) core.Callback
 	out := cb
 	inner := cb.Deliver
 	out.Deliver = func(d core.Delivery) {
+		if d.OrderSeq > 0 {
+			report(w.Append(seqRecord(d)))
+		}
 		report(w.Append(deliverRecord(d)))
 		if inner != nil {
 			inner(d)

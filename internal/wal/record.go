@@ -80,6 +80,13 @@ const (
 	// prefix and resumes from the last acked chunk instead of receiving
 	// the whole state again.
 	RecStateChunk RecordType = 7
+	// RecSeq is a leader-mode ordering assignment (FTMP 1.3): the message
+	// (Source, SrcSeq) was delivered here as delivery sequence Seq of
+	// epoch Epoch. Written in the same group commit as the delivery's
+	// RecOp, before the application callback runs, so no ordered delivery
+	// survives a crash unlogged and a restarted replica knows the exact
+	// sequence prefix it committed under each leader's reign.
+	RecSeq RecordType = 8
 )
 
 // String implements fmt.Stringer.
@@ -99,6 +106,8 @@ func (t RecordType) String() string {
 		return "Checkpoint"
 	case RecStateChunk:
 		return "StateChunk"
+	case RecSeq:
+		return "Seq"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(t))
 	}
@@ -202,6 +211,16 @@ type StateChunkRecord struct {
 	Data     []byte
 }
 
+// SeqRecord is one leader-mode ordering assignment committed at this
+// replica: message (Source, SrcSeq) delivered as sequence Seq of Epoch.
+type SeqRecord struct {
+	Group  ids.GroupID
+	Epoch  uint64
+	Seq    uint64
+	Source ids.ProcessorID
+	SrcSeq ids.SeqNum
+}
+
 // Record is the tagged union persisted per frame.
 type Record struct {
 	Type  RecordType
@@ -212,6 +231,7 @@ type Record struct {
 	Wedge *WedgeRecord
 	Ckpt  *CheckpointRecord
 	Chunk *StateChunkRecord
+	Seq   *SeqRecord
 }
 
 func appendConn(b []byte, c ids.ConnectionID) []byte {
@@ -298,6 +318,15 @@ func EncodeRecord(r Record) ([]byte, error) {
 		b = binary.BigEndian.AppendUint32(b, r.Chunk.Total)
 		b = binary.BigEndian.AppendUint32(b, uint32(len(r.Chunk.Data)))
 		b = append(b, r.Chunk.Data...)
+	case RecSeq:
+		if r.Seq == nil {
+			return nil, fmt.Errorf("%w: nil Seq", ErrBadRecord)
+		}
+		b = binary.BigEndian.AppendUint32(b, uint32(r.Seq.Group))
+		b = binary.BigEndian.AppendUint64(b, r.Seq.Epoch)
+		b = binary.BigEndian.AppendUint64(b, r.Seq.Seq)
+		b = binary.BigEndian.AppendUint32(b, uint32(r.Seq.Source))
+		b = binary.BigEndian.AppendUint32(b, uint32(r.Seq.SrcSeq))
 	default:
 		return nil, fmt.Errorf("%w: unknown type %v", ErrBadRecord, r.Type)
 	}
@@ -468,6 +497,14 @@ func DecodeRecord(payload []byte) (Record, error) {
 			sc.Data = append([]byte(nil), b...)
 		}
 		rec.Chunk = sc
+	case RecSeq:
+		sq := &SeqRecord{}
+		sq.Group = ids.GroupID(r.u32())
+		sq.Epoch = r.u64()
+		sq.Seq = r.u64()
+		sq.Source = ids.ProcessorID(r.u32())
+		sq.SrcSeq = ids.SeqNum(r.u32())
+		rec.Seq = sq
 	default:
 		return Record{}, fmt.Errorf("%w: unknown type %d", ErrBadRecord, payload[0])
 	}

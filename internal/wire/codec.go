@@ -63,6 +63,14 @@ func (w *writer) seqVector(v SeqVector) {
 	}
 }
 
+func (w *writer) seqRefs(refs []SeqRef) {
+	w.u32(uint32(len(refs)))
+	for _, rf := range refs {
+		w.proc(rf.Source)
+		w.seq(rf.Seq)
+	}
+}
+
 // reader consumes primitive values from a buffer in a chosen byte order.
 // The first decode error sticks; callers check err() once at the end.
 type reader struct {
@@ -213,6 +221,24 @@ func (r *reader) packedEntries(scratch []PackedEntry) []PackedEntry {
 			return nil
 		}
 		out = append(out, e)
+	}
+	return out
+}
+
+// seqRefs decodes a sequencing run's ref list, appending into scratch
+// (pass scratch[:0] to reuse a Decoder's ref slice).
+func (r *reader) seqRefs(scratch []SeqRef) []SeqRef {
+	n := r.u32()
+	if r.fail != nil {
+		return nil
+	}
+	if int(n)*seqRefSize > r.remaining() {
+		r.setErr(ErrShort)
+		return nil
+	}
+	out := scratch
+	for i := uint32(0); i < n; i++ {
+		out = append(out, SeqRef{Source: r.proc(), Seq: r.seqnum()})
 	}
 	return out
 }

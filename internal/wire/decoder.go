@@ -25,6 +25,8 @@ type Decoder struct {
 	heartbeat  Heartbeat
 	retransmit RetransmitRequest
 	packed     Packed
+	seqData    SeqData
+	seqAssign  SeqAssign
 }
 
 // Decode parses a complete FTMP message from buf (datagram framing).

@@ -33,8 +33,13 @@ const (
 	// traffic that never proposes a membership is byte-identical to a
 	// 1.0/1.1 sender.
 	VersionMinorLineage = 2
+	// VersionMinorSeq is the minor version stamped on SeqData and
+	// SeqAssign frames, the leader-follower ordering mode (FTMP 1.3).
+	// Groups running in Lamport mode never emit them, so their traffic
+	// stays byte-identical to a 1.2 sender.
+	VersionMinorSeq = 3
 	// VersionMinorMax is the highest minor version this decoder accepts.
-	VersionMinorMax = VersionMinorLineage
+	VersionMinorMax = VersionMinorSeq
 )
 
 // HeaderSize is the encoded size of the FTMP header in bytes.
@@ -85,6 +90,15 @@ const (
 	// Regular messages inside; the container itself is never
 	// retransmitted (lost entries are repaired individually).
 	TypePacked
+	// TypeSeqData is a Regular message sent by the current view's leader
+	// in leader ordering mode (FTMP 1.3), with the leader's sequencing
+	// run (epoch, dense delivery sequence) piggybacked on the data frame.
+	// Reliable, source-ordered and totally ordered.
+	TypeSeqData
+	// TypeSeqAssign carries a sequencing run on its own, used when the
+	// leader has assignments to publish but no data of its own to send
+	// (FTMP 1.3). Reliable, source-ordered, not totally ordered.
+	TypeSeqAssign
 
 	numTypes
 )
@@ -112,6 +126,10 @@ func (t MsgType) String() string {
 		return "Membership"
 	case TypePacked:
 		return "Packed"
+	case TypeSeqData:
+		return "SeqData"
+	case TypeSeqAssign:
+		return "SeqAssign"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -131,6 +149,11 @@ func (t MsgType) Reliable() bool {
 	case TypePacked:
 		// The entries are Regular messages; each is delivered reliably.
 		return true
+	case TypeSeqData, TypeSeqAssign:
+		// Sequencing runs must survive loss: followers cannot deliver
+		// without them, and RMP's gap repair is what makes a lost run a
+		// retransmission instead of a stall.
+		return true
 	default:
 		return false
 	}
@@ -144,6 +167,10 @@ func (t MsgType) TotallyOrdered() bool {
 		return true
 	case TypePacked:
 		// As the entries are: Regular messages are totally ordered.
+		return true
+	case TypeSeqData:
+		// The data half is a Regular message; the piggybacked run is
+		// applied on RMP (source-ordered) delivery like SeqAssign.
 		return true
 	default:
 		return false
@@ -206,6 +233,8 @@ func (h *Header) versionMinor() byte {
 		return VersionMinorPacked
 	case TypeMembership:
 		return VersionMinorLineage
+	case TypeSeqData, TypeSeqAssign:
+		return VersionMinorSeq
 	default:
 		return VersionMinor
 	}
@@ -265,6 +294,11 @@ func DecodeHeader(buf []byte) (Header, error) {
 		// frame claiming the type would decode with garbage lineage.
 		return h, fmt.Errorf("%w: Membership requires 1.%d, got 1.%d",
 			ErrBadVersion, VersionMinorLineage, buf[5])
+	}
+	if (h.Type == TypeSeqData || h.Type == TypeSeqAssign) && buf[5] < VersionMinorSeq {
+		// Sequencing frames did not exist before 1.3.
+		return h, fmt.Errorf("%w: %v requires 1.%d, got 1.%d",
+			ErrBadVersion, h.Type, VersionMinorSeq, buf[5])
 	}
 	bo := h.order()
 	h.Size = bo.Uint32(buf[8:12])

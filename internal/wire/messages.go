@@ -331,6 +331,70 @@ func (m *Packed) encodedSize() int {
 	return n
 }
 
+// SeqRef names one reliable message — (source, sequence number) — inside
+// a leader sequencing run (FTMP 1.3).
+type SeqRef struct {
+	Source ids.ProcessorID
+	Seq    ids.SeqNum
+}
+
+// seqRefSize is the encoded size of one SeqRef.
+const seqRefSize = 8
+
+// SeqAssign is the leader's sequencing run (FTMP 1.3): the messages
+// named by Refs are assigned the dense delivery sequence numbers First,
+// First+1, ... under the given epoch. Runs ride RMP in the leader's
+// source order, so followers apply them gap-free; a run from a deposed
+// leader carries a stale epoch and is discarded (fencing).
+type SeqAssign struct {
+	// Epoch is the leader's installed-view count when it assigned the
+	// run; followers accept a run only for their current epoch.
+	Epoch uint64
+	// First is the delivery sequence assigned to Refs[0].
+	First uint64
+	Refs  []SeqRef
+}
+
+// Type implements Body.
+func (*SeqAssign) Type() MsgType { return TypeSeqAssign }
+
+func (m *SeqAssign) encodeBody(w *writer) {
+	w.u64(m.Epoch)
+	w.u64(m.First)
+	w.seqRefs(m.Refs)
+}
+
+func (m *SeqAssign) encodedSize() int { return 8 + 8 + 4 + seqRefSize*len(m.Refs) }
+
+// SeqData is a Regular message sent by the leader with its current
+// sequencing run piggybacked on the data frame (FTMP 1.3), so the
+// ordering decision travels on the data path with no extra round. The
+// run always covers the frame's own message (its ref is the last entry).
+type SeqData struct {
+	Conn       ids.ConnectionID
+	RequestNum ids.RequestNum
+	Payload    []byte
+	Epoch      uint64
+	First      uint64
+	Refs       []SeqRef
+}
+
+// Type implements Body.
+func (*SeqData) Type() MsgType { return TypeSeqData }
+
+func (m *SeqData) encodeBody(w *writer) {
+	w.connID(m.Conn)
+	w.u64(uint64(m.RequestNum))
+	w.bytes(m.Payload)
+	w.u64(m.Epoch)
+	w.u64(m.First)
+	w.seqRefs(m.Refs)
+}
+
+func (m *SeqData) encodedSize() int {
+	return 16 + 8 + 4 + len(m.Payload) + 8 + 8 + 4 + seqRefSize*len(m.Refs)
+}
+
 // zeroHeader reserves header space in encode buffers.
 var zeroHeader [HeaderSize]byte
 
@@ -361,6 +425,10 @@ func AppendEncode(dst []byte, h Header, body Body) ([]byte, error) {
 	case *Heartbeat:
 		b.encodeBody(&w)
 	case *RetransmitRequest:
+		b.encodeBody(&w)
+	case *SeqData:
+		b.encodeBody(&w)
+	case *SeqAssign:
 		b.encodeBody(&w)
 	default:
 		w.buf = encodeColdBody(w.buf, w.bo, body)
@@ -425,6 +493,14 @@ func CloneBody(b Body) Body {
 	case *Packed:
 		c := Packed{Entries: append([]PackedEntry(nil), v.Entries...)}
 		return &c
+	case *SeqData:
+		c := *v
+		c.Refs = append([]SeqRef(nil), v.Refs...)
+		return &c
+	case *SeqAssign:
+		c := *v
+		c.Refs = append([]SeqRef(nil), v.Refs...)
+		return &c
 	default:
 		return b
 	}
@@ -469,6 +545,30 @@ func decodeBody(h Header, r *reader, d *Decoder) (Body, error) {
 		}
 		p.Entries = r.packedEntries(p.Entries[:0])
 		body = p
+	case TypeSeqData:
+		var sd *SeqData
+		if d != nil {
+			sd = &d.seqData
+		} else {
+			sd = new(SeqData)
+		}
+		scratch := sd.Refs[:0]
+		*sd = SeqData{Conn: r.connID(), RequestNum: ids.RequestNum(r.u64()), Payload: r.bytes()}
+		sd.Epoch = r.u64()
+		sd.First = r.u64()
+		sd.Refs = r.seqRefs(scratch)
+		body = sd
+	case TypeSeqAssign:
+		var sa *SeqAssign
+		if d != nil {
+			sa = &d.seqAssign
+		} else {
+			sa = new(SeqAssign)
+		}
+		scratch := sa.Refs[:0]
+		*sa = SeqAssign{Epoch: r.u64(), First: r.u64()}
+		sa.Refs = r.seqRefs(scratch)
+		body = sa
 	case TypeConnectRequest:
 		body = &ConnectRequest{Conn: r.connID(), Procs: r.membershipList()}
 	case TypeConnect:

@@ -55,6 +55,11 @@ func allBodies() []Body {
 			{Seq: 42, TS: ids.MakeTimestamp(99, 7), Conn: conn, RequestNum: 9, Payload: []byte("first")},
 			{Seq: 43, TS: ids.MakeTimestamp(100, 7), Conn: conn, RequestNum: 10, Payload: []byte("second")},
 		}},
+		&SeqData{
+			Conn: conn, RequestNum: 11, Payload: []byte("sequenced"),
+			Epoch: 3, First: 17, Refs: []SeqRef{{Source: 2, Seq: 40}, {Source: 1, Seq: 6}},
+		},
+		&SeqAssign{Epoch: 3, First: 19, Refs: []SeqRef{{Source: 4, Seq: 12}}},
 	}
 }
 
@@ -239,6 +244,8 @@ func TestMsgTypeTable(t *testing.T) {
 		{TypeSuspect, true, false},
 		{TypeMembership, true, false},
 		{TypePacked, true, true},
+		{TypeSeqData, true, true},
+		{TypeSeqAssign, true, false},
 	}
 	for _, c := range cases {
 		if c.t.Reliable() != c.reliable {
@@ -379,6 +386,8 @@ func TestVersionByte(t *testing.T) {
 			want = VersionMinorPacked
 		case TypeMembership:
 			want = VersionMinorLineage
+		case TypeSeqData, TypeSeqAssign:
+			want = VersionMinorSeq
 		}
 		if buf[5] != want {
 			t.Errorf("%v: minor version byte = %d, want %d", body.Type(), buf[5], want)
